@@ -1,0 +1,65 @@
+// Ablation: congestion-control choice vs. bufferbloat.
+//
+// The paper verified its results are robust to the background TCP variant
+// (§5.2: "using a TCP variant optimized for high latency does not change
+// the overall behavior even when the buffers are large"). This bench
+// checks that claim for the loss-based family (Reno/BIC/CUBIC) -- and
+// adds the counterfactual the claim implicitly excludes: a *delay-based*
+// sender (Vegas) refuses to fill the buffer, so the bufferbloat cells
+// disappear without any change to the buffer or the queue discipline.
+#include <cstdio>
+
+#include "bench_common.hpp"
+
+namespace qoesim {
+namespace {
+
+using namespace core;
+
+void run(const bench::BenchOptions& opt) {
+  ExperimentRunner runner(opt.budget());
+  stats::TextTable table;
+  table.set_header({"CC", "Buffer", "Uplink delay(ms)", "Uplink util%",
+                    "VoIP talks MOS", "Web PLT(s)"});
+
+  for (auto cc : {tcp::CcKind::kReno, tcp::CcKind::kBic, tcp::CcKind::kCubic,
+                  tcp::CcKind::kVegas}) {
+    for (std::size_t buffer : {std::size_t{64}, std::size_t{256}}) {
+      auto cfg = bench::make_scenario(TestbedType::kAccess,
+                                      WorkloadType::kLongFew,
+                                      CongestionDirection::kUpstream, buffer,
+                                      opt.seed);
+      cfg.tcp_cc = cc;
+      const auto qos = runner.run_qos(cfg);
+      const auto voip = runner.run_voip(cfg, true);
+      const auto web = runner.run_web(cfg);
+      char delay[32], util[32], mos[16], plt[16];
+      std::snprintf(delay, sizeof(delay), "%.0f", qos.mean_delay_up_ms);
+      std::snprintf(util, sizeof(util), "%.0f", qos.util_up_mean * 100);
+      std::snprintf(mos, sizeof(mos), "%.1f", voip.median_mos_talks());
+      std::snprintf(plt, sizeof(plt), "%.1f", web.median_plt_s());
+      table.add_row({tcp::to_string(cc), std::to_string(buffer), delay, util,
+                     mos, plt});
+    }
+    table.add_separator();
+  }
+
+  bench::emit(table, opt,
+              "CC ablation: one upload flow vs the access uplink buffer");
+  std::puts(
+      "Expected shape: Reno/BIC/CUBIC all fill whatever buffer exists"
+      " (paper §5.2: variant doesn't\nmatter) -- delay and QoE degrade with"
+      " the buffer for each of them. Vegas holds ~2-4 packets of\nbacklog"
+      " regardless of buffer size: bufferbloat is a property of loss-based"
+      " congestion control\nmeeting oversized drop-tail buffers, not of the"
+      " buffer alone.");
+}
+
+}  // namespace
+}  // namespace qoesim
+
+int main(int argc, char** argv) {
+  const auto opt = qoesim::bench::BenchOptions::parse(argc, argv);
+  qoesim::run(opt);
+  return 0;
+}

@@ -1,0 +1,94 @@
+// Shared CLI and rendering helpers for the figure/table benches.
+//
+// Every bench accepts:
+//   --scale <f>   scale probe repetitions / measurement durations (default 1)
+//   --seed <n>    master seed (default 1)
+//   --csv         also emit CSV after the rendered table
+//   --no-color    render tone tags instead of ANSI colors
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "core/experiment.hpp"
+#include "core/heatmap.hpp"
+#include "core/scenario.hpp"
+#include "stats/table.hpp"
+
+namespace qoesim::bench {
+
+struct BenchOptions {
+  double scale = 1.0;
+  std::uint64_t seed = 1;
+  bool csv = false;
+  bool color = true;
+
+  static BenchOptions parse(int argc, char** argv) {
+    BenchOptions opt;
+    for (int i = 1; i < argc; ++i) {
+      if (std::strcmp(argv[i], "--scale") == 0 && i + 1 < argc) {
+        opt.scale = std::atof(argv[++i]);
+      } else if (std::strcmp(argv[i], "--seed") == 0 && i + 1 < argc) {
+        opt.seed = static_cast<std::uint64_t>(std::atoll(argv[++i]));
+      } else if (std::strcmp(argv[i], "--csv") == 0) {
+        opt.csv = true;
+      } else if (std::strcmp(argv[i], "--no-color") == 0) {
+        opt.color = false;
+      } else if (std::strcmp(argv[i], "--help") == 0) {
+        std::printf(
+            "usage: %s [--scale f] [--seed n] [--csv] [--no-color]\n",
+            argv[0]);
+        std::exit(0);
+      }
+    }
+    return opt;
+  }
+
+  core::ProbeBudget budget() const {
+    return core::ProbeBudget::from_env().scaled(scale);
+  }
+};
+
+inline void emit(const stats::HeatmapTable& table, const BenchOptions& opt) {
+  std::fputs(table.render(opt.color).c_str(), stdout);
+  if (opt.csv) {
+    std::fputs("\n[csv]\n", stdout);
+    std::fputs(table.to_csv().c_str(), stdout);
+  }
+  std::fputs("\n", stdout);
+}
+
+inline void emit(const stats::TextTable& table, const BenchOptions& opt,
+                 const char* title) {
+  std::printf("== %s ==\n", title);
+  std::fputs(table.render().c_str(), stdout);
+  if (opt.csv) {
+    std::fputs("\n[csv]\n", stdout);
+    std::fputs(table.to_csv().c_str(), stdout);
+  }
+  std::fputs("\n", stdout);
+}
+
+inline core::ScenarioConfig make_scenario(core::TestbedType testbed,
+                                          core::WorkloadType workload,
+                                          core::CongestionDirection direction,
+                                          std::size_t buffer,
+                                          std::uint64_t seed) {
+  core::ScenarioConfig cfg;
+  cfg.testbed = testbed;
+  cfg.workload = workload;
+  cfg.direction = direction;
+  cfg.buffer_packets = buffer;
+  cfg.tcp_cc = core::default_cc(testbed);
+  // Mix the cell coordinates into the seed so structurally identical cells
+  // (e.g. short-few vs short-many upstream-only) still see independent
+  // stochastic runs, as separate testbed runs would.
+  cfg.seed = seed ^ (static_cast<std::uint64_t>(workload) * 0x9e3779b9ull) ^
+             (static_cast<std::uint64_t>(direction) << 20) ^
+             (static_cast<std::uint64_t>(buffer) << 32);
+  return cfg;
+}
+
+}  // namespace qoesim::bench

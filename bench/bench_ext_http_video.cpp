@@ -1,0 +1,66 @@
+// Extension (paper §10): HTTP adaptive video streaming over the access
+// downlink, same grid as Fig. 9a. The paper remarks that "initial work on
+// HTTP video streaming is consistent with our results"; this bench makes
+// the comparison concrete: QoE still tracks workload, but adaptation +
+// retransmission turn packet loss into bitrate reduction and stalls, so
+// large buffers no longer hurt (no interactivity to protect) and the cliff
+// moves from "any sustained loss" to "insufficient bandwidth for the
+// lowest rung".
+#include "bench_common.hpp"
+#include "qoe/http_video_qoe.hpp"
+
+namespace qoesim {
+namespace {
+
+using namespace core;
+
+void run(const bench::BenchOptions& opt) {
+  ExperimentRunner runner(opt.budget());
+  const auto buffers = access_buffer_sizes();
+  const auto workloads = rows_with_baseline(TestbedType::kAccess);
+
+  stats::HeatmapTable mos_table(
+      "Ext: HTTP adaptive streaming, access download activity (median MOS)",
+      buffer_columns(buffers));
+  stats::HeatmapTable rate_table(
+      "Ext: HTTP adaptive streaming (median bitrate, Mbit/s; color = MOS)",
+      buffer_columns(buffers));
+
+  for (auto workload : workloads) {
+    std::vector<stats::HeatCell> mos_row;
+    std::vector<stats::HeatCell> rate_row;
+    for (auto buffer : buffers) {
+      auto cfg = bench::make_scenario(TestbedType::kAccess, workload,
+                                      CongestionDirection::kDownstream,
+                                      buffer, opt.seed);
+      const auto cell = runner.run_http_video(cfg);
+      const double mos = cell.median_mos();
+      mos_row.push_back({format_mos(mos), stats::tone_from_mos(mos)});
+      char rate[16];
+      std::snprintf(rate, sizeof(rate), "%.1f",
+                    cell.mean_bitrate_mbps.empty()
+                        ? 0.0
+                        : cell.mean_bitrate_mbps.median());
+      rate_row.push_back({rate, stats::tone_from_mos(mos)});
+    }
+    mos_table.add_row(to_string(workload), std::move(mos_row));
+    rate_table.add_row(to_string(workload), std::move(rate_row));
+  }
+  bench::emit(mos_table, opt);
+  bench::emit(rate_table, opt);
+  std::puts(
+      "Expected shape (consistent with Fig 9a, per §10): workload still"
+      " dominates; under sustained\ncongestion the client downshifts"
+      " (lower bitrate, maybe stalls) instead of showing artifacts,\nso"
+      " moderate loads that ruined RTP video only cost HAS bitrate -- and"
+      " buffer size again matters little.");
+}
+
+}  // namespace
+}  // namespace qoesim
+
+int main(int argc, char** argv) {
+  const auto opt = qoesim::bench::BenchOptions::parse(argc, argv);
+  qoesim::run(opt);
+  return 0;
+}

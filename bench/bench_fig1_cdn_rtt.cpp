@@ -1,0 +1,110 @@
+// Reproduces Figure 1 (§3, "Buffering in the wild"): per-flow sRTT
+// statistics of a (synthetic, calibration-documented) CDN dataset.
+//   1a: PDFs of log(min/avg/max sRTT)
+//   1b: 2-D histogram of min vs. max RTT per flow
+//   1c: PDF of the estimated queueing delay (max-min), per access tech
+// plus the paper's headline tail fractions.
+#include <cstdio>
+
+#include "bench_common.hpp"
+#include "cdn/srtt_analysis.hpp"
+#include "cdn/srtt_dataset.hpp"
+
+namespace qoesim {
+namespace {
+
+using namespace cdn;
+
+/// Render a log-binned PDF as an ASCII bar column chart.
+void print_pdf(const char* name, const stats::LogHistogram& hist) {
+  std::printf("--- %s (n=%zu) ---\n", name, hist.count());
+  double max_density = 0;
+  for (const auto& b : hist.to_bins()) {
+    max_density = std::max(max_density, b.density);
+  }
+  for (const auto& b : hist.to_bins()) {
+    if (b.count == 0) continue;
+    const int bar =
+        max_density > 0 ? static_cast<int>(b.density / max_density * 50) : 0;
+    std::printf("%8.1f-%-8.1f ms |%-50.*s| %.3f\n", b.lo, b.hi, bar,
+                "##################################################",
+                b.density);
+  }
+}
+
+void run(const bench::BenchOptions& opt) {
+  auto config = CdnDatasetConfig::paper_calibration();
+  config.flows = static_cast<std::size_t>(300000 * std::max(0.05, opt.scale));
+  CdnDatasetGenerator generator(config);
+  RandomStream rng = RandomStream::derive(opt.seed, "cdn-fig1");
+  SrttAnalysis analysis;
+  analysis.add_all(generator.generate(rng));
+
+  std::printf("== Figure 1: occurrence of queueing in the wild ==\n");
+  std::printf("flows generated: %zu, with >=10 RTT samples: %zu\n\n",
+              analysis.flows_total(), analysis.flows_considered());
+
+  // Fig. 1a
+  print_pdf("Fig 1a: min sRTT", analysis.min_rtt_pdf());
+  print_pdf("Fig 1a: avg sRTT", analysis.avg_rtt_pdf());
+  print_pdf("Fig 1a: max sRTT", analysis.max_rtt_pdf());
+
+  // Fig. 1b: ASCII density grid (min on y, max on x), log-log.
+  std::printf("\n--- Fig 1b: min vs max sRTT per flow (density) ---\n");
+  const auto& h2 = analysis.min_vs_max();
+  std::size_t peak = 1;
+  for (std::size_t y = 0; y < h2.ybins(); ++y) {
+    for (std::size_t x = 0; x < h2.xbins(); ++x) {
+      peak = std::max(peak, h2.at(x, y));
+    }
+  }
+  const char shades[] = " .:-=+*#%@";
+  for (std::size_t y = h2.ybins(); y-- > 0;) {
+    std::printf("%8.0fms |", h2.bin_center(y));
+    for (std::size_t x = 0; x < h2.xbins(); ++x) {
+      const double f =
+          static_cast<double>(h2.at(x, y)) / static_cast<double>(peak);
+      const int idx = static_cast<int>(f * 9.0);
+      std::putchar(shades[idx]);
+    }
+    std::puts("|");
+  }
+  std::printf("%10s max sRTT %.0f..%.0f ms (log axis) -> diagonal mass "
+              "(|bin diff|<=1): %.2f\n",
+              "", h2.bin_edge(0), h2.bin_center(h2.xbins() - 1),
+              h2.diagonal_mass(1));
+
+  // Fig. 1c
+  std::puts("");
+  print_pdf("Fig 1c: est. queueing delay (complete data set)",
+            analysis.queueing_pdf());
+  for (auto tech : {AccessTech::kAdsl, AccessTech::kCable, AccessTech::kFtth}) {
+    char label[64];
+    std::snprintf(label, sizeof(label), "Fig 1c: est. queueing delay (%s)",
+                  to_string(tech));
+    print_pdf(label, analysis.queueing_pdf(tech));
+  }
+
+  const auto tails = analysis.tail_fractions();
+  const auto near = analysis.tail_fractions_near(100.0);
+  std::printf("\n== headline fractions (paper values in parentheses) ==\n");
+  std::printf("queueing delay < 100 ms : %5.1f%%  (paper ~80%%)\n",
+              tails.below_100ms * 100);
+  std::printf("queueing delay > 500 ms : %5.2f%%  (paper ~2.8%%)\n",
+              tails.above_500ms * 100);
+  std::printf("queueing delay > 1000 ms: %5.2f%%  (paper ~1%%)\n",
+              tails.above_1000ms * 100);
+  std::printf("min sRTT<=100ms & delay<100ms : %5.1f%%  (paper ~95%%)\n",
+              near.below_100ms * 100);
+  std::printf("min sRTT<=100ms & delay<1s    : %5.1f%%  (paper ~99.9%%)\n",
+              (1.0 - near.above_1000ms) * 100);
+}
+
+}  // namespace
+}  // namespace qoesim
+
+int main(int argc, char** argv) {
+  const auto opt = qoesim::bench::BenchOptions::parse(argc, argv);
+  qoesim::run(opt);
+  return 0;
+}

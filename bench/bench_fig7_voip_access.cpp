@@ -1,0 +1,75 @@
+// Reproduces Figure 7: median VoIP MOS on the access testbed as heatmaps
+// over buffer size x workload, for (a) download-congestion and (b)
+// upload-congestion scenarios, split into "user talks" (client->server
+// leg) and "user listens" (server->client leg).
+#include <map>
+
+#include "bench_common.hpp"
+
+namespace qoesim {
+namespace {
+
+using namespace core;
+
+void run_direction(ExperimentRunner& runner, const bench::BenchOptions& opt,
+                   CongestionDirection dir, const char* title) {
+  const auto buffers = access_buffer_sizes();
+  const auto workloads = rows_with_baseline(TestbedType::kAccess);
+
+  std::map<std::pair<int, std::size_t>, VoipCell> cells;
+  for (std::size_t wi = 0; wi < workloads.size(); ++wi) {
+    for (auto buffer : buffers) {
+      auto cfg = bench::make_scenario(TestbedType::kAccess, workloads[wi], dir,
+                                      buffer, opt.seed);
+      cells[{static_cast<int>(wi), buffer}] =
+          runner.run_voip(cfg, /*bidirectional=*/true);
+    }
+  }
+
+  stats::HeatmapTable table(title, buffer_columns(buffers));
+  table.add_group("user talks");
+  for (std::size_t wi = 0; wi < workloads.size(); ++wi) {
+    std::vector<stats::HeatCell> row;
+    for (auto buffer : buffers) {
+      const double mos =
+          cells[{static_cast<int>(wi), buffer}].median_mos_talks();
+      row.push_back({format_mos(mos), stats::tone_from_mos(mos)});
+    }
+    table.add_row(to_string(workloads[wi]), std::move(row));
+  }
+  table.add_group("user listens");
+  for (std::size_t wi = 0; wi < workloads.size(); ++wi) {
+    std::vector<stats::HeatCell> row;
+    for (auto buffer : buffers) {
+      const double mos =
+          cells[{static_cast<int>(wi), buffer}].median_mos_listens();
+      row.push_back({format_mos(mos), stats::tone_from_mos(mos)});
+    }
+    table.add_row(to_string(workloads[wi]), std::move(row));
+  }
+  bench::emit(table, opt);
+}
+
+void run(const bench::BenchOptions& opt) {
+  ExperimentRunner runner(opt.budget());
+  run_direction(runner, opt, CongestionDirection::kDownstream,
+                "Fig 7a: VoIP access MOS, download activity");
+  run_direction(runner, opt, CongestionDirection::kUpstream,
+                "Fig 7b: VoIP access MOS, upload activity");
+  std::puts(
+      "Paper shape: 7a -- baseline ~4.1-4.2 green; talks side lightly"
+      " affected (ACK traffic);\n  listens degraded by workload (long-many"
+      " ~2.7-2.8), buffer effect small (<=0.7 MOS).\n7b -- talks collapses"
+      " to 1.0 for buffers >=32-64 (uplink bloat: loss + delay);\n  small"
+      " buffers mitigate (~2.3-3.2); listens degraded via conversational"
+      " delay for buffers >=64.");
+}
+
+}  // namespace
+}  // namespace qoesim
+
+int main(int argc, char** argv) {
+  const auto opt = qoesim::bench::BenchOptions::parse(argc, argv);
+  qoesim::run(opt);
+  return 0;
+}

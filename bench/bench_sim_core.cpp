@@ -1,0 +1,124 @@
+// google-benchmark microbenchmarks for the simulator substrate itself:
+// event scheduling, queue operations, and end-to-end TCP simulation
+// throughput (events/second), so performance regressions in the core are
+// visible independent of the figure benches.
+#include <benchmark/benchmark.h>
+
+#include "net/drop_tail.hpp"
+#include "net/topology.hpp"
+#include "sim/simulation.hpp"
+#include "tcp/tcp_server.hpp"
+#include "tcp/tcp_socket.hpp"
+#include "trafficgen/harpoon.hpp"
+
+namespace qoesim {
+namespace {
+
+void BM_SchedulerScheduleFire(benchmark::State& state) {
+  for (auto _ : state) {
+    Scheduler sched;
+    int fired = 0;
+    for (int i = 0; i < 1000; ++i) {
+      sched.schedule_at(Time::microseconds(i), [&fired] { ++fired; });
+    }
+    sched.run();
+    benchmark::DoNotOptimize(fired);
+  }
+  state.SetItemsProcessed(state.iterations() * 1000);
+}
+BENCHMARK(BM_SchedulerScheduleFire);
+
+void BM_SchedulerCancel(benchmark::State& state) {
+  for (auto _ : state) {
+    Scheduler sched;
+    std::vector<EventHandle> handles;
+    handles.reserve(1000);
+    for (int i = 0; i < 1000; ++i) {
+      handles.push_back(sched.schedule_at(Time::microseconds(i), [] {}));
+    }
+    for (auto& h : handles) h.cancel();
+    sched.run();
+  }
+  state.SetItemsProcessed(state.iterations() * 1000);
+}
+BENCHMARK(BM_SchedulerCancel);
+
+void BM_DropTailEnqueueDequeue(benchmark::State& state) {
+  net::DropTailQueue q(256);
+  std::uint64_t ops = 0;
+  for (auto _ : state) {
+    net::Packet p;
+    p.size_bytes = 1500;
+    q.enqueue(std::move(p), Time::zero());
+    benchmark::DoNotOptimize(q.dequeue(Time::zero()));
+    ++ops;
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(ops));
+}
+BENCHMARK(BM_DropTailEnqueueDequeue);
+
+void BM_TcpBulkTransfer(benchmark::State& state) {
+  const auto bytes = static_cast<std::uint64_t>(state.range(0));
+  for (auto _ : state) {
+    Simulation sim;
+    net::Topology topo(sim);
+    auto& a = topo.add_node("a");
+    auto& b = topo.add_node("b");
+    net::LinkSpec spec;
+    spec.rate_bps = 100e6;
+    spec.delay = Time::milliseconds(5);
+    spec.buffer_packets = 256;
+    topo.connect(a, b, spec, spec);
+    topo.compute_routes();
+
+    tcp::TcpServer server(b, 80, {}, [](std::shared_ptr<tcp::TcpSocket> s) {
+      auto weak = std::weak_ptr(s);
+      s->set_callbacks({.on_connected = {},
+                        .on_data = {},
+                        .on_remote_close =
+                            [weak] {
+                              if (auto x = weak.lock()) x->close();
+                            },
+                        .on_closed = {}});
+    });
+    auto client = tcp::TcpSocket::connect(a, b.id(), 80, {}, {});
+    client->send(bytes);
+    client->close();
+    sim.run_until(Time::seconds(60));
+    benchmark::DoNotOptimize(client->stats().bytes_acked);
+    state.counters["events/s"] = benchmark::Counter(
+        static_cast<double>(sim.scheduler().fired_events()),
+        benchmark::Counter::kIsIterationInvariantRate);
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations() * bytes));
+}
+BENCHMARK(BM_TcpBulkTransfer)->Arg(1 << 20)->Arg(16 << 20);
+
+void BM_HarpoonScenarioSecond(benchmark::State& state) {
+  for (auto _ : state) {
+    Simulation sim(7);
+    net::Topology topo(sim);
+    auto& a = topo.add_node("src");
+    auto& b = topo.add_node("dst");
+    net::LinkSpec spec;
+    spec.rate_bps = 100e6;
+    spec.delay = Time::milliseconds(10);
+    spec.buffer_packets = 256;
+    topo.connect(a, b, spec, spec);
+    topo.compute_routes();
+    trafficgen::HarpoonConfig cfg;
+    cfg.sessions = 30;
+    cfg.interarrival = std::make_shared<trafficgen::ExponentialDist>(0.5);
+    cfg.file_size = trafficgen::paper_file_sizes();
+    trafficgen::HarpoonGenerator gen(sim, {&a}, {&b}, cfg, sim.rng("h"));
+    gen.start();
+    sim.run_until(Time::seconds(5));
+    benchmark::DoNotOptimize(gen.flows_completed());
+  }
+}
+BENCHMARK(BM_HarpoonScenarioSecond)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace qoesim
+
+BENCHMARK_MAIN();

@@ -1,0 +1,53 @@
+// bufferbloat_home_router -- how should a home router size its uplink
+// buffer?
+//
+// Recreates the paper's central practical question for an OEM: sweep the
+// DSL uplink buffer from 8 to 256 packets while a background upload runs
+// (the paper's long-few upstream scenario), and report, per buffer size,
+// the induced delay, VoIP conversational quality, and web page load times
+// -- then the same sweep with CoDel to show what AQM changes.
+//
+//   $ ./bufferbloat_home_router
+#include <cstdio>
+
+#include "core/experiment.hpp"
+
+int main() {
+  using namespace qoesim;
+  using namespace qoesim::core;
+
+  ExperimentRunner runner(ProbeBudget::from_env());
+
+  for (auto queue : {net::QueueKind::kDropTail, net::QueueKind::kCoDel}) {
+    std::printf("== uplink buffer sweep, long-lived upload, %s ==\n",
+                net::to_string(queue));
+    std::printf("%8s %14s %10s %12s %12s %10s\n", "buffer", "queue delay",
+                "loss", "VoIP talks", "VoIP listens", "web PLT");
+    for (std::size_t buffer : access_buffer_sizes()) {
+      ScenarioConfig cfg;
+      cfg.testbed = TestbedType::kAccess;
+      cfg.workload = WorkloadType::kLongFew;
+      cfg.direction = CongestionDirection::kUpstream;
+      cfg.buffer_packets = buffer;
+      cfg.queue = queue;
+      cfg.tcp_cc = default_cc(cfg.testbed);
+
+      const auto qos = runner.run_qos(cfg);
+      const auto voip = runner.run_voip(cfg, /*bidirectional=*/true);
+      const auto web = runner.run_web(cfg);
+      std::printf("%8zu %11.0f ms %9.1f%% %12.1f %12.1f %8.1f s\n", buffer,
+                  qos.mean_delay_up_ms, qos.loss_up * 100,
+                  voip.median_mos_talks(), voip.median_mos_listens(),
+                  web.median_plt_s());
+    }
+    std::puts("");
+  }
+
+  std::puts("Reading: with drop-tail, any buffer >= ~32 packets turns a"
+            " single upload into seconds of\nqueueing delay and destroys"
+            " interactive QoE (the bufferbloat case); small buffers trade"
+            " a little\nloss for usable latency. CoDel decouples the"
+            " trade-off: delay stays near its 5 ms target at\nevery buffer"
+            " size -- sizing stops mattering.");
+  return 0;
+}

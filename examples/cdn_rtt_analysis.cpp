@@ -1,0 +1,66 @@
+// cdn_rtt_analysis -- run the paper's §3 "buffering in the wild" method.
+//
+// Generates a synthetic population of CDN connection records (per-flow
+// min/avg/max smoothed RTT, as exported by the Linux TCP stack) and runs
+// the paper's estimator: queueing delay == max - min sRTT for flows with
+// at least 10 samples. Prints the headline statistics the paper uses to
+// argue that bufferbloat, while real, is rare.
+//
+//   $ ./cdn_rtt_analysis [flows]
+#include <cstdio>
+#include <cstdlib>
+
+#include "cdn/srtt_analysis.hpp"
+#include "cdn/srtt_dataset.hpp"
+
+int main(int argc, char** argv) {
+  using namespace qoesim;
+  using namespace qoesim::cdn;
+
+  auto config = CdnDatasetConfig::paper_calibration();
+  config.flows = argc > 1 ? static_cast<std::size_t>(std::atoll(argv[1]))
+                          : 200000;
+
+  CdnDatasetGenerator generator(config);
+  RandomStream rng(2014);
+  SrttAnalysis analysis;
+  analysis.add_all(generator.generate(rng));
+
+  std::printf("flows: %zu total, %zu with >= 10 RTT samples\n",
+              analysis.flows_total(), analysis.flows_considered());
+
+  const auto t = analysis.tail_fractions();
+  std::printf("\nestimated queueing delay (max - min sRTT):\n");
+  std::printf("  < 100 ms : %5.1f%%   (paper: ~80%%)\n", t.below_100ms * 100);
+  std::printf("  > 500 ms : %5.2f%%   (paper: ~2.8%%)\n",
+              t.above_500ms * 100);
+  std::printf("  > 1000 ms: %5.2f%%   (paper: ~1%%)\n",
+              t.above_1000ms * 100);
+
+  const auto near = analysis.tail_fractions_near(100.0);
+  std::printf("\nflows close to the CDN (min sRTT <= 100 ms, n=%zu):\n",
+              near.flows_considered);
+  std::printf("  < 100 ms : %5.1f%%   (paper: ~95%%)\n",
+              near.below_100ms * 100);
+  std::printf("  < 1 s    : %5.1f%%   (paper: ~99.9%%)\n",
+              (1.0 - near.above_1000ms) * 100);
+
+  std::puts("\nper-technology tail beyond 500 ms:");
+  for (auto tech : {AccessTech::kAdsl, AccessTech::kCable,
+                    AccessTech::kFtth}) {
+    std::size_t total = 0, above = 0;
+    for (const auto& bin : analysis.queueing_pdf(tech).to_bins()) {
+      total += bin.count;
+      if (bin.lo >= 500.0) above += bin.count;
+    }
+    std::printf("  %-8s %5.2f%%  (n=%zu)\n", to_string(tech),
+                total ? 100.0 * static_cast<double>(above) /
+                            static_cast<double>(total)
+                      : 0.0,
+                total);
+  }
+  std::puts("\nConclusion (paper §3): excessive queueing delays do occur,"
+            " but only for a small fraction of\nflows and hosts -- the"
+            " magnitude of bufferbloat in the wild is modest.");
+  return 0;
+}

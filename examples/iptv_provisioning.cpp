@@ -1,0 +1,53 @@
+// iptv_provisioning -- how much backbone load can IPTV tolerate?
+//
+// An operator streaming RTP video (no retransmission, like the paper's
+// IPTV baseline) wants to know at which background utilization the viewer
+// experience collapses. Sweeps the backbone workload levels from Table 1
+// at the BDP buffer and reports SSIM/MOS for SD and HD, reproducing the
+// paper's "roughly binary" finding (§8.4).
+//
+//   $ ./iptv_provisioning
+#include <cstdio>
+
+#include "apps/video_codec.hpp"
+#include "core/experiment.hpp"
+
+int main() {
+  using namespace qoesim;
+  using namespace qoesim::core;
+
+  ExperimentRunner runner(ProbeBudget::from_env());
+  const std::size_t buffer = 749;  // BDP (Table 2)
+
+  std::printf("== RTP video over the OC3 backbone, buffer=%zu (BDP) ==\n",
+              buffer);
+  std::printf("%-16s %10s %12s | %8s %6s | %8s %6s\n", "workload", "util",
+              "video loss", "SD SSIM", "MOS", "HD SSIM", "MOS");
+
+  std::vector<WorkloadType> rows{WorkloadType::kNoBg};
+  const auto wl = backbone_workloads();
+  rows.insert(rows.end(), wl.begin(), wl.end());
+
+  for (auto workload : rows) {
+    ScenarioConfig cfg;
+    cfg.testbed = TestbedType::kBackbone;
+    cfg.workload = workload;
+    cfg.buffer_packets = buffer;
+    cfg.tcp_cc = default_cc(cfg.testbed);
+
+    const auto qos = runner.run_qos(cfg);
+    const auto sd = runner.run_video(cfg, apps::VideoCodecConfig::sd());
+    const auto hd = runner.run_video(cfg, apps::VideoCodecConfig::hd());
+    std::printf("%-16s %9.1f%% %11.2f%% | %8.2f %6.1f | %8.2f %6.1f\n",
+                to_string(workload), qos.util_down_mean * 100,
+                sd.packet_loss.median() * 100, sd.median_ssim(),
+                sd.median_mos(), hd.median_ssim(), hd.median_mos());
+  }
+
+  std::puts("\nReading: as long as the bottleneck has spare capacity the"
+            " stream is transparent (SSIM 1.0);\nonce background load"
+            " saturates the link, quality falls off a cliff regardless of"
+            " buffering --\nprovision for headroom (or isolate IPTV in its"
+            " own QoS class), don't tune buffers.");
+  return 0;
+}

@@ -1,0 +1,65 @@
+// quickstart -- the 60-second tour of qoesim.
+//
+// Builds the paper's access testbed (16/1 Mbit/s DSL dumbbell), starts a
+// greedy upload in the background, places one bidirectional VoIP call
+// through the congested uplink, and prints the standardized QoE scores.
+//
+//   $ ./quickstart
+#include <cstdio>
+
+#include "apps/voip.hpp"
+#include "core/testbed.hpp"
+#include "core/workloads.hpp"
+#include "qoe/voip_qoe.hpp"
+
+int main() {
+  using namespace qoesim;
+
+  // 1. Describe the experimental cell: access testbed, one long-lived
+  //    upload flow (the classic bufferbloat trigger), 128-packet buffers.
+  core::ScenarioConfig config;
+  config.testbed = core::TestbedType::kAccess;
+  config.workload = core::WorkloadType::kLongFew;
+  config.direction = core::CongestionDirection::kUpstream;
+  config.buffer_packets = 128;
+  config.tcp_cc = core::default_cc(config.testbed);
+  config.seed = 42;
+
+  // 2. Build the testbed and attach the Table-1 background workload.
+  core::Testbed testbed(config);
+  core::Workload workload(testbed);
+
+  // 3. Let the queues reach steady state, then run an 8-second G.711 call
+  //    in both directions (user talks / user listens).
+  apps::VoipCall talks(testbed.probe_client(), testbed.probe_server(), {}, 1);
+  apps::VoipCall listens(testbed.probe_server(), testbed.probe_client(), {}, 2);
+  talks.start(Time::seconds(15));
+  listens.start(Time::seconds(15));
+  testbed.sim().run_until(talks.end_time() + Time::seconds(1));
+
+  // 4. Score with the paper's models: PESQ surrogate (z1), E-Model delay
+  //    impairment (z2), combined z = max(0, z1 - z2) -> MOS.
+  const auto m_talks = talks.metrics();
+  const auto m_listens = listens.metrics();
+  auto print_leg = [](const char* name, const qoe::VoipCallMetrics& m) {
+    const auto score = qoe::VoipQoe::score(m);
+    std::printf(
+        "%-12s loss=%5.1f%%  one-way delay=%6.1f ms  jitter=%4.1f ms\n"
+        "%-12s z1=%5.1f  z2=%5.1f  MOS=%.1f  (%s)\n",
+        name, m.effective_loss() * 100, m.mean_network_delay.ms(),
+        m.jitter.ms(), "", score.z1, score.z2, score.mos,
+        qoe::to_string(score.rating).c_str());
+  };
+  std::puts("== VoIP over a bufferbloated DSL uplink (long-few upload) ==");
+  print_leg("user talks", m_talks);
+  print_leg("user listens", m_listens);
+
+  std::printf("\nuplink buffer: %zu packets, mean queueing delay %.0f ms, "
+              "utilization %.0f%%\n",
+              config.buffer_packets,
+              testbed.up_monitor().mean_queue_delay_s() * 1e3,
+              testbed.up_monitor().mean_utilization(Time::seconds(5),
+                                                    Time::seconds(24)) *
+                  100);
+  return 0;
+}

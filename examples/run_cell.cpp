@@ -1,0 +1,148 @@
+// run_cell -- run any single experimental cell from the command line.
+//
+// The figure benches sweep full grids; this utility runs exactly one cell
+// and prints every metric the suite can produce for it, which is the
+// fastest way to explore a configuration interactively:
+//
+//   $ ./run_cell --testbed access --workload long-few --direction upstream
+//                --buffer 256 --queue droptail --app all
+//
+// Flags (all optional): --testbed access|backbone, --workload <name>,
+// --direction downstream|upstream|bidirectional, --buffer <pkts>,
+// --queue droptail|red|codel|priority, --cc reno|bic|cubic|vegas,
+// --app voip|video|web|has|qos|all, --seed <n>, --scale <f>.
+#include <cstdio>
+#include <cstring>
+#include <string>
+
+#include "apps/video_codec.hpp"
+#include "core/experiment.hpp"
+
+namespace {
+
+using namespace qoesim;
+using namespace qoesim::core;
+
+[[noreturn]] void usage(const char* msg) {
+  std::fprintf(stderr, "error: %s\n(see the header of run_cell.cpp)\n", msg);
+  std::exit(2);
+}
+
+WorkloadType parse_workload(const std::string& s) {
+  for (auto w : {WorkloadType::kNoBg, WorkloadType::kShortFew,
+                 WorkloadType::kShortMany, WorkloadType::kLongFew,
+                 WorkloadType::kLongMany, WorkloadType::kShortLow,
+                 WorkloadType::kShortMedium, WorkloadType::kShortHigh,
+                 WorkloadType::kShortOverload, WorkloadType::kLong}) {
+    if (s == to_string(w)) return w;
+  }
+  usage("unknown workload");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  ScenarioConfig cfg;
+  cfg.testbed = TestbedType::kAccess;
+  cfg.workload = WorkloadType::kLongFew;
+  cfg.direction = CongestionDirection::kUpstream;
+  cfg.buffer_packets = 128;
+  std::string app = "all";
+  double scale = 1.0;
+
+  for (int i = 1; i < argc; ++i) {
+    auto next = [&]() -> std::string {
+      if (i + 1 >= argc) usage("missing flag value");
+      return argv[++i];
+    };
+    const std::string flag = argv[i];
+    if (flag == "--testbed") {
+      const auto v = next();
+      cfg.testbed = v == "backbone" ? TestbedType::kBackbone
+                                    : TestbedType::kAccess;
+    } else if (flag == "--workload") {
+      cfg.workload = parse_workload(next());
+    } else if (flag == "--direction") {
+      const auto v = next();
+      cfg.direction = v == "upstream" ? CongestionDirection::kUpstream
+                      : v == "bidirectional"
+                          ? CongestionDirection::kBidirectional
+                          : CongestionDirection::kDownstream;
+    } else if (flag == "--buffer") {
+      cfg.buffer_packets = static_cast<std::size_t>(std::atoll(next().c_str()));
+    } else if (flag == "--queue") {
+      const auto v = next();
+      cfg.queue = v == "red"        ? net::QueueKind::kRed
+                  : v == "codel"    ? net::QueueKind::kCoDel
+                  : v == "priority" ? net::QueueKind::kPriority
+                                    : net::QueueKind::kDropTail;
+    } else if (flag == "--cc") {
+      const auto v = next();
+      cfg.tcp_cc = v == "reno"    ? tcp::CcKind::kReno
+                   : v == "bic"   ? tcp::CcKind::kBic
+                   : v == "vegas" ? tcp::CcKind::kVegas
+                                  : tcp::CcKind::kCubic;
+    } else if (flag == "--app") {
+      app = next();
+    } else if (flag == "--seed") {
+      cfg.seed = static_cast<std::uint64_t>(std::atoll(next().c_str()));
+    } else if (flag == "--scale") {
+      scale = std::atof(next().c_str());
+    } else {
+      usage(("unknown flag: " + flag).c_str());
+    }
+  }
+  if (cfg.tcp_cc == tcp::CcKind::kCubic) cfg.tcp_cc = default_cc(cfg.testbed);
+
+  std::printf("cell: %s queue=%s cc=%s\n\n", cfg.label().c_str(),
+              net::to_string(cfg.queue), tcp::to_string(cfg.tcp_cc));
+
+  ExperimentRunner runner(ProbeBudget::from_env().scaled(scale));
+  const bool all = app == "all";
+
+  if (all || app == "qos") {
+    const auto c = runner.run_qos(cfg);
+    std::printf("[qos]   util down %.1f%% (sd %.1f)  up %.1f%% (sd %.1f)\n",
+                c.util_down_mean * 100, c.util_down_sd * 100,
+                c.util_up_mean * 100, c.util_up_sd * 100);
+    std::printf("[qos]   loss down %.2f%%  up %.2f%%   queue delay down"
+                " %.1fms  up %.1fms   flows %.1f\n",
+                c.loss_down * 100, c.loss_up * 100, c.mean_delay_down_ms,
+                c.mean_delay_up_ms, c.concurrent_flows);
+  }
+  if (all || app == "voip") {
+    const auto c = runner.run_voip(cfg, true);
+    std::printf("[voip]  talks MOS %.1f (loss %.1f%%, delay %.0fms)   "
+                "listens MOS %.1f (loss %.1f%%, delay %.0fms)\n",
+                c.median_mos_talks(), c.loss_talks.median() * 100,
+                c.delay_talks_ms.median(), c.median_mos_listens(),
+                c.loss_listens.median() * 100, c.delay_listens_ms.median());
+  }
+  if (all || app == "video") {
+    const auto sd = runner.run_video(cfg, apps::VideoCodecConfig::sd());
+    const auto hd = runner.run_video(cfg, apps::VideoCodecConfig::hd());
+    std::printf("[video] SD SSIM %.2f MOS %.1f (loss %.2f%%)   HD SSIM %.2f"
+                " MOS %.1f (loss %.2f%%)\n",
+                sd.median_ssim(), sd.median_mos(),
+                sd.packet_loss.median() * 100, hd.median_ssim(),
+                hd.median_mos(), hd.packet_loss.median() * 100);
+  }
+  if (all || app == "web") {
+    const auto c = runner.run_web(cfg);
+    std::printf("[web]   PLT %.2fs  MOS %.1f  (rtx med %.0f, timeouts %d)\n",
+                c.median_plt_s(), c.median_mos(), c.retransmits.median(),
+                c.timeouts);
+  }
+  if (all || app == "has") {
+    const auto c = runner.run_http_video(cfg);
+    std::printf("[has]   MOS %.1f  bitrate %.1f Mbit/s  stalls %.1fs  "
+                "startup %.1fs  abandoned %d\n",
+                c.median_mos(),
+                c.mean_bitrate_mbps.empty() ? 0.0
+                                            : c.mean_bitrate_mbps.median(),
+                c.stall_seconds.empty() ? 0.0 : c.stall_seconds.median(),
+                c.startup_seconds.empty() ? 0.0 : c.startup_seconds.median(),
+                c.abandoned);
+  }
+  return 0;
+}

@@ -1,0 +1,103 @@
+#include "apps/gaming.hpp"
+
+#include <cmath>
+
+namespace qoesim::apps {
+
+GamingSession::GamingSession(net::Node& client, net::Node& server,
+                             GamingConfig config, std::uint32_t stream_id)
+    : sim_(client.sim()),
+      client_(client),
+      server_(server),
+      config_(config),
+      stream_id_(stream_id) {
+  client_sock_ = std::make_unique<udp::UdpSocket>(client_);
+  server_sock_ = std::make_unique<udp::UdpSocket>(server_);
+  client_sock_->set_receive(
+      [this](net::Packet&& p) { on_client_receive(std::move(p)); });
+  server_sock_->set_receive(
+      [this](net::Packet&& p) { on_server_receive(std::move(p)); });
+}
+
+void GamingSession::start(Time at) {
+  end_time_ = at + config_.duration + Time::seconds(2);
+  sim_.at(at, [this] { send_command(); });
+  sim_.at(at, [this] { send_update(); });
+  sim_.at(end_time_, [this] { finished_ = true; });
+}
+
+void GamingSession::send_command() {
+  if (next_cmd_seq_ >=
+      static_cast<std::uint32_t>(config_.duration.ns() /
+                                 config_.command_interval.ns())) {
+    return;
+  }
+  net::AppTag tag;
+  tag.kind = net::AppKind::kBulk;  // generic tag; stream id disambiguates
+  tag.stream_id = stream_id_;
+  tag.seq = next_cmd_seq_++;
+  tag.created = sim_.now();
+  client_sock_->send_to(server_.id(), server_sock_->port(),
+                        config_.command_bytes, tag, 0);
+  sim_.after(config_.command_interval, [this] { send_command(); });
+}
+
+void GamingSession::send_update() {
+  if (next_upd_seq_ >=
+      static_cast<std::uint32_t>(config_.duration.ns() /
+                                 config_.update_interval.ns())) {
+    return;
+  }
+  net::AppTag tag;
+  tag.kind = net::AppKind::kBulk;
+  tag.stream_id = stream_id_;
+  tag.seq = next_upd_seq_++;
+  tag.created = sim_.now();
+  server_sock_->send_to(client_.id(), client_sock_->port(),
+                        config_.update_bytes, tag, 0);
+  sim_.after(config_.update_interval, [this] { send_update(); });
+}
+
+void GamingSession::note_transit(Time transit, stats::RunningStats& owd) {
+  owd.add(transit.sec());
+  if (have_prev_transit_) {
+    const double d = std::abs(transit.sec() - prev_transit_s_);
+    jitter_s_ += (d - jitter_s_) / 16.0;
+  }
+  prev_transit_s_ = transit.sec();
+  have_prev_transit_ = true;
+  // Action-to-reaction sample whenever both directions have data.
+  if (up_owd_s_.count() > 0 && down_owd_s_.count() > 0) {
+    rtt_samples_s_.add(up_owd_s_.mean() + down_owd_s_.mean());
+  }
+}
+
+void GamingSession::on_server_receive(net::Packet&& p) {
+  if (p.app.stream_id != stream_id_) return;
+  ++cmd_delivered_;
+  note_transit(sim_.now() - p.app.created, up_owd_s_);
+}
+
+void GamingSession::on_client_receive(net::Packet&& p) {
+  if (p.app.stream_id != stream_id_) return;
+  ++upd_delivered_;
+  note_transit(sim_.now() - p.app.created, down_owd_s_);
+}
+
+GamingMetrics GamingSession::metrics() const {
+  GamingMetrics m;
+  m.commands_sent = next_cmd_seq_;
+  m.commands_delivered = cmd_delivered_;
+  m.updates_sent = next_upd_seq_;
+  m.updates_delivered = upd_delivered_;
+  if (up_owd_s_.count() && down_owd_s_.count()) {
+    m.mean_rtt = Time::seconds(up_owd_s_.mean() + down_owd_s_.mean());
+  }
+  if (!rtt_samples_s_.empty()) {
+    m.p95_rtt = Time::seconds(rtt_samples_s_.percentile(95));
+  }
+  m.jitter = Time::seconds(jitter_s_);
+  return m;
+}
+
+}  // namespace qoesim::apps

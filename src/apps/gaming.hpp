@@ -1,0 +1,93 @@
+// qoesim -- online gaming probe (paper §2's open thread).
+//
+// The paper notes that buffering's impact on gaming QoE had only been
+// touched "in simulations for Poisson traffic" (Sequeira et al.) and lists
+// gaming among the applications future work should add (§10). This module
+// adds it: a client-server FPS-style session with a bidirectional UDP
+// exchange -- small frequent command packets upstream, larger state
+// updates downstream -- measuring the action-to-reaction latency (command
+// up + state down), jitter, and loss that gaming QoE models consume.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "net/node.hpp"
+#include "sim/simulation.hpp"
+#include "stats/summary.hpp"
+#include "udp/udp_socket.hpp"
+
+namespace qoesim::apps {
+
+struct GamingConfig {
+  Time command_interval = Time::milliseconds(33);  ///< ~30 Hz input rate
+  std::uint32_t command_bytes = 100;
+  Time update_interval = Time::milliseconds(50);   ///< 20 Hz server ticks
+  std::uint32_t update_bytes = 250;
+  Time duration = Time::seconds(20);
+};
+
+/// What the session measured; input to qoe::GamingQoe.
+struct GamingMetrics {
+  std::uint64_t commands_sent = 0;
+  std::uint64_t commands_delivered = 0;
+  std::uint64_t updates_sent = 0;
+  std::uint64_t updates_delivered = 0;
+
+  Time mean_rtt;       ///< action-to-reaction: up OWD + down OWD
+  Time p95_rtt;
+  Time jitter;         ///< RFC 3550-style, both directions combined
+  double loss() const {
+    const auto sent = commands_sent + updates_sent;
+    const auto got = commands_delivered + updates_delivered;
+    return sent ? 1.0 - static_cast<double>(got) / static_cast<double>(sent)
+                : 0.0;
+  }
+};
+
+class GamingSession {
+ public:
+  GamingSession(net::Node& client, net::Node& server, GamingConfig config,
+                std::uint32_t stream_id);
+
+  GamingSession(const GamingSession&) = delete;
+  GamingSession& operator=(const GamingSession&) = delete;
+
+  void start(Time at);
+  bool finished() const { return finished_; }
+  Time end_time() const { return end_time_; }
+  GamingMetrics metrics() const;
+
+ private:
+  void send_command();
+  void send_update();
+  void on_client_receive(net::Packet&& p);
+  void on_server_receive(net::Packet&& p);
+  void note_transit(Time transit, stats::RunningStats& owd);
+
+  Simulation& sim_;
+  net::Node& client_;
+  net::Node& server_;
+  GamingConfig config_;
+  std::uint32_t stream_id_;
+
+  std::unique_ptr<udp::UdpSocket> client_sock_;
+  std::unique_ptr<udp::UdpSocket> server_sock_;
+
+  std::uint32_t next_cmd_seq_ = 0;
+  std::uint32_t next_upd_seq_ = 0;
+  std::uint64_t cmd_delivered_ = 0;
+  std::uint64_t upd_delivered_ = 0;
+  stats::RunningStats up_owd_s_;
+  stats::RunningStats down_owd_s_;
+  stats::Samples rtt_samples_s_;
+  double jitter_s_ = 0.0;
+  bool have_prev_transit_ = false;
+  double prev_transit_s_ = 0.0;
+
+  Time end_time_;
+  bool finished_ = false;
+};
+
+}  // namespace qoesim::apps

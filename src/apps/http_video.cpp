@@ -1,0 +1,202 @@
+#include "apps/http_video.hpp"
+
+#include <algorithm>
+
+namespace qoesim::apps {
+
+HttpVideoServer::HttpVideoServer(net::Node& node, HttpVideoConfig config,
+                                 tcp::TcpConfig tcp)
+    : node_(node), config_(std::move(config)) {
+  listener_ = std::make_unique<tcp::TcpServer>(
+      node_, config_.port, tcp, [this](std::shared_ptr<tcp::TcpSocket> sock) {
+        // Per-connection request accumulator. The client never pipelines
+        // (it waits for each full segment), so request boundaries are
+        // unambiguous: request_bytes + rung index.
+        auto buffered = std::make_shared<std::uint64_t>(0);
+        auto weak = std::weak_ptr<tcp::TcpSocket>(sock);
+        const HttpVideoConfig& cfg = config_;
+        sock->set_callbacks({
+            .on_connected = {},
+            .on_data =
+                [this, weak, buffered, &cfg](std::uint64_t bytes) {
+                  auto s = weak.lock();
+                  if (!s) return;
+                  *buffered += bytes;
+                  if (*buffered < cfg.request_bytes) return;
+                  const std::size_t rung = std::min<std::size_t>(
+                      cfg.ladder_bps.size() - 1,
+                      static_cast<std::size_t>(*buffered - cfg.request_bytes));
+                  *buffered = 0;
+                  const auto seg_bytes = static_cast<std::uint64_t>(
+                      cfg.ladder_bps[rung] * cfg.segment_duration.sec() / 8.0);
+                  s->send(seg_bytes);
+                  ++segments_served_;
+                },
+            .on_remote_close =
+                [weak] {
+                  if (auto s = weak.lock()) s->close();
+                },
+            .on_closed = {},
+        });
+      });
+}
+
+HttpVideoSession::HttpVideoSession(net::Node& client, net::NodeId server,
+                                   HttpVideoConfig config, tcp::TcpConfig tcp,
+                                   DoneFn done)
+    : client_(client),
+      server_(server),
+      config_(std::move(config)),
+      tcp_(tcp),
+      done_cb_(std::move(done)) {}
+
+std::size_t HttpVideoSession::total_segments() const {
+  return static_cast<std::size_t>(config_.clip_duration.ns() /
+                                  config_.segment_duration.ns());
+}
+
+std::uint64_t HttpVideoSession::segment_bytes(std::size_t rung) const {
+  return static_cast<std::uint64_t>(config_.ladder_bps[rung] *
+                                    config_.segment_duration.sec() / 8.0);
+}
+
+std::size_t HttpVideoSession::pick_rung(double throughput_bps) const {
+  const double usable = throughput_bps * config_.adaptation_margin;
+  std::size_t rung = 0;
+  for (std::size_t i = 0; i < config_.ladder_bps.size(); ++i) {
+    if (config_.ladder_bps[i] <= usable) rung = i;
+  }
+  return rung;
+}
+
+void HttpVideoSession::start(Time at) {
+  client_.sim().at(at, [this] { begin(); });
+}
+
+void HttpVideoSession::begin() {
+  start_time_ = client_.sim().now();
+  socket_ = tcp::TcpSocket::connect(
+      client_, server_, config_.port, tcp_,
+      tcp::TcpSocket::Callbacks{
+          .on_connected = [this] { request_next_segment(); },
+          .on_data = [this](std::uint64_t bytes) { on_data(bytes); },
+          .on_remote_close = {},
+          .on_closed =
+              [this] {
+                if (!finished_ && !download_done_) finish();  // aborted
+              },
+      });
+  playback_tick();
+}
+
+void HttpVideoSession::request_next_segment() {
+  if (next_segment_ >= total_segments()) {
+    download_done_ = true;
+    socket_->close();
+    return;
+  }
+  // First segment: start conservatively at the lowest rung.
+  current_rung_ =
+      next_segment_ == 0 ? 0 : pick_rung(last_throughput_bps_);
+  rates_.push_back(config_.ladder_bps[current_rung_]);
+  segment_remaining_ = segment_bytes(current_rung_);
+  segment_started_ = client_.sim().now();
+  socket_->send(config_.request_bytes + current_rung_);
+  ++next_segment_;
+}
+
+void HttpVideoSession::on_data(std::uint64_t bytes) {
+  if (finished_) return;
+  if (bytes >= segment_remaining_) {
+    segment_remaining_ = 0;
+    on_segment_complete();
+  } else {
+    segment_remaining_ -= bytes;
+  }
+}
+
+void HttpVideoSession::on_segment_complete() {
+  const Time elapsed = client_.sim().now() - segment_started_;
+  const double seconds = std::max(1e-6, elapsed.sec());
+  last_throughput_bps_ =
+      static_cast<double>(segment_bytes(current_rung_)) * 8.0 / seconds;
+  media_buffered_ += config_.segment_duration;
+  request_next_segment();
+}
+
+void HttpVideoSession::playback_tick() {
+  if (finished_) return;
+  const Time tick = Time::milliseconds(100);
+  auto& sim = client_.sim();
+
+  if (playing_) {
+    const Time consumed = std::min(media_buffered_, tick);
+    media_buffered_ -= consumed;
+    if (media_buffered_.is_zero() && !download_done_) {
+      playing_ = false;  // rebuffering stall
+      ++stalls_;
+      stall_started_ = sim.now();
+    }
+  } else {
+    const Time threshold =
+        started_playback_ ? config_.rebuffer_target : config_.startup_buffer;
+    if (media_buffered_ >= threshold ||
+        (download_done_ && media_buffered_ > Time::zero())) {
+      playing_ = true;
+      if (!started_playback_) {
+        started_playback_ = true;
+        playback_started_at_ = sim.now();
+      } else {
+        stall_total_ += sim.now() - stall_started_;
+      }
+    }
+  }
+
+  if (download_done_ && media_buffered_.is_zero() && started_playback_) {
+    finish();
+    return;
+  }
+  tick_ = sim.after(tick, [this] { playback_tick(); });
+}
+
+void HttpVideoSession::cancel() {
+  if (finished_) return;
+  if (!playing_ && started_playback_) {
+    stall_total_ += client_.sim().now() - stall_started_;
+  }
+  if (socket_) socket_->abort();
+  finish();
+}
+
+void HttpVideoSession::finish() {
+  if (finished_) return;
+  finished_ = true;
+  tick_.cancel();
+  if (done_cb_) done_cb_(*this);
+}
+
+HttpVideoMetrics HttpVideoSession::metrics() const {
+  HttpVideoMetrics m;
+  m.startup_delay = started_playback_
+                        ? playback_started_at_ - start_time_
+                        : client_.sim().now() - start_time_;
+  m.stall_count = stalls_;
+  m.total_stall_time = stall_total_;
+  m.clip_duration = config_.clip_duration;
+  m.completed = download_done_ && finished_;
+  if (!rates_.empty()) {
+    double sum = 0;
+    double prev = rates_.front();
+    std::uint32_t switches = 0;
+    for (double r : rates_) {
+      sum += r;
+      if (r != prev) ++switches;
+      prev = r;
+    }
+    m.mean_bitrate_bps = sum / static_cast<double>(rates_.size());
+    m.switch_count = switches;
+  }
+  return m;
+}
+
+}  // namespace qoesim::apps

@@ -1,0 +1,137 @@
+// qoesim -- HTTP adaptive video streaming (paper §10 future work).
+//
+// The paper closes noting that "initial work on HTTP video streaming is
+// consistent with our results". This module provides that experiment: a
+// DASH/HLS-style client that fetches fixed-duration segments over one
+// persistent TCP connection, adapts the bitrate to the measured segment
+// throughput, and plays from a buffer -- so network degradation shows up
+// as startup delay, rebuffering stalls and bitrate reductions rather than
+// packet-level artifacts.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "net/node.hpp"
+#include "sim/simulation.hpp"
+#include "tcp/tcp_server.hpp"
+#include "tcp/tcp_socket.hpp"
+
+namespace qoesim::apps {
+
+struct HttpVideoConfig {
+  /// Bitrate ladder (bit/s), ascending. Default: typical 2014 OTT ladder.
+  std::vector<double> ladder_bps = {1.0e6, 2.5e6, 4.0e6, 8.0e6};
+  Time segment_duration = Time::seconds(2);
+  Time clip_duration = Time::seconds(32);  ///< 16 segments
+  /// Playback starts once this much media is buffered.
+  Time startup_buffer = Time::seconds(4);
+  /// Resume threshold after a stall.
+  Time rebuffer_target = Time::seconds(4);
+  /// Throughput safety margin for rate selection (pick the highest rung
+  /// below margin * measured throughput).
+  double adaptation_margin = 0.8;
+  std::uint32_t request_bytes = 300;
+  std::uint32_t port = 8080;
+};
+
+/// Serves segment requests: after each request, pushes the byte count the
+/// client asked for (the request encodes the chosen rung implicitly; the
+/// server just echoes sized responses like an HTTP origin).
+class HttpVideoServer {
+ public:
+  HttpVideoServer(net::Node& node, HttpVideoConfig config, tcp::TcpConfig tcp);
+
+  HttpVideoServer(const HttpVideoServer&) = delete;
+  HttpVideoServer& operator=(const HttpVideoServer&) = delete;
+
+  std::uint64_t segments_served() const { return segments_served_; }
+
+ private:
+  net::Node& node_;
+  HttpVideoConfig config_;
+  std::unique_ptr<tcp::TcpServer> listener_;
+  std::uint64_t segments_served_ = 0;
+};
+
+/// Session measurements; input to qoe::HttpVideoQoe.
+struct HttpVideoMetrics {
+  Time startup_delay;          ///< request -> playback start
+  std::uint32_t stall_count = 0;
+  Time total_stall_time;
+  double mean_bitrate_bps = 0.0;   ///< playback-time weighted
+  std::uint32_t switch_count = 0;  ///< rung changes
+  Time clip_duration;
+  bool completed = false;
+
+  double stall_ratio() const {
+    const double play = clip_duration.sec();
+    return play > 0 ? total_stall_time.sec() / play : 0.0;
+  }
+};
+
+/// One adaptive streaming session (client side).
+class HttpVideoSession {
+ public:
+  using DoneFn = std::function<void(const HttpVideoSession&)>;
+
+  HttpVideoSession(net::Node& client, net::NodeId server,
+                   HttpVideoConfig config, tcp::TcpConfig tcp,
+                   DoneFn done = {});
+
+  HttpVideoSession(const HttpVideoSession&) = delete;
+  HttpVideoSession& operator=(const HttpVideoSession&) = delete;
+
+  void start(Time at);
+  /// Abandon the session (measurement timeout); completed() stays false.
+  void cancel();
+
+  bool finished() const { return finished_; }
+  HttpVideoMetrics metrics() const;
+
+  /// Rung chosen for each fetched segment (bit/s), for inspection.
+  const std::vector<double>& segment_bitrates() const { return rates_; }
+
+ private:
+  void begin();
+  void request_next_segment();
+  void on_data(std::uint64_t bytes);
+  void on_segment_complete();
+  void playback_tick();
+  void finish();
+
+  std::size_t pick_rung(double throughput_bps) const;
+  std::size_t total_segments() const;
+  std::uint64_t segment_bytes(std::size_t rung) const;
+
+  net::Node& client_;
+  net::NodeId server_;
+  HttpVideoConfig config_;
+  tcp::TcpConfig tcp_;
+  DoneFn done_cb_;
+
+  std::shared_ptr<tcp::TcpSocket> socket_;
+  std::size_t next_segment_ = 0;
+  std::size_t current_rung_ = 0;
+  std::uint64_t segment_remaining_ = 0;
+  Time segment_started_;
+  double last_throughput_bps_ = 0.0;
+
+  // Playback model.
+  Time media_buffered_;        ///< seconds of media downloaded, not played
+  bool playing_ = false;
+  bool started_playback_ = false;
+  Time start_time_;
+  Time playback_started_at_;
+  Time stall_started_;
+  std::uint32_t stalls_ = 0;
+  Time stall_total_;
+  std::vector<double> rates_;
+  bool finished_ = false;
+  bool download_done_ = false;
+  EventHandle tick_;
+};
+
+}  // namespace qoesim::apps

@@ -1,0 +1,76 @@
+#include "apps/video_codec.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace qoesim::apps {
+
+VideoClipProfile VideoClipProfile::interview() {
+  // Mostly static head-and-shoulders shot: I-frames dominate, P-frames are
+  // tiny and regular; almost no motion to spread decode errors.
+  return VideoClipProfile{"A-interview", 6.0, 0.20, 0.10};
+}
+
+VideoClipProfile VideoClipProfile::soccer() {
+  // Global camera pans: large, highly variable P-frames and strong error
+  // propagation through motion compensation.
+  return VideoClipProfile{"B-soccer", 2.5, 0.55, 0.45};
+}
+
+VideoClipProfile VideoClipProfile::movie() {
+  return VideoClipProfile{"C-movie", 4.0, 0.35, 0.25};
+}
+
+VideoCodecConfig VideoCodecConfig::sd(VideoClipProfile clip) {
+  VideoCodecConfig c;
+  c.resolution = VideoResolution::kSd;
+  c.bitrate_bps = 4e6;
+  c.clip = std::move(clip);
+  return c;
+}
+
+VideoCodecConfig VideoCodecConfig::hd(VideoClipProfile clip) {
+  VideoCodecConfig c;
+  c.resolution = VideoResolution::kHd;
+  c.bitrate_bps = 8e6;
+  c.clip = std::move(clip);
+  return c;
+}
+
+std::vector<EncodedFrame> encode_clip(const VideoCodecConfig& config,
+                                      RandomStream& rng) {
+  const auto total_frames = static_cast<std::uint32_t>(
+      config.duration.sec() * config.fps + 0.5);
+  const double mean_frame_bytes = config.bitrate_bps / 8.0 / config.fps;
+
+  // Solve the P-frame budget so the GoP hits the nominal bitrate:
+  // gop * mean = intra_factor * mean + (gop-1) * p_mean.
+  const double gop = config.gop_length;
+  const double p_mean_bytes =
+      mean_frame_bytes * (gop - config.clip.intra_factor) /
+      std::max(1.0, gop - 1.0);
+
+  // Log-normal multiplicative noise with the clip's CV, mean 1.
+  const double cv = config.clip.p_frame_cv;
+  const double sigma = std::sqrt(std::log(1.0 + cv * cv));
+  const double mu = -sigma * sigma / 2.0;
+
+  std::vector<EncodedFrame> frames;
+  frames.reserve(total_frames);
+  for (std::uint32_t i = 0; i < total_frames; ++i) {
+    EncodedFrame f;
+    f.index = i;
+    f.display_time = Time::seconds(static_cast<double>(i) / config.fps);
+    const bool intra = i % config.gop_length == 0;
+    f.type = intra ? qoe::FrameType::kIntra : qoe::FrameType::kPredicted;
+    const double base =
+        intra ? mean_frame_bytes * config.clip.intra_factor : p_mean_bytes;
+    const double noise = rng.lognormal(mu, sigma);
+    f.bytes = static_cast<std::uint32_t>(
+        std::max(1.0, base * (intra ? 1.0 : noise)));
+    frames.push_back(f);
+  }
+  return frames;
+}
+
+}  // namespace qoesim::apps

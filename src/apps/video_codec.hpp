@@ -1,0 +1,63 @@
+// qoesim -- H.264 frame-level traffic model (paper §8.1).
+//
+// The paper streams three 16 s clips (A: interview, B: soccer, C: movie)
+// encoded with H.264 at SD 4 Mbit/s and HD 8 Mbit/s, 32 slices per frame.
+// This model generates the frame-size sequence of such a clip: a periodic
+// GoP structure (one intra frame, then predicted frames), with per-clip
+// coding efficiency parameters (I/P size ratio, frame-size variability and
+// motion level) that determine burstiness on the wire and error spreading
+// at the decoder.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "qoe/video_quality.hpp"
+#include "sim/random.hpp"
+#include "sim/time.hpp"
+
+namespace qoesim::apps {
+
+enum class VideoResolution : std::uint8_t { kSd, kHd };
+
+struct VideoClipProfile {
+  std::string name = "C-movie";
+  /// I-frame size relative to the mean frame size.
+  double intra_factor = 4.0;
+  /// Coefficient of variation of P-frame sizes (content burstiness).
+  double p_frame_cv = 0.35;
+  /// Decoder-side motion spread (see qoe::VideoQualityParams).
+  double motion_spread = 0.25;
+
+  /// The three reference clips from §8.1.
+  static VideoClipProfile interview();  // A: static scene, low motion
+  static VideoClipProfile soccer();     // B: global motion, hard to encode
+  static VideoClipProfile movie();      // C: mixed content
+};
+
+struct VideoCodecConfig {
+  VideoResolution resolution = VideoResolution::kSd;
+  double bitrate_bps = 4e6;   ///< SD 4 Mbit/s; HD uses 8 Mbit/s
+  double fps = 25.0;
+  std::uint32_t gop_length = 25;     ///< one I-frame per second
+  std::uint16_t slices_per_frame = 32;
+  Time duration = Time::seconds(16);
+  VideoClipProfile clip = VideoClipProfile::movie();
+
+  static VideoCodecConfig sd(VideoClipProfile clip = VideoClipProfile::movie());
+  static VideoCodecConfig hd(VideoClipProfile clip = VideoClipProfile::movie());
+};
+
+struct EncodedFrame {
+  std::uint32_t index = 0;
+  qoe::FrameType type = qoe::FrameType::kPredicted;
+  std::uint32_t bytes = 0;
+  Time display_time;  ///< index / fps
+};
+
+/// Produce the deterministic (per-seed) frame sequence for one clip pass.
+std::vector<EncodedFrame> encode_clip(const VideoCodecConfig& config,
+                                      RandomStream& rng);
+
+}  // namespace qoesim::apps

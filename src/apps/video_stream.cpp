@@ -1,0 +1,120 @@
+#include "apps/video_stream.hpp"
+
+#include <algorithm>
+
+namespace qoesim::apps {
+
+VideoSession::VideoSession(net::Node& sender, net::Node& receiver,
+                           VideoSessionConfig config, std::uint32_t stream_id,
+                           RandomStream rng)
+    : sim_(sender.sim()),
+      sender_(sender),
+      receiver_(receiver),
+      config_(std::move(config)),
+      stream_id_(stream_id) {
+  tx_ = std::make_unique<udp::UdpSocket>(sender_);
+  rx_ = std::make_unique<udp::UdpSocket>(receiver_);
+  rx_->set_receive([this](net::Packet&& p) { on_receive(std::move(p)); });
+  build_plan(rng);
+}
+
+void VideoSession::build_plan(RandomStream& rng) {
+  frames_ = encode_clip(config_.codec, rng);
+  expected_.assign(frames_.size(), {});
+  received_.assign(frames_.size(), {});
+
+  for (const auto& frame : frames_) {
+    const std::uint16_t slices = config_.codec.slices_per_frame;
+    expected_[frame.index].assign(slices, 0);
+    received_[frame.index].assign(slices, 0);
+    const std::uint32_t slice_bytes =
+        std::max<std::uint32_t>(1, frame.bytes / slices);
+    for (std::uint16_t s = 0; s < slices; ++s) {
+      std::uint32_t remaining = slice_bytes;
+      while (remaining > 0) {
+        const std::uint32_t chunk = std::min(remaining, kTsPacketPayload);
+        plan_.push_back(PacketPlan{frame.index, s, chunk, frame.display_time});
+        ++expected_[frame.index][s];
+        remaining -= chunk;
+      }
+    }
+  }
+}
+
+void VideoSession::start(Time at) {
+  start_time_ = at;
+  pace_next_ = at;
+  // Reception is final once the clip duration plus a generous network
+  // flush interval has elapsed.
+  end_time_ = at + config_.codec.duration + Time::seconds(5);
+  sim_.at(at, [this] { send_next(); });
+  sim_.at(end_time_, [this] { finished_ = true; });
+}
+
+void VideoSession::send_next() {
+  if (next_packet_ >= plan_.size()) return;
+  const PacketPlan& pp = plan_[next_packet_];
+
+  // Smoothing: release no earlier than the constant-bitrate schedule, and
+  // never before the encoder produced the frame.
+  const Time frame_ready = start_time_ + pp.earliest;
+  const Time release = std::max(pace_next_ - config_.pacing_slack, frame_ready);
+  if (release > sim_.now()) {
+    sim_.at(release, [this] { send_next(); });
+    return;
+  }
+
+  net::AppTag tag;
+  tag.kind = net::AppKind::kVideo;
+  tag.stream_id = stream_id_;
+  tag.seq = static_cast<std::uint32_t>(next_packet_);
+  tag.frame = pp.frame;
+  tag.slice = pp.slice;
+  tag.created = sim_.now();
+  tx_->send_to(receiver_.id(), rx_->port(), pp.payload, tag,
+               net::kRtpHeaderBytes);
+  ++sent_;
+
+  const double wire_bits =
+      static_cast<double>(pp.payload + net::kRtpHeaderBytes +
+                          net::kUdpHeaderBytes) *
+      8.0;
+  pace_next_ = std::max(pace_next_, sim_.now()) +
+               Time::seconds(wire_bits / config_.codec.bitrate_bps);
+  ++next_packet_;
+  send_next();
+}
+
+void VideoSession::on_receive(net::Packet&& p) {
+  if (p.app.kind != net::AppKind::kVideo || p.app.stream_id != stream_id_) {
+    return;
+  }
+  if (p.app.frame >= received_.size()) return;
+  auto& slices = received_[p.app.frame];
+  if (p.app.slice >= slices.size()) return;
+  ++slices[p.app.slice];
+  ++received_total_;
+}
+
+std::vector<qoe::FrameReception> VideoSession::reception() const {
+  std::vector<qoe::FrameReception> out;
+  out.reserve(frames_.size());
+  for (const auto& frame : frames_) {
+    qoe::FrameReception fr;
+    fr.index = frame.index;
+    fr.type = frame.type;
+    fr.slices_total = config_.codec.slices_per_frame;
+    std::uint32_t got = 0;
+    for (std::uint16_t s = 0; s < fr.slices_total; ++s) {
+      const auto expect = expected_[frame.index][s];
+      const auto have = received_[frame.index][s];
+      got += have;
+      if (have < expect) fr.lost_slices.push_back(s);
+    }
+    fr.entirely_lost = got == 0;
+    out.push_back(std::move(fr));
+  }
+  return out;
+}
+
+}  // namespace qoesim::apps

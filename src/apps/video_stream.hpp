@@ -1,0 +1,96 @@
+// qoesim -- RTP/UDP video streaming session (paper §8).
+//
+// Streams an encoded clip as RTP/MPEG2-TS packets (1316 byte payloads, 7 TS
+// cells each) with sender-side smoothing: like the paper's tuned VLC, the
+// transmission is paced at the nominal clip bitrate over a configurable
+// window instead of blasting each frame instantaneously, so the stream
+// itself never exceeds the access link capacity. The receiver reconstructs
+// per-slice loss for the qoe::VideoQuality decode model. No retransmission
+// or FEC (baseline quality, §8.1).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "apps/video_codec.hpp"
+#include "net/node.hpp"
+#include "qoe/video_quality.hpp"
+#include "sim/simulation.hpp"
+#include "udp/udp_socket.hpp"
+
+namespace qoesim::apps {
+
+/// RTP payload for MPEG2-TS: 7 x 188-byte TS cells.
+inline constexpr std::uint32_t kTsPacketPayload = 1316;
+
+struct VideoSessionConfig {
+  VideoCodecConfig codec;
+  /// Pacing burst tolerance: packets may be released this far ahead of the
+  /// strict constant-bitrate schedule.
+  Time pacing_slack = Time::milliseconds(5);
+};
+
+class VideoSession {
+ public:
+  VideoSession(net::Node& sender, net::Node& receiver,
+               VideoSessionConfig config, std::uint32_t stream_id,
+               RandomStream rng);
+
+  VideoSession(const VideoSession&) = delete;
+  VideoSession& operator=(const VideoSession&) = delete;
+
+  void start(Time at);
+
+  bool finished() const { return finished_; }
+  Time end_time() const { return end_time_; }
+
+  /// Per-frame reception records (valid once finished()).
+  std::vector<qoe::FrameReception> reception() const;
+
+  std::uint64_t packets_sent() const { return sent_; }
+  std::uint64_t packets_received() const { return received_total_; }
+  double packet_loss() const {
+    return sent_ ? 1.0 - static_cast<double>(received_total_) /
+                             static_cast<double>(sent_)
+                 : 0.0;
+  }
+  const VideoCodecConfig& codec() const { return config_.codec; }
+
+ private:
+  struct PacketPlan {
+    std::uint32_t frame;
+    std::uint16_t slice;
+    std::uint32_t payload;
+    Time earliest;  ///< frame availability time (encoder output)
+  };
+
+  void build_plan(RandomStream& rng);
+  void send_next();
+  void on_receive(net::Packet&& p);
+
+  Simulation& sim_;
+  net::Node& sender_;
+  net::Node& receiver_;
+  VideoSessionConfig config_;
+  std::uint32_t stream_id_;
+
+  std::unique_ptr<udp::UdpSocket> tx_;
+  std::unique_ptr<udp::UdpSocket> rx_;
+
+  std::vector<EncodedFrame> frames_;
+  std::vector<PacketPlan> plan_;
+  // expected/received packet counts indexed [frame][slice]
+  std::vector<std::vector<std::uint16_t>> expected_;
+  std::vector<std::vector<std::uint16_t>> received_;
+
+  std::size_t next_packet_ = 0;
+  Time start_time_;
+  Time pace_next_;  ///< constant-bitrate release time of the next packet
+  Time end_time_;
+  bool finished_ = false;
+  std::uint64_t sent_ = 0;
+  std::uint64_t received_total_ = 0;
+};
+
+}  // namespace qoesim::apps

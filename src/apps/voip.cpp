@@ -1,0 +1,126 @@
+#include "apps/voip.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace qoesim::apps {
+
+VoipCall::VoipCall(net::Node& sender, net::Node& receiver, VoipConfig config,
+                   std::uint32_t stream_id)
+    : sim_(sender.sim()),
+      sender_(sender),
+      receiver_(receiver),
+      config_(config),
+      stream_id_(stream_id),
+      total_packets_(static_cast<std::uint32_t>(config.duration.ns() /
+                                                config.frame_interval.ns())) {
+  fate_.assign(total_packets_, PacketFate::kLost);
+  rx_ = std::make_unique<udp::UdpSocket>(receiver_);
+  tx_ = std::make_unique<udp::UdpSocket>(sender_);
+  rx_->set_receive([this](net::Packet&& p) { on_receive(std::move(p)); });
+}
+
+void VoipCall::start(Time at) {
+  started_ = true;
+  start_time_ = at;
+  // Metrics become final once the last packet's playout deadline passed
+  // (plus one jitter buffer of slack).
+  end_time_ = at + config_.duration + config_.jitter_buffer * 2.0 +
+              Time::seconds(1);
+  sim_.at(at, [this] { send_next(); });
+  sim_.at(end_time_, [this] { finalize(); });
+}
+
+void VoipCall::send_next() {
+  if (next_seq_ >= total_packets_) return;
+  net::AppTag tag;
+  tag.kind = net::AppKind::kVoip;
+  tag.stream_id = stream_id_;
+  tag.seq = next_seq_;
+  tag.created = sim_.now();
+  tx_->send_to(receiver_.id(), rx_->port(), config_.payload_bytes, tag,
+               net::kRtpHeaderBytes);
+  ++next_seq_;
+  if (next_seq_ < total_packets_) {
+    sim_.after(config_.frame_interval, [this] { send_next(); });
+  }
+}
+
+void VoipCall::on_receive(net::Packet&& p) {
+  if (p.app.kind != net::AppKind::kVoip || p.app.stream_id != stream_id_) {
+    return;
+  }
+  const std::uint32_t seq = p.app.seq;
+  if (seq >= total_packets_ || fate_[seq] != PacketFate::kLost) return;
+
+  ++received_;
+  const Time transit = sim_.now() - p.app.created;
+  network_delay_s_.add(transit.sec());
+
+  // RFC 3550 interarrival jitter (we can use true one-way transit times as
+  // simulation clocks are perfectly synchronized).
+  if (have_prev_transit_) {
+    const double d = std::abs(transit.sec() - prev_transit_s_);
+    jitter_s_ += (d - jitter_s_) / 16.0;
+  }
+  prev_transit_s_ = transit.sec();
+  have_prev_transit_ = true;
+
+  // Jitter buffer: playout schedule anchored on the first received packet.
+  if (!playout_anchored_) {
+    playout_anchored_ = true;
+    playout_anchor_ = sim_.now() + config_.jitter_buffer -
+                      config_.frame_interval * static_cast<double>(seq);
+  }
+  const Time deadline =
+      playout_anchor_ + config_.frame_interval * static_cast<double>(seq);
+  if (sim_.now() <= deadline) {
+    fate_[seq] = PacketFate::kPlayed;
+    ++played_;
+  } else {
+    fate_[seq] = PacketFate::kLate;
+    ++late_;
+  }
+}
+
+void VoipCall::finalize() { finished_ = true; }
+
+qoe::VoipCallMetrics VoipCall::metrics() const {
+  qoe::VoipCallMetrics m;
+  m.packets_sent = next_seq_;
+  m.packets_received = received_;
+  m.packets_played = played_;
+  m.packets_late = late_;
+  m.mean_network_delay = Time::seconds(network_delay_s_.mean());
+  m.max_network_delay = Time::seconds(network_delay_s_.max());
+  m.jitter = Time::seconds(jitter_s_);
+  // Mouth-to-ear: packetization + network + playout buffer (G.107 Ta).
+  m.mouth_to_ear_delay = config_.packetization_delay +
+                         Time::seconds(network_delay_s_.mean()) +
+                         config_.jitter_buffer;
+
+  // Loss burstiness: mean run length of un-played packets vs. the run
+  // length expected under independent (random) loss, 1/(1-p).
+  std::uint64_t bursts = 0;
+  std::uint64_t lost_total = 0;
+  bool in_burst = false;
+  for (std::uint32_t i = 0; i < next_seq_; ++i) {
+    const bool gone = fate_[i] != PacketFate::kPlayed;
+    if (gone) {
+      ++lost_total;
+      if (!in_burst) ++bursts;
+    }
+    in_burst = gone;
+  }
+  if (bursts > 0 && lost_total > 0 && next_seq_ > 0) {
+    const double p =
+        static_cast<double>(lost_total) / static_cast<double>(next_seq_);
+    const double mean_burst =
+        static_cast<double>(lost_total) / static_cast<double>(bursts);
+    const double expected_random = 1.0 / std::max(1e-9, 1.0 - p);
+    m.burst_r = std::max(1.0, mean_burst / expected_random);
+  }
+  return m;
+}
+
+}  // namespace qoesim::apps

@@ -1,0 +1,90 @@
+// qoesim -- VoIP application (paper §7).
+//
+// Models the PjSIP/RTP calls of the paper: G.711 a-law speech in 20 ms
+// frames (160 byte payload, 50 pps) over RTP/UDP, 8 second samples. The
+// receiver runs a fixed-delay jitter buffer; packets arriving after their
+// playout deadline are discarded ("late loss"). The resulting
+// VoipCallMetrics feed the PESQ-surrogate/E-Model scoring in qoe/.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "net/node.hpp"
+#include "qoe/pesq.hpp"
+#include "sim/simulation.hpp"
+#include "stats/summary.hpp"
+#include "udp/udp_socket.hpp"
+
+namespace qoesim::apps {
+
+struct VoipConfig {
+  Time frame_interval = Time::milliseconds(20);  ///< G.711 ptime
+  std::uint32_t payload_bytes = 160;             ///< 64 kbit/s * 20 ms
+  Time duration = Time::seconds(8);              ///< ITU P.862 sample length
+  Time jitter_buffer = Time::milliseconds(60);   ///< fixed playout delay
+  /// Encoder-side delay added to mouth-to-ear (packetization; G.711 has no
+  /// lookahead).
+  Time packetization_delay = Time::milliseconds(20);
+};
+
+/// One unidirectional voice stream ("user talks" or "user listens" leg).
+class VoipCall {
+ public:
+  VoipCall(net::Node& sender, net::Node& receiver, VoipConfig config,
+           std::uint32_t stream_id);
+
+  VoipCall(const VoipCall&) = delete;
+  VoipCall& operator=(const VoipCall&) = delete;
+
+  /// Begin streaming at absolute simulation time `at`.
+  void start(Time at);
+
+  /// Sender has emitted all packets and the playout horizon has passed.
+  bool finished() const { return finished_; }
+  /// Earliest time at which metrics() is final.
+  Time end_time() const { return end_time_; }
+
+  /// Final call measurements (valid once finished()).
+  qoe::VoipCallMetrics metrics() const;
+
+  std::uint32_t total_packets() const { return total_packets_; }
+
+ private:
+  enum class PacketFate : std::uint8_t { kLost, kPlayed, kLate };
+
+  void send_next();
+  void on_receive(net::Packet&& p);
+  void finalize();
+
+  Simulation& sim_;
+  net::Node& sender_;
+  net::Node& receiver_;
+  VoipConfig config_;
+  std::uint32_t stream_id_;
+  std::uint32_t total_packets_;
+
+  std::unique_ptr<udp::UdpSocket> tx_;
+  std::unique_ptr<udp::UdpSocket> rx_;
+
+  std::uint32_t next_seq_ = 0;
+  Time start_time_;
+  Time end_time_;
+  bool started_ = false;
+  bool finished_ = false;
+
+  // Receiver state.
+  bool playout_anchored_ = false;
+  Time playout_anchor_;     ///< playout time of seq 0
+  std::vector<PacketFate> fate_;
+  std::uint64_t received_ = 0;
+  std::uint64_t played_ = 0;
+  std::uint64_t late_ = 0;
+  stats::RunningStats network_delay_s_;
+  double jitter_s_ = 0.0;   ///< RFC 3550 interarrival jitter estimate
+  bool have_prev_transit_ = false;
+  double prev_transit_s_ = 0.0;
+};
+
+}  // namespace qoesim::apps

@@ -1,0 +1,107 @@
+#include "apps/web.hpp"
+
+namespace qoesim::apps {
+
+WebServer::WebServer(net::Node& node, WebPageConfig page, tcp::TcpConfig tcp)
+    : node_(node), page_(std::move(page)) {
+  listener_ = std::make_unique<tcp::TcpServer>(
+      node_, page_.port, tcp,
+      [this](std::shared_ptr<tcp::TcpSocket> sock) {
+        auto state = std::make_shared<ConnState>();
+        auto weak = std::weak_ptr<tcp::TcpSocket>(sock);
+        sock->set_callbacks({
+            .on_connected = {},
+            .on_data =
+                [this, state, weak](std::uint64_t bytes) {
+                  auto s = weak.lock();
+                  if (!s) return;
+                  state->request_buffer += bytes;
+                  while (state->request_buffer >= page_.request_bytes &&
+                         state->next_object < page_.object_bytes.size()) {
+                    state->request_buffer -= page_.request_bytes;
+                    s->send(page_.object_bytes[state->next_object]);
+                    ++state->next_object;
+                    ++requests_served_;
+                  }
+                },
+            .on_remote_close =
+                [weak] {
+                  if (auto s = weak.lock()) s->close();
+                },
+            .on_closed = {},
+        });
+      });
+}
+
+WebPageLoad::WebPageLoad(net::Node& client, net::NodeId server,
+                         WebPageConfig page, tcp::TcpConfig tcp, DoneFn done)
+    : client_(client),
+      server_(server),
+      page_(std::move(page)),
+      tcp_(tcp),
+      done_cb_(std::move(done)) {}
+
+void WebPageLoad::start(Time at) {
+  client_.sim().at(at, [this] { begin(); });
+}
+
+void WebPageLoad::begin() {
+  start_time_ = client_.sim().now();
+  socket_ = tcp::TcpSocket::connect(
+      client_, server_, page_.port, tcp_,
+      tcp::TcpSocket::Callbacks{
+          .on_connected = [this] { request_next(); },
+          .on_data = [this](std::uint64_t bytes) { on_data(bytes); },
+          .on_remote_close = {},
+          .on_closed =
+              [this] {
+                if (!done_) finish(/*failed=*/true);
+              },
+      });
+}
+
+void WebPageLoad::request_next() {
+  received_in_object_ = 0;
+  socket_->send(page_.request_bytes);
+}
+
+void WebPageLoad::on_data(std::uint64_t bytes) {
+  if (done_) return;
+  if (!got_first_byte_) {
+    got_first_byte_ = true;
+    ttfb_ = client_.sim().now() - start_time_;
+  }
+  received_in_object_ += bytes;
+  // Sequential fetch: a new request goes out only once the current object
+  // is complete (no pipelining, §9.1).
+  while (current_object_ < page_.object_bytes.size() &&
+         received_in_object_ >= page_.object_bytes[current_object_]) {
+    received_in_object_ -= page_.object_bytes[current_object_];
+    ++current_object_;
+    if (current_object_ < page_.object_bytes.size()) {
+      socket_->send(page_.request_bytes);
+    } else {
+      finish(/*failed=*/false);
+      socket_->close();
+      return;
+    }
+  }
+}
+
+void WebPageLoad::cancel() {
+  if (done_) return;
+  if (socket_) {
+    socket_->abort();  // triggers on_closed -> finish(failed)
+  }
+  if (!done_) finish(/*failed=*/true);
+}
+
+void WebPageLoad::finish(bool failed) {
+  if (done_) return;
+  done_ = true;
+  failed_ = failed;
+  plt_ = client_.sim().now() - start_time_;
+  if (done_cb_) done_cb_(*this);
+}
+
+}  // namespace qoesim::apps

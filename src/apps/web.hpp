@@ -1,0 +1,113 @@
+// qoesim -- web browsing application (paper §9).
+//
+// Reproduces the paper's wget-based page retrieval: one persistent
+// HTTP/1.0-style TCP connection fetching, sequentially and without
+// pipelining, a page of four objects (html 15 KB, css 5.8 KB, two JPEGs of
+// 30 KB). The page load time (PLT) runs from connection initiation to the
+// arrival of the last payload byte; rendering time is constant for a
+// static page and therefore omitted, as in the paper.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <vector>
+
+#include "net/node.hpp"
+#include "sim/simulation.hpp"
+#include "tcp/tcp_server.hpp"
+#include "tcp/tcp_socket.hpp"
+
+namespace qoesim::apps {
+
+struct WebPageConfig {
+  /// §9.1: html, css, and two medium JPEG images.
+  std::vector<std::uint64_t> object_bytes = {15000, 5800, 30000, 30000};
+  std::uint32_t request_bytes = 300;  ///< HTTP GET + headers
+  std::uint32_t port = 80;
+
+  std::uint64_t total_bytes() const {
+    std::uint64_t t = 0;
+    for (auto b : object_bytes) t += b;
+    return t;
+  }
+};
+
+/// Serves the configured page: after `request_bytes` of a request arrive,
+/// responds with the next object on that connection (request counter is
+/// per-connection, so sequential fetches see html, css, img, img).
+class WebServer {
+ public:
+  WebServer(net::Node& node, WebPageConfig page, tcp::TcpConfig tcp);
+
+  WebServer(const WebServer&) = delete;
+  WebServer& operator=(const WebServer&) = delete;
+
+  std::uint64_t requests_served() const { return requests_served_; }
+
+ private:
+  struct ConnState {
+    std::uint64_t request_buffer = 0;
+    std::size_t next_object = 0;
+  };
+
+  net::Node& node_;
+  WebPageConfig page_;
+  std::unique_ptr<tcp::TcpServer> listener_;
+  std::uint64_t requests_served_ = 0;
+};
+
+/// One page retrieval. Create, then start(); `done_cb` fires with the
+/// measured PLT (or with failed()==true if the transfer was aborted).
+class WebPageLoad {
+ public:
+  using DoneFn = std::function<void(const WebPageLoad&)>;
+
+  WebPageLoad(net::Node& client, net::NodeId server, WebPageConfig page,
+              tcp::TcpConfig tcp, DoneFn done = {});
+
+  WebPageLoad(const WebPageLoad&) = delete;
+  WebPageLoad& operator=(const WebPageLoad&) = delete;
+
+  void start(Time at);
+
+  /// Abandon the load (e.g. measurement timeout); records failed()==true.
+  void cancel();
+
+  bool done() const { return done_; }
+  bool failed() const { return failed_; }
+  Time page_load_time() const { return plt_; }
+  /// Time to first payload byte (a "first sign of progress" indicator).
+  Time time_to_first_byte() const { return ttfb_; }
+  const tcp::TcpStats* tcp_stats() const {
+    return socket_ ? &socket_->stats() : nullptr;
+  }
+  std::uint64_t retransmits() const {
+    return socket_ ? socket_->stats().retransmits : 0;
+  }
+
+ private:
+  void begin();
+  void request_next();
+  void on_data(std::uint64_t bytes);
+  void finish(bool failed);
+
+  net::Node& client_;
+  net::NodeId server_;
+  WebPageConfig page_;
+  tcp::TcpConfig tcp_;
+  DoneFn done_cb_;
+
+  std::shared_ptr<tcp::TcpSocket> socket_;
+  std::size_t current_object_ = 0;
+  std::uint64_t received_in_object_ = 0;
+  Time start_time_;
+  Time plt_;
+  Time ttfb_;
+  bool got_first_byte_ = false;
+  bool done_ = false;
+  bool failed_ = false;
+};
+
+}  // namespace qoesim::apps

@@ -1,0 +1,77 @@
+// qoesim -- the paper's §3 analysis pipeline.
+//
+// Implements the actual method of the paper on FlowRecords (real or
+// synthetic): only flows with >= 10 RTT samples are considered; queueing
+// delay is estimated as (max - min) sRTT, an upper bound since route
+// changes and L2 delays cannot be separated; distributions are reported
+// over a logarithmic axis (Fig. 1a/1c) plus a min-vs-max 2D histogram
+// (Fig. 1b) and the headline tail fractions.
+#pragma once
+
+#include <cstddef>
+#include <map>
+#include <vector>
+
+#include "cdn/srtt_dataset.hpp"
+#include "stats/hist2d.hpp"
+#include "stats/histogram.hpp"
+
+namespace qoesim::cdn {
+
+struct AnalysisConfig {
+  std::uint32_t min_samples = 10;    ///< flows below are excluded (§3)
+  double hist_min_ms = 1.0;
+  double hist_max_ms = 10000.0;
+  std::size_t bins_per_decade = 10;
+};
+
+struct TailFractions {
+  std::size_t flows_considered = 0;
+  double below_100ms = 0.0;   ///< paper: ~80%
+  double above_500ms = 0.0;   ///< paper: ~2.8%
+  double above_1000ms = 0.0;  ///< paper: ~1%
+};
+
+class SrttAnalysis {
+ public:
+  explicit SrttAnalysis(AnalysisConfig config = {});
+
+  void add(const FlowRecord& flow);
+  void add_all(const std::vector<FlowRecord>& flows);
+
+  /// Fig. 1a: PDFs of log(min/avg/max sRTT).
+  const stats::LogHistogram& min_rtt_pdf() const { return min_hist_; }
+  const stats::LogHistogram& avg_rtt_pdf() const { return avg_hist_; }
+  const stats::LogHistogram& max_rtt_pdf() const { return max_hist_; }
+
+  /// Fig. 1b: min vs. max sRTT per flow.
+  const stats::LogHist2D& min_vs_max() const { return min_max_hist_; }
+
+  /// Fig. 1c: estimated queueing delay PDF, overall and per technology.
+  const stats::LogHistogram& queueing_pdf() const { return queue_hist_; }
+  const stats::LogHistogram& queueing_pdf(AccessTech tech) const;
+
+  /// Headline fractions over the estimated queueing delay.
+  TailFractions tail_fractions() const;
+
+  /// The same fractions restricted to flows with min sRTT <= `proximity`
+  /// (the paper's "close to the CDN" cut: 95% < 100 ms, 99.9% < 1 s).
+  TailFractions tail_fractions_near(double proximity_ms = 100.0) const;
+
+  std::size_t flows_total() const { return flows_total_; }
+  std::size_t flows_considered() const { return considered_.size(); }
+
+ private:
+  AnalysisConfig config_;
+  std::size_t flows_total_ = 0;
+  std::vector<FlowRecord> considered_;
+
+  stats::LogHistogram min_hist_;
+  stats::LogHistogram avg_hist_;
+  stats::LogHistogram max_hist_;
+  stats::LogHist2D min_max_hist_;
+  stats::LogHistogram queue_hist_;
+  std::map<AccessTech, stats::LogHistogram> queue_by_tech_;
+};
+
+}  // namespace qoesim::cdn

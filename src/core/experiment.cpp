@@ -1,0 +1,316 @@
+#include "core/experiment.hpp"
+
+#include <algorithm>
+#include <cstdlib>
+#include <memory>
+#include <vector>
+
+#include "apps/http_video.hpp"
+#include "apps/video_stream.hpp"
+#include "apps/voip.hpp"
+#include "apps/web.hpp"
+#include "qoe/http_video_qoe.hpp"
+#include "core/testbed.hpp"
+#include "core/workloads.hpp"
+#include "qoe/g1030.hpp"
+#include "qoe/video_quality.hpp"
+
+namespace qoesim::core {
+
+ProbeBudget ProbeBudget::from_env() {
+  ProbeBudget b;
+  if (const char* scale_env = std::getenv("QOESIM_SCALE")) {
+    const double f = std::atof(scale_env);
+    if (f > 0.0) b = b.scaled(f);
+  }
+  return b;
+}
+
+ProbeBudget ProbeBudget::scaled(double factor) const {
+  ProbeBudget b = *this;
+  b.voip_calls = std::max(1, static_cast<int>(voip_calls * factor + 0.5));
+  b.video_reps = std::max(1, static_cast<int>(video_reps * factor + 0.5));
+  b.web_loads = std::max(2, static_cast<int>(web_loads * factor + 0.5));
+  b.qos_duration = qos_duration * std::max(0.25, factor);
+  return b;
+}
+
+double VoipCell::median_mos_talks() const {
+  return mos_talks.empty() ? 1.0 : mos_talks.median();
+}
+double VoipCell::median_mos_listens() const {
+  return mos_listens.empty() ? 1.0 : mos_listens.median();
+}
+double VideoCell::median_ssim() const {
+  return ssim.empty() ? 0.0 : ssim.median();
+}
+double VideoCell::median_mos() const { return mos.empty() ? 1.0 : mos.median(); }
+double WebCell::median_plt_s() const {
+  return plt_s.empty() ? 0.0 : plt_s.median();
+}
+double WebCell::median_mos() const { return mos.empty() ? 1.0 : mos.median(); }
+
+QosCell ExperimentRunner::run_qos(const ScenarioConfig& config) const {
+  Testbed testbed(config);
+  Workload workload(testbed);
+
+  const Time end = budget_.warmup + budget_.qos_duration;
+  testbed.sim().run_until(end);
+
+  QosCell cell;
+  cell.mean_delay_down_ms = testbed.down_monitor().mean_queue_delay_s() * 1e3;
+  cell.mean_delay_up_ms = testbed.up_monitor().mean_queue_delay_s() * 1e3;
+  cell.util_down_bins = testbed.down_monitor().utilization(budget_.warmup, end);
+  cell.util_up_bins = testbed.up_monitor().utilization(budget_.warmup, end);
+  cell.util_down_mean =
+      cell.util_down_bins.empty() ? 0.0 : cell.util_down_bins.mean();
+  cell.util_down_sd =
+      cell.util_down_bins.empty() ? 0.0 : cell.util_down_bins.stddev();
+  cell.util_up_mean = cell.util_up_bins.empty() ? 0.0 : cell.util_up_bins.mean();
+  cell.util_up_sd = cell.util_up_bins.empty() ? 0.0 : cell.util_up_bins.stddev();
+  cell.loss_down = testbed.down_monitor().loss_rate();
+  cell.loss_up = testbed.up_monitor().loss_rate();
+  cell.concurrent_flows = workload.mean_concurrent_flows(end);
+  return cell;
+}
+
+VoipCell ExperimentRunner::run_voip(const ScenarioConfig& config,
+                                    bool bidirectional) const {
+  Testbed testbed(config);
+  Workload workload(testbed);
+
+  apps::VoipConfig voip;
+  const Time per_call = voip.duration + budget_.probe_gap +
+                        voip.jitter_buffer * 2.0 + Time::seconds(1);
+
+  struct CallPair {
+    std::unique_ptr<apps::VoipCall> listen;  // server -> client
+    std::unique_ptr<apps::VoipCall> talk;    // client -> server
+  };
+  std::vector<CallPair> calls;
+  Time last_end = budget_.warmup;
+  for (int i = 0; i < budget_.voip_calls; ++i) {
+    const Time start = budget_.warmup + per_call * static_cast<double>(i);
+    CallPair pair;
+    pair.listen = std::make_unique<apps::VoipCall>(
+        testbed.probe_server(), testbed.probe_client(), voip,
+        static_cast<std::uint32_t>(2 * i));
+    pair.listen->start(start);
+    if (bidirectional) {
+      pair.talk = std::make_unique<apps::VoipCall>(
+          testbed.probe_client(), testbed.probe_server(), voip,
+          static_cast<std::uint32_t>(2 * i + 1));
+      pair.talk->start(start);
+    }
+    last_end = std::max(last_end, pair.listen->end_time());
+    calls.push_back(std::move(pair));
+  }
+
+  testbed.sim().run_until(last_end + Time::seconds(1));
+
+  VoipCell cell;
+  for (const auto& pair : calls) {
+    auto m_listen = pair.listen->metrics();
+    qoe::VoipCallMetrics m_talk;
+    if (pair.talk) m_talk = pair.talk->metrics();
+
+    // Conversational delay: the E-Model's Ta expresses how delayed the
+    // interaction is; with asymmetric paths we use the mean of the two
+    // one-way mouth-to-ear delays, so uplink bloat degrades both legs
+    // (paper §7.2 "upload activity").
+    Time ta = m_listen.mouth_to_ear_delay;
+    if (pair.talk) {
+      ta = (m_listen.mouth_to_ear_delay + m_talk.mouth_to_ear_delay) / 2.0;
+    }
+    auto scored_listen = m_listen;
+    scored_listen.mouth_to_ear_delay = ta;
+    cell.mos_listens.add(qoe::VoipQoe::score(scored_listen).mos);
+    cell.loss_listens.add(m_listen.effective_loss());
+    cell.delay_listens_ms.add(m_listen.mean_network_delay.ms());
+
+    if (pair.talk) {
+      auto scored_talk = m_talk;
+      scored_talk.mouth_to_ear_delay = ta;
+      cell.mos_talks.add(qoe::VoipQoe::score(scored_talk).mos);
+      cell.loss_talks.add(m_talk.effective_loss());
+      cell.delay_talks_ms.add(m_talk.mean_network_delay.ms());
+    }
+  }
+  (void)workload;
+  return cell;
+}
+
+VideoCell ExperimentRunner::run_video(const ScenarioConfig& config,
+                                      const apps::VideoCodecConfig& codec) const {
+  Testbed testbed(config);
+  Workload workload(testbed);
+
+  apps::VideoSessionConfig session_config;
+  session_config.codec = codec;
+
+  std::vector<std::unique_ptr<apps::VideoSession>> sessions;
+  Time last_end = budget_.warmup;
+  auto rng = testbed.sim().rng("video-probe");
+  for (int i = 0; i < budget_.video_reps; ++i) {
+    auto session = std::make_unique<apps::VideoSession>(
+        testbed.probe_server(), testbed.probe_client(), session_config,
+        static_cast<std::uint32_t>(i), rng);
+    const Time start =
+        budget_.warmup +
+        (codec.duration + budget_.probe_gap + Time::seconds(5)) *
+            static_cast<double>(i);
+    session->start(start);
+    last_end = std::max(last_end, session->end_time());
+    sessions.push_back(std::move(session));
+  }
+
+  testbed.sim().run_until(last_end + Time::seconds(1));
+
+  qoe::VideoQualityParams params =
+      codec.resolution == apps::VideoResolution::kHd
+          ? qoe::VideoQualityParams::hd()
+          : qoe::VideoQualityParams::sd();
+  params.motion_spread = codec.clip.motion_spread;
+
+  VideoCell cell;
+  for (const auto& session : sessions) {
+    const auto score = qoe::VideoQuality::evaluate(session->reception(), params);
+    cell.ssim.add(score.ssim);
+    cell.mos.add(score.mos);
+    cell.packet_loss.add(session->packet_loss());
+  }
+  (void)workload;
+  return cell;
+}
+
+WebCell ExperimentRunner::run_web(const ScenarioConfig& config) const {
+  Testbed testbed(config);
+  Workload workload(testbed);
+
+  apps::WebPageConfig page;
+  tcp::TcpConfig probe_tcp;
+  probe_tcp.cc = config.tcp_cc;
+  apps::WebServer server(testbed.probe_server(), page, probe_tcp);
+
+  const qoe::G1030 model = config.testbed == TestbedType::kAccess
+                               ? qoe::G1030::access_profile()
+                               : qoe::G1030::backbone_profile();
+
+  WebCell cell;
+  std::vector<std::unique_ptr<apps::WebPageLoad>> loads;
+  auto& sim = testbed.sim();
+
+  // Sequential loads: each starts `probe_gap` after the previous finished
+  // (or timed out). Implemented as a self-continuing event chain.
+  struct Driver {
+    ExperimentRunner const* runner;
+    Testbed* testbed;
+    apps::WebPageConfig page;
+    tcp::TcpConfig tcp;
+    std::vector<std::unique_ptr<apps::WebPageLoad>>* loads;
+    WebCell* cell;
+    const qoe::G1030* model;
+    int remaining = 0;
+
+    void start_next() {
+      if (remaining <= 0) return;
+      --remaining;
+      auto& sim = testbed->sim();
+      auto* self = this;
+      auto load = std::make_unique<apps::WebPageLoad>(
+          testbed->probe_client(), testbed->probe_server().id(), page, tcp,
+          [self](const apps::WebPageLoad& done) {
+            self->record(done);
+            self->testbed->sim().after(self->runner->budget().probe_gap,
+                                       [self] { self->start_next(); });
+          });
+      apps::WebPageLoad* raw = load.get();
+      load->start(sim.now());
+      // Timeout guard: abandon the load if it exceeds the budget.
+      sim.after(runner->budget().web_timeout, [raw, self] {
+        if (!raw->done()) {
+          ++self->cell->timeouts;
+          raw->cancel();
+        }
+      });
+      loads->push_back(std::move(load));
+    }
+
+    void record(const apps::WebPageLoad& load) {
+      const Time plt = load.failed() ? runner->budget().web_timeout
+                                     : load.page_load_time();
+      cell->plt_s.add(plt.sec());
+      cell->mos.add(model->mos(plt));
+      cell->retransmits.add(static_cast<double>(load.retransmits()));
+    }
+  };
+
+  Driver driver{this, &testbed, page,  probe_tcp,
+                &loads, &cell,  &model, budget_.web_loads};
+  sim.at(budget_.warmup, [&driver] { driver.start_next(); });
+
+  // Upper bound on the run: warmup + loads * (timeout + gap). Stop early
+  // once all loads are recorded (background generators would otherwise
+  // keep the event queue alive forever).
+  const Time horizon =
+      budget_.warmup +
+      (budget_.web_timeout + budget_.probe_gap) *
+          static_cast<double>(budget_.web_loads) +
+      Time::seconds(5);
+  while (sim.now() < horizon &&
+         cell.plt_s.count() < static_cast<std::size_t>(budget_.web_loads)) {
+    sim.run_until(std::min(horizon, sim.now() + Time::seconds(1)));
+  }
+  (void)workload;
+  (void)server;
+  return cell;
+}
+
+
+HttpVideoCell ExperimentRunner::run_http_video(
+    const ScenarioConfig& config) const {
+  Testbed testbed(config);
+  Workload workload(testbed);
+
+  apps::HttpVideoConfig has;
+  tcp::TcpConfig probe_tcp;
+  probe_tcp.cc = config.tcp_cc;
+  apps::HttpVideoServer server(testbed.probe_server(), has, probe_tcp);
+
+  HttpVideoCell cell;
+  auto& sim = testbed.sim();
+  // Sessions run sequentially, like the repeated clips of Fig. 9; a
+  // session that has not finished within 3x its clip duration is
+  // abandoned (a real viewer would have left).
+  const Time session_budget = has.clip_duration * 3.0;
+  const int reps = std::max(1, budget_.video_reps);
+  Time at = budget_.warmup;
+  std::vector<std::unique_ptr<apps::HttpVideoSession>> sessions;
+  for (int i = 0; i < reps; ++i) {
+    auto session = std::make_unique<apps::HttpVideoSession>(
+        testbed.probe_client(), testbed.probe_server().id(), has, probe_tcp);
+    session->start(at);
+    apps::HttpVideoSession* raw = session.get();
+    sim.at(at + session_budget, [raw] {
+      if (!raw->finished()) raw->cancel();
+    });
+    at += session_budget + budget_.probe_gap;
+    sessions.push_back(std::move(session));
+  }
+  sim.run_until(at + Time::seconds(1));
+
+  for (const auto& session : sessions) {
+    const auto m = session->metrics();
+    const auto score = qoe::HttpVideoQoe::score(m, has);
+    cell.mos.add(score.mos);
+    cell.mean_bitrate_mbps.add(m.mean_bitrate_bps / 1e6);
+    cell.stall_seconds.add(m.total_stall_time.sec());
+    cell.startup_seconds.add(m.startup_delay.sec());
+    if (!m.completed) ++cell.abandoned;
+  }
+  (void)workload;
+  (void)server;
+  return cell;
+}
+
+}  // namespace qoesim::core

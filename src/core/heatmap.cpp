@@ -1,0 +1,63 @@
+#include "core/heatmap.hpp"
+
+#include <cstdio>
+
+namespace qoesim::core {
+
+std::vector<std::string> buffer_columns(const std::vector<std::size_t>& sizes) {
+  std::vector<std::string> out;
+  out.reserve(sizes.size());
+  for (auto s : sizes) out.push_back(std::to_string(s));
+  return out;
+}
+
+std::vector<WorkloadType> rows_with_baseline(TestbedType testbed) {
+  std::vector<WorkloadType> rows{WorkloadType::kNoBg};
+  const auto wl = testbed == TestbedType::kAccess ? access_workloads()
+                                                  : backbone_workloads();
+  rows.insert(rows.end(), wl.begin(), wl.end());
+  return rows;
+}
+
+void append_grid(stats::HeatmapTable& table, const std::string& group_label,
+                 const std::vector<WorkloadType>& workloads,
+                 const std::vector<std::size_t>& buffers, const CellFn& fn) {
+  if (!group_label.empty()) table.add_group(group_label);
+  for (auto workload : workloads) {
+    std::vector<stats::HeatCell> cells;
+    cells.reserve(buffers.size());
+    for (auto buffer : buffers) cells.push_back(fn(workload, buffer));
+    table.add_row(to_string(workload), std::move(cells));
+  }
+}
+
+stats::HeatmapTable build_grid(const std::string& title,
+                               const std::vector<WorkloadType>& workloads,
+                               const std::vector<std::size_t>& buffers,
+                               const CellFn& fn) {
+  stats::HeatmapTable table(title, buffer_columns(buffers));
+  append_grid(table, "", workloads, buffers, fn);
+  return table;
+}
+
+namespace {
+std::string fmt(const char* format, double value) {
+  char buf[48];
+  std::snprintf(buf, sizeof(buf), format, value);
+  return buf;
+}
+}  // namespace
+
+std::string format_mos(double mos) { return fmt("%.1f", mos); }
+std::string format_ssim(double ssim) { return fmt("%.2f", ssim); }
+
+std::string format_plt(double seconds) {
+  return fmt("%.1fs", seconds);
+}
+
+std::string format_ms(double ms) {
+  if (ms < 10) return fmt("%.1f", ms);
+  return fmt("%.0f", ms);
+}
+
+}  // namespace qoesim::core

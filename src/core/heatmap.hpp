@@ -1,0 +1,46 @@
+// qoesim -- heatmap grid assembly for the paper's figures.
+//
+// All evaluation figures share one layout: buffer sizes on the x-axis,
+// workloads on the y-axis (noBG baseline first), optionally split into two
+// groups (user talks/listens, SD/HD, uplink/downlink). build_grid runs a
+// cell function over the grid and renders a stats::HeatmapTable.
+#pragma once
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "core/scenario.hpp"
+#include "stats/table.hpp"
+
+namespace qoesim::core {
+
+/// Column labels "8", "16", ... from a buffer catalog.
+std::vector<std::string> buffer_columns(const std::vector<std::size_t>& sizes);
+
+/// Row set for a figure: noBG baseline plus the testbed's workloads.
+std::vector<WorkloadType> rows_with_baseline(TestbedType testbed);
+
+using CellFn =
+    std::function<stats::HeatCell(WorkloadType workload, std::size_t buffer)>;
+
+/// Evaluate `fn` over workloads x buffers and assemble the table. When
+/// `group_label` is non-empty a group header row is inserted first (used
+/// to stack two grids into one figure, e.g. SD over HD).
+void append_grid(stats::HeatmapTable& table, const std::string& group_label,
+                 const std::vector<WorkloadType>& workloads,
+                 const std::vector<std::size_t>& buffers, const CellFn& fn);
+
+/// Convenience: single-group figure.
+stats::HeatmapTable build_grid(const std::string& title,
+                               const std::vector<WorkloadType>& workloads,
+                               const std::vector<std::size_t>& buffers,
+                               const CellFn& fn);
+
+/// Format helpers used across the benches.
+std::string format_mos(double mos);
+std::string format_ssim(double ssim);
+std::string format_plt(double seconds);
+std::string format_ms(double ms);
+
+}  // namespace qoesim::core

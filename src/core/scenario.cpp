@@ -1,0 +1,169 @@
+#include "core/scenario.hpp"
+
+#include <sstream>
+#include <stdexcept>
+
+namespace qoesim::core {
+
+const char* to_string(TestbedType t) {
+  switch (t) {
+    case TestbedType::kAccess: return "access";
+    case TestbedType::kBackbone: return "backbone";
+  }
+  return "?";
+}
+
+const char* to_string(WorkloadType w) {
+  switch (w) {
+    case WorkloadType::kNoBg: return "noBG";
+    case WorkloadType::kShortFew: return "short-few";
+    case WorkloadType::kShortMany: return "short-many";
+    case WorkloadType::kLongFew: return "long-few";
+    case WorkloadType::kLongMany: return "long-many";
+    case WorkloadType::kShortLow: return "short-low";
+    case WorkloadType::kShortMedium: return "short-medium";
+    case WorkloadType::kShortHigh: return "short-high";
+    case WorkloadType::kShortOverload: return "short-overload";
+    case WorkloadType::kLong: return "long";
+  }
+  return "?";
+}
+
+const char* to_string(CongestionDirection d) {
+  switch (d) {
+    case CongestionDirection::kDownstream: return "downstream";
+    case CongestionDirection::kUpstream: return "upstream";
+    case CongestionDirection::kBidirectional: return "bidirectional";
+  }
+  return "?";
+}
+
+std::vector<std::size_t> access_buffer_sizes() {
+  return {8, 16, 32, 64, 128, 256};
+}
+
+std::vector<std::size_t> backbone_buffer_sizes() {
+  return {8, 28, 749, 7490};
+}
+
+std::string buffer_scheme_label(TestbedType testbed, std::size_t packets,
+                                bool uplink) {
+  if (testbed == TestbedType::kAccess) {
+    if (uplink) {
+      if (packets == 8) return "~BDP";
+      if (packets == 256) return "max";
+    } else {
+      if (packets == 8) return "min";
+      if (packets == 64) return "~BDP";
+      if (packets == 256) return "max";
+    }
+    return "";
+  }
+  switch (packets) {
+    case 8: return "~TinyBuf";
+    case 28: return "Stanford";
+    case 749: return "BDP";
+    case 7490: return "10xBDP";
+    default: return "";
+  }
+}
+
+Time buffer_drain_delay(std::size_t packets, double rate_bps,
+                        std::uint32_t packet_bytes) {
+  return Time::seconds(static_cast<double>(packets) *
+                       static_cast<double>(packet_bytes) * 8.0 / rate_bps);
+}
+
+std::vector<WorkloadType> access_workloads() {
+  return {WorkloadType::kLongFew, WorkloadType::kLongMany,
+          WorkloadType::kShortFew, WorkloadType::kShortMany};
+}
+
+std::vector<WorkloadType> backbone_workloads() {
+  return {WorkloadType::kShortLow, WorkloadType::kShortMedium,
+          WorkloadType::kShortHigh, WorkloadType::kShortOverload,
+          WorkloadType::kLong};
+}
+
+WorkloadSpec workload_spec(TestbedType testbed, WorkloadType workload,
+                           CongestionDirection direction) {
+  WorkloadSpec spec;
+  if (workload == WorkloadType::kNoBg) return spec;
+
+  if (testbed == TestbedType::kAccess) {
+    spec.interarrival_mean_s = 2.0;  // exp-a (Table 1)
+    spec.parallel_streams = 4;
+    const bool up = direction != CongestionDirection::kDownstream;
+    const bool down = direction != CongestionDirection::kUpstream;
+    switch (workload) {
+      case WorkloadType::kShortFew:
+        spec.harpoon = true;
+        spec.sessions_up = up ? 1 : 0;
+        spec.sessions_down = down ? 8 : 0;
+        break;
+      case WorkloadType::kShortMany:
+        spec.harpoon = true;
+        spec.sessions_up = up ? 1 : 0;
+        spec.sessions_down = down ? 16 : 0;
+        break;
+      case WorkloadType::kLongFew:
+        spec.flows_up = up ? 1 : 0;
+        spec.flows_down = down ? 8 : 0;
+        break;
+      case WorkloadType::kLongMany:
+        spec.flows_up = up ? 8 : 0;
+        spec.flows_down = down ? 64 : 0;
+        break;
+      default:
+        throw std::invalid_argument("workload_spec: not an access workload");
+    }
+    return spec;
+  }
+
+  // Backbone: server -> client transfers only (§5.1); "3 * N" sessions.
+  spec.interarrival_mean_s = 1.0;  // exp-b
+  spec.parallel_streams = 2;
+  switch (workload) {
+    case WorkloadType::kShortLow:
+      spec.harpoon = true;
+      spec.sessions_down = 3 * 10;
+      break;
+    case WorkloadType::kShortMedium:
+      spec.harpoon = true;
+      spec.sessions_down = 3 * 30;
+      break;
+    case WorkloadType::kShortHigh:
+      spec.harpoon = true;
+      spec.sessions_down = 3 * 60;
+      break;
+    case WorkloadType::kShortOverload:
+      spec.harpoon = true;
+      spec.sessions_down = 3 * 256;
+      break;
+    case WorkloadType::kLong:
+      spec.flows_down = 3 * 256;
+      break;
+    default:
+      throw std::invalid_argument("workload_spec: not a backbone workload");
+  }
+  return spec;
+}
+
+tcp::CcKind default_cc(TestbedType testbed) {
+  // §5.2: TCP-Reno on the backbone hosts (older kernel), BIC/CUBIC on the
+  // access hosts; we default the access side to CUBIC.
+  return testbed == TestbedType::kAccess ? tcp::CcKind::kCubic
+                                         : tcp::CcKind::kReno;
+}
+
+std::string ScenarioConfig::label() const {
+  std::ostringstream out;
+  out << to_string(testbed) << "/" << to_string(workload);
+  if (testbed == TestbedType::kAccess && workload != WorkloadType::kNoBg) {
+    out << "/" << to_string(direction);
+  }
+  out << "/buf=" << buffer_packets;
+  return out.str();
+}
+
+}  // namespace qoesim::core

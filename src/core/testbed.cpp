@@ -1,0 +1,97 @@
+#include "core/testbed.hpp"
+
+namespace qoesim::core {
+
+Testbed::Testbed(const ScenarioConfig& config)
+    : config_(config), sim_(config.seed), topo_(sim_) {
+  if (config_.testbed == TestbedType::kAccess) {
+    build_access();
+  } else {
+    build_backbone();
+  }
+  topo_.compute_routes();
+}
+
+void Testbed::build_access() {
+  const AccessParams& p = config_.access;
+
+  auto& dslam = topo_.add_node("dslam");
+  auto& home = topo_.add_node("home-router");
+
+  // Bottleneck: asymmetric DSL line. The scenario's buffer size applies to
+  // both bottleneck interfaces, as in the paper's NetFPGA configuration.
+  net::LinkSpec down;
+  down.rate_bps = p.downlink_bps;
+  down.delay = Time::microseconds(100);  // line propagation, negligible
+  down.buffer_packets = config_.buffer_packets;
+  down.queue = config_.queue;
+  down.name = "dsl-down";
+  net::LinkSpec up = down;
+  up.rate_bps = p.uplink_bps;
+  up.name = "dsl-up";
+  auto dsl = topo_.connect(dslam, home, down, up);
+  bottleneck_down_ = dsl.forward;
+  bottleneck_up_ = dsl.backward;
+
+  // Two hosts per side (multimedia probe host + background traffic host).
+  for (int i = 0; i < 2; ++i) {
+    auto& server = topo_.add_node("server" + std::to_string(i));
+    net::LinkSpec host;
+    host.rate_bps = p.host_link_bps;
+    host.delay = p.server_side_delay;  // hardware delay box (20 ms)
+    host.buffer_packets = p.host_buffer_packets;
+    topo_.connect(server, dslam, host, host);
+    servers_.push_back(&server);
+
+    auto& client = topo_.add_node("client" + std::to_string(i));
+    net::LinkSpec access;
+    access.rate_bps = p.host_link_bps;
+    access.delay = p.client_side_delay;  // 5 ms (DSL interleaving)
+    access.buffer_packets = p.host_buffer_packets;
+    topo_.connect(home, client, access, access);
+    clients_.push_back(&client);
+  }
+
+  down_monitor_ = std::make_unique<net::LinkMonitor>(*bottleneck_down_);
+  up_monitor_ = std::make_unique<net::LinkMonitor>(*bottleneck_up_);
+  base_rtt_ = (p.client_side_delay + p.server_side_delay) * 2.0 +
+              Time::microseconds(200);
+}
+
+void Testbed::build_backbone() {
+  const BackboneParams& p = config_.backbone;
+
+  auto& gsr_left = topo_.add_node("gsr-left");
+  auto& gsr_right = topo_.add_node("gsr-right");
+
+  // OC3 bottleneck with the NetPath delay box (30 ms one-way).
+  net::LinkSpec oc3;
+  oc3.rate_bps = p.bottleneck_bps;
+  oc3.delay = p.one_way_delay;
+  oc3.buffer_packets = config_.buffer_packets;
+  oc3.queue = config_.queue;
+  oc3.name = "oc3";
+  auto link = topo_.connect(gsr_left, gsr_right, oc3, oc3);
+  bottleneck_down_ = link.forward;
+  bottleneck_up_ = link.backward;
+
+  for (std::size_t i = 0; i < p.hosts_per_side; ++i) {
+    auto& server = topo_.add_node("server" + std::to_string(i));
+    net::LinkSpec host;
+    host.rate_bps = p.host_link_bps;
+    host.delay = Time::microseconds(50);
+    host.buffer_packets = p.host_buffer_packets;
+    topo_.connect(server, gsr_left, host, host);
+    servers_.push_back(&server);
+
+    auto& client = topo_.add_node("client" + std::to_string(i));
+    topo_.connect(gsr_right, client, host, host);
+    clients_.push_back(&client);
+  }
+
+  down_monitor_ = std::make_unique<net::LinkMonitor>(*bottleneck_down_);
+  up_monitor_ = std::make_unique<net::LinkMonitor>(*bottleneck_up_);
+  base_rtt_ = p.one_way_delay * 2.0 + Time::microseconds(200);
+}
+
+}  // namespace qoesim::core

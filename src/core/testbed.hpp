@@ -1,0 +1,66 @@
+// qoesim -- testbed construction (paper Fig. 3).
+//
+// Builds the two dumbbell topologies with the scenario's buffer size at the
+// bottleneck interfaces and attaches utilization/loss monitors there.
+// Access (Fig. 3a): server hosts --20ms-- DSLAM ==16/1 Mbit/s== home router
+// --5ms-- client hosts. Backbone (Fig. 3b): 4+4 hosts behind two routers
+// joined by an OC3 with a 30 ms delay box.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "core/scenario.hpp"
+#include "net/monitors.hpp"
+#include "net/topology.hpp"
+#include "sim/simulation.hpp"
+
+namespace qoesim::core {
+
+class Testbed {
+ public:
+  explicit Testbed(const ScenarioConfig& config);
+
+  Testbed(const Testbed&) = delete;
+  Testbed& operator=(const Testbed&) = delete;
+
+  Simulation& sim() { return sim_; }
+  net::Topology& topology() { return topo_; }
+  const ScenarioConfig& config() const { return config_; }
+
+  /// Host roles. "Servers" are the left/upstream side (data sources for
+  /// downloads), "clients" the right/downstream side.
+  const std::vector<net::Node*>& servers() const { return servers_; }
+  const std::vector<net::Node*>& clients() const { return clients_; }
+
+  /// Probe endpoints (paper: dedicated multimedia hosts).
+  net::Node& probe_server() { return *servers_.front(); }
+  net::Node& probe_client() { return *clients_.front(); }
+
+  /// Bottleneck links. "down" carries server->client traffic; "up" the
+  /// reverse. On the backbone both directions are OC3.
+  net::Link& bottleneck_down() { return *bottleneck_down_; }
+  net::Link& bottleneck_up() { return *bottleneck_up_; }
+  net::LinkMonitor& down_monitor() { return *down_monitor_; }
+  net::LinkMonitor& up_monitor() { return *up_monitor_; }
+
+  /// Nominal round-trip time between probe endpoints (propagation only).
+  Time base_rtt() const { return base_rtt_; }
+
+ private:
+  void build_access();
+  void build_backbone();
+
+  ScenarioConfig config_;
+  Simulation sim_;
+  net::Topology topo_;
+  std::vector<net::Node*> servers_;
+  std::vector<net::Node*> clients_;
+  net::Link* bottleneck_down_ = nullptr;
+  net::Link* bottleneck_up_ = nullptr;
+  std::unique_ptr<net::LinkMonitor> down_monitor_;
+  std::unique_ptr<net::LinkMonitor> up_monitor_;
+  Time base_rtt_;
+};
+
+}  // namespace qoesim::core

@@ -1,0 +1,43 @@
+// qoesim -- instantiate Table 1 background workloads on a testbed.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "core/testbed.hpp"
+#include "trafficgen/harpoon.hpp"
+#include "trafficgen/long_flows.hpp"
+
+namespace qoesim::core {
+
+/// Owns the traffic generators driving one scenario. Keep alive for the
+/// duration of the simulation run.
+class Workload {
+ public:
+  /// Build and start the generators described by the testbed's scenario.
+  explicit Workload(Testbed& testbed);
+
+  Workload(const Workload&) = delete;
+  Workload& operator=(const Workload&) = delete;
+
+  /// Mean number of concurrent background flows (Table 1 column).
+  double mean_concurrent_flows(Time now) const;
+  std::uint64_t flows_started() const;
+  std::uint64_t flows_completed() const;
+
+  const std::vector<std::unique_ptr<trafficgen::HarpoonGenerator>>& harpoons()
+      const {
+    return harpoons_;
+  }
+  const std::vector<std::unique_ptr<trafficgen::LongFlowGenerator>>&
+  long_flows() const {
+    return long_flow_gens_;
+  }
+
+ private:
+  std::vector<std::unique_ptr<trafficgen::HarpoonGenerator>> harpoons_;
+  std::vector<std::unique_ptr<trafficgen::LongFlowGenerator>> long_flow_gens_;
+  std::size_t long_flow_count_ = 0;
+};
+
+}  // namespace qoesim::core

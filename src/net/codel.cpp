@@ -1,0 +1,98 @@
+#include "net/codel.hpp"
+
+#include <cmath>
+
+namespace qoesim::net {
+
+CoDelQueue::CoDelQueue(std::size_t capacity_packets, CoDelParams params)
+    : QueueDiscipline(capacity_packets), params_(params) {}
+
+bool CoDelQueue::do_enqueue(Packet&& p, Time /*now*/) {
+  if (q_.size() >= capacity_) {
+    count_drop(p);
+    return false;
+  }
+  bytes_ += p.size_bytes;
+  q_.push_back(std::move(p));
+  return true;
+}
+
+Time CoDelQueue::control_law(Time t) const {
+  return t + params_.interval / std::sqrt(static_cast<double>(drop_count_));
+}
+
+std::optional<Packet> CoDelQueue::pop_head(Time now, bool& ok_sojourn) {
+  if (q_.empty()) {
+    first_above_time_ = Time::zero();
+    ok_sojourn = true;
+    return std::nullopt;
+  }
+  Packet p = std::move(q_.front());
+  q_.pop_front();
+  bytes_ -= p.size_bytes;
+
+  const Time sojourn = now - p.enqueued_at;
+  if (sojourn < params_.target || bytes_ <= kMtuBytes) {
+    first_above_time_ = Time::zero();
+    ok_sojourn = true;
+  } else {
+    if (first_above_time_.is_zero()) {
+      first_above_time_ = now + params_.interval;
+      ok_sojourn = true;
+    } else {
+      ok_sojourn = now < first_above_time_;
+    }
+  }
+  return p;
+}
+
+std::optional<Packet> CoDelQueue::do_dequeue(Time now) {
+  bool ok = true;
+  auto p = pop_head(now, ok);
+  if (!p) {
+    dropping_ = false;
+    return std::nullopt;
+  }
+
+  if (dropping_) {
+    if (ok) {
+      dropping_ = false;
+    } else {
+      while (now >= drop_next_ && dropping_) {
+        count_drop(*p);
+        ++drop_count_;
+        p = pop_head(now, ok);
+        if (!p) {
+          dropping_ = false;
+          return std::nullopt;
+        }
+        if (ok) {
+          dropping_ = false;
+        } else {
+          drop_next_ = control_law(drop_next_);
+        }
+      }
+    }
+  } else if (!ok) {
+    // Sojourn has been above target for a full interval: enter dropping
+    // state, drop this packet, and deliver the next.
+    count_drop(*p);
+    ++drop_count_;
+    bool ok2 = true;
+    p = pop_head(now, ok2);
+    dropping_ = true;
+    // Restart drop count from recent history (hysteresis from the paper).
+    if (drop_count_ > last_drop_count_ + 2) {
+      drop_count_ = 2;
+    }
+    last_drop_count_ = drop_count_;
+    drop_next_ = control_law(now);
+    if (!p) {
+      dropping_ = false;
+      return std::nullopt;
+    }
+  }
+  return p;
+}
+
+}  // namespace qoesim::net

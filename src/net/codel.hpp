@@ -1,0 +1,48 @@
+// qoesim -- CoDel (Controlled Delay) AQM, Nichols & Jacobson 2012.
+//
+// The paper cites CoDel as the AQM response to bufferbloat; this
+// implementation follows the ACM Queue pseudocode: drop head-of-line
+// packets while sojourn time has exceeded `target` for at least `interval`,
+// with the drop spacing shrinking as interval/sqrt(drop_count).
+#pragma once
+
+#include <deque>
+
+#include "net/queue.hpp"
+
+namespace qoesim::net {
+
+struct CoDelParams {
+  Time target = Time::milliseconds(5);
+  Time interval = Time::milliseconds(100);
+};
+
+class CoDelQueue final : public QueueDiscipline {
+ public:
+  explicit CoDelQueue(std::size_t capacity_packets, CoDelParams params = {});
+
+  std::size_t packet_count() const override { return q_.size(); }
+  std::size_t byte_count() const override { return bytes_; }
+  std::string name() const override { return "CoDel"; }
+
+ protected:
+  bool do_enqueue(Packet&& p, Time now) override;
+  std::optional<Packet> do_dequeue(Time now) override;
+
+ private:
+  /// Pop the head and check whether its sojourn is below target.
+  std::optional<Packet> pop_head(Time now, bool& ok_sojourn);
+  Time control_law(Time t) const;
+
+  CoDelParams params_;
+  std::deque<Packet> q_;
+  std::size_t bytes_ = 0;
+
+  Time first_above_time_ = Time::zero();  // when sojourn first exceeded target
+  Time drop_next_ = Time::zero();         // next scheduled drop while dropping
+  std::uint32_t drop_count_ = 0;
+  std::uint32_t last_drop_count_ = 0;
+  bool dropping_ = false;
+};
+
+}  // namespace qoesim::net

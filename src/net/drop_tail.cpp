@@ -1,0 +1,4 @@
+#include "net/drop_tail.hpp"
+
+// DropTailQueue is fully inline; this translation unit anchors the header
+// in the build so compile errors surface even if no other TU includes it.

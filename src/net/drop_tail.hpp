@@ -1,0 +1,45 @@
+// qoesim -- drop-tail FIFO queue, the discipline used throughout the paper.
+// Capacity is counted in packets, matching the NetFPGA reference router and
+// the Cisco linecard configuration of the testbeds (Table 2).
+#pragma once
+
+#include <deque>
+
+#include "net/queue.hpp"
+
+namespace qoesim::net {
+
+class DropTailQueue final : public QueueDiscipline {
+ public:
+  explicit DropTailQueue(std::size_t capacity_packets)
+      : QueueDiscipline(capacity_packets) {}
+
+  std::size_t packet_count() const override { return q_.size(); }
+  std::size_t byte_count() const override { return bytes_; }
+  std::string name() const override { return "DropTail"; }
+
+ protected:
+  bool do_enqueue(Packet&& p, Time /*now*/) override {
+    if (q_.size() >= capacity_) {
+      count_drop(p);
+      return false;
+    }
+    bytes_ += p.size_bytes;
+    q_.push_back(std::move(p));
+    return true;
+  }
+
+  std::optional<Packet> do_dequeue(Time /*now*/) override {
+    if (q_.empty()) return std::nullopt;
+    Packet p = std::move(q_.front());
+    q_.pop_front();
+    bytes_ -= p.size_bytes;
+    return p;
+  }
+
+ private:
+  std::deque<Packet> q_;
+  std::size_t bytes_ = 0;
+};
+
+}  // namespace qoesim::net

@@ -1,0 +1,50 @@
+#include "net/link.hpp"
+
+#include <stdexcept>
+#include <utility>
+
+namespace qoesim::net {
+
+Link::Link(Simulation& sim, std::string name, double rate_bps, Time prop_delay,
+           std::unique_ptr<QueueDiscipline> queue)
+    : sim_(sim),
+      name_(std::move(name)),
+      rate_bps_(rate_bps),
+      prop_delay_(prop_delay),
+      queue_(std::move(queue)) {
+  if (rate_bps_ <= 0.0) throw std::invalid_argument("Link: rate must be > 0");
+  if (!queue_) throw std::invalid_argument("Link: queue required");
+}
+
+void Link::send(Packet&& p) {
+  queue_->enqueue(std::move(p), sim_.now());
+  maybe_start_tx();
+}
+
+void Link::maybe_start_tx() {
+  if (busy_) return;
+  auto next = queue_->dequeue(sim_.now());
+  if (!next) return;
+  busy_ = true;
+  queue_delay_.add((sim_.now() - next->enqueued_at).sec());
+  const Time tx = serialization_time(next->size_bytes);
+  // Move the packet into the completion event.
+  auto pkt = std::make_shared<Packet>(std::move(*next));
+  sim_.after(tx, [this, pkt]() mutable { on_tx_complete(std::move(*pkt)); });
+}
+
+void Link::on_tx_complete(Packet&& p) {
+  busy_ = false;
+  ++delivered_packets_;
+  delivered_bytes_ += p.size_bytes;
+  for (const auto& observer : tx_observers_) observer(p, sim_.now());
+  if (sink_) {
+    auto pkt = std::make_shared<Packet>(std::move(p));
+    sim_.after(prop_delay_, [this, pkt]() mutable {
+      if (sink_) sink_(std::move(*pkt));
+    });
+  }
+  maybe_start_tx();
+}
+
+}  // namespace qoesim::net

@@ -1,0 +1,85 @@
+// qoesim -- unidirectional link with an egress buffer.
+//
+// A Link models one direction of a physical link: packets offered while the
+// transmitter is busy wait in the queue discipline; serialization takes
+// size/rate; delivery happens one propagation delay after serialization
+// completes. This is where all queueing delay and packet loss in the
+// simulated testbeds arise (the paper's "bottleneck interface").
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+
+#include "net/packet.hpp"
+#include "net/queue.hpp"
+#include "sim/simulation.hpp"
+#include "stats/summary.hpp"
+
+namespace qoesim::net {
+
+class Link {
+ public:
+  using DeliverFn = std::function<void(Packet&&)>;
+  /// Observer invoked when a packet finishes serialization (tx'd onto the
+  /// wire). Used by LinkMonitor for utilization accounting.
+  using TxObserver = std::function<void(const Packet&, Time)>;
+
+  Link(Simulation& sim, std::string name, double rate_bps, Time prop_delay,
+       std::unique_ptr<QueueDiscipline> queue);
+
+  Link(const Link&) = delete;
+  Link& operator=(const Link&) = delete;
+
+  /// Bind the receiving side (typically Node::receive of the peer).
+  void set_sink(DeliverFn sink) { sink_ = std::move(sink); }
+  /// Register an additional transmission observer (multiple supported:
+  /// monitors and tracers can coexist).
+  void add_tx_observer(TxObserver obs) {
+    tx_observers_.push_back(std::move(obs));
+  }
+  [[deprecated("use add_tx_observer")]] void set_tx_observer(TxObserver obs) {
+    add_tx_observer(std::move(obs));
+  }
+
+  /// Offer a packet for transmission (enqueue; may drop).
+  void send(Packet&& p);
+
+  Time serialization_time(std::uint32_t bytes) const {
+    return Time::seconds(static_cast<double>(bytes) * 8.0 / rate_bps_);
+  }
+
+  const std::string& name() const { return name_; }
+  double rate_bps() const { return rate_bps_; }
+  Time prop_delay() const { return prop_delay_; }
+  bool transmitting() const { return busy_; }
+
+  QueueDiscipline& queue() { return *queue_; }
+  const QueueDiscipline& queue() const { return *queue_; }
+
+  std::uint64_t delivered_packets() const { return delivered_packets_; }
+  std::uint64_t delivered_bytes() const { return delivered_bytes_; }
+
+  /// Per-packet time spent waiting in the buffer (excludes serialization).
+  const stats::RunningStats& queue_delay() const { return queue_delay_; }
+
+ private:
+  void maybe_start_tx();
+  void on_tx_complete(Packet&& p);
+
+  Simulation& sim_;
+  std::string name_;
+  double rate_bps_;
+  Time prop_delay_;
+  std::unique_ptr<QueueDiscipline> queue_;
+  DeliverFn sink_;
+  std::vector<TxObserver> tx_observers_;
+
+  bool busy_ = false;
+  std::uint64_t delivered_packets_ = 0;
+  std::uint64_t delivered_bytes_ = 0;
+  stats::RunningStats queue_delay_;
+};
+
+}  // namespace qoesim::net

@@ -1,0 +1,47 @@
+// qoesim -- passive measurement instruments.
+//
+// LinkMonitor reproduces the paper's QoS instrumentation: per-bin link
+// utilization (Table 1 reports mean/sd of per-second utilization; Fig. 5
+// draws boxplots of the same bins) and loss rate at the buffer. A warmup
+// prefix can be excluded so statistics reflect steady state.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "net/link.hpp"
+#include "stats/summary.hpp"
+#include "stats/timeseries.hpp"
+
+namespace qoesim::net {
+
+class LinkMonitor {
+ public:
+  /// Attaches to `link` (registers the tx observer; one monitor per link).
+  LinkMonitor(Link& link, Time bin_width = Time::seconds(1));
+
+  /// Per-bin utilization in [0, ~1], for bins fully inside [from, to).
+  stats::Samples utilization(Time from, Time to) const;
+
+  /// Mean utilization over [from, to).
+  double mean_utilization(Time from, Time to) const;
+
+  /// Fraction of offered packets dropped at this link's buffer since
+  /// attachment (whole-run figure, as in Table 1).
+  double loss_rate() const { return link_.queue().stats().drop_rate(); }
+
+  /// Mean per-packet queueing delay (seconds) as measured at the buffer.
+  double mean_queue_delay_s() const { return link_.queue_delay().mean(); }
+
+  const Link& link() const { return link_; }
+  std::uint64_t tx_packets() const { return tx_packets_; }
+  std::uint64_t tx_bytes() const { return tx_bytes_; }
+
+ private:
+  Link& link_;
+  stats::BinnedSeries bytes_per_bin_;
+  std::uint64_t tx_packets_ = 0;
+  std::uint64_t tx_bytes_ = 0;
+};
+
+}  // namespace qoesim::net

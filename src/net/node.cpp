@@ -1,0 +1,97 @@
+#include "net/node.hpp"
+
+#include <stdexcept>
+
+namespace qoesim::net {
+
+std::size_t Node::add_port(Link* out) {
+  if (out == nullptr) throw std::invalid_argument("Node::add_port: null link");
+  ports_.push_back(out);
+  return ports_.size() - 1;
+}
+
+void Node::set_next_hop(NodeId dst, std::size_t port) {
+  if (port >= ports_.size()) {
+    throw std::out_of_range("Node::set_next_hop: bad port");
+  }
+  routes_[dst] = port;
+}
+
+void Node::set_default_route(std::size_t port) {
+  if (port >= ports_.size()) {
+    throw std::out_of_range("Node::set_default_route: bad port");
+  }
+  default_route_ = static_cast<std::ptrdiff_t>(port);
+}
+
+void Node::receive(Packet&& p) {
+  if (p.dst == id_) {
+    deliver_local(std::move(p));
+  } else {
+    send(std::move(p));  // forward
+  }
+}
+
+void Node::send(Packet&& p) {
+  auto it = routes_.find(p.dst);
+  std::ptrdiff_t port = -1;
+  if (it != routes_.end()) {
+    port = static_cast<std::ptrdiff_t>(it->second);
+  } else if (default_route_ >= 0) {
+    port = default_route_;
+  }
+  if (port < 0) {
+    ++unrouted_;
+    return;
+  }
+  ports_[static_cast<std::size_t>(port)]->send(std::move(p));
+}
+
+void Node::deliver_local(Packet&& p) {
+  const std::uint8_t proto = static_cast<std::uint8_t>(p.proto);
+  std::uint32_t local_port, remote_port;
+  if (p.proto == Protocol::kTcp) {
+    local_port = p.tcp.dst_port;
+    remote_port = p.tcp.src_port;
+  } else {
+    local_port = p.udp.dst_port;
+    remote_port = p.udp.src_port;
+  }
+  // Copy the handler before invoking: handlers may unbind themselves (and
+  // thus destroy the stored std::function) while running.
+  const ConnKey key{proto, local_port, p.src, remote_port};
+  if (auto it = connections_.find(key); it != connections_.end()) {
+    Handler h = it->second;
+    h(std::move(p));
+    return;
+  }
+  if (auto it = listeners_.find({proto, local_port}); it != listeners_.end()) {
+    Handler h = it->second;
+    h(std::move(p));
+    return;
+  }
+  ++undelivered_;
+}
+
+void Node::bind_connection(Protocol proto, std::uint32_t local_port,
+                           NodeId remote, std::uint32_t remote_port,
+                           Handler h) {
+  connections_[ConnKey{static_cast<std::uint8_t>(proto), local_port, remote,
+                       remote_port}] = std::move(h);
+}
+
+void Node::unbind_connection(Protocol proto, std::uint32_t local_port,
+                             NodeId remote, std::uint32_t remote_port) {
+  connections_.erase(ConnKey{static_cast<std::uint8_t>(proto), local_port,
+                             remote, remote_port});
+}
+
+void Node::bind_listener(Protocol proto, std::uint32_t local_port, Handler h) {
+  listeners_[{static_cast<std::uint8_t>(proto), local_port}] = std::move(h);
+}
+
+void Node::unbind_listener(Protocol proto, std::uint32_t local_port) {
+  listeners_.erase({static_cast<std::uint8_t>(proto), local_port});
+}
+
+}  // namespace qoesim::net

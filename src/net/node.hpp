@@ -1,0 +1,98 @@
+// qoesim -- network node: forwarding plane plus transport demux.
+//
+// A Node is both a router (static next-hop forwarding by destination) and a
+// host endpoint (packets addressed to the node are delivered to a bound
+// transport handler). The demux is connection-oriented: exact 4-tuple
+// bindings win over wildcard listeners on (protocol, local port) -- the
+// same lookup a kernel performs, which lets TcpServer accept new flows.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <string>
+#include <tuple>
+#include <vector>
+
+#include "net/link.hpp"
+#include "net/packet.hpp"
+#include "sim/simulation.hpp"
+
+namespace qoesim::net {
+
+class Node {
+ public:
+  using Handler = std::function<void(Packet&&)>;
+
+  Node(Simulation& sim, NodeId id, std::string name)
+      : sim_(sim), id_(id), name_(std::move(name)) {}
+
+  Node(const Node&) = delete;
+  Node& operator=(const Node&) = delete;
+
+  NodeId id() const { return id_; }
+  const std::string& name() const { return name_; }
+  Simulation& sim() { return sim_; }
+
+  /// Attach an outgoing link; returns the port index.
+  std::size_t add_port(Link* out);
+  std::size_t port_count() const { return ports_.size(); }
+  Link* port_link(std::size_t port) const { return ports_.at(port); }
+
+  /// Static routing: packets for `dst` leave through `port`.
+  void set_next_hop(NodeId dst, std::size_t port);
+  /// Fallback port when no specific route exists (hosts' default route).
+  void set_default_route(std::size_t port);
+
+  /// Entry point for packets arriving from links.
+  void receive(Packet&& p);
+
+  /// Send a packet originated by (or forwarded through) this node.
+  void send(Packet&& p);
+
+  // ---- transport demux ----------------------------------------------------
+
+  /// Bind an exact connection (proto, local port, remote node, remote port).
+  void bind_connection(Protocol proto, std::uint32_t local_port, NodeId remote,
+                       std::uint32_t remote_port, Handler h);
+  void unbind_connection(Protocol proto, std::uint32_t local_port,
+                         NodeId remote, std::uint32_t remote_port);
+
+  /// Bind a wildcard listener on (proto, local port).
+  void bind_listener(Protocol proto, std::uint32_t local_port, Handler h);
+  void unbind_listener(Protocol proto, std::uint32_t local_port);
+
+  /// Allocate an ephemeral port, unique per node.
+  std::uint32_t allocate_port() { return next_ephemeral_++; }
+
+  /// Packets that arrived addressed to this node with no bound handler.
+  std::uint64_t undelivered() const { return undelivered_; }
+  /// Packets dropped because no route existed.
+  std::uint64_t unrouted() const { return unrouted_; }
+
+ private:
+  struct ConnKey {
+    std::uint8_t proto;
+    std::uint32_t local_port;
+    NodeId remote;
+    std::uint32_t remote_port;
+    auto operator<=>(const ConnKey&) const = default;
+  };
+
+  void deliver_local(Packet&& p);
+
+  Simulation& sim_;
+  NodeId id_;
+  std::string name_;
+  std::vector<Link*> ports_;
+  std::map<NodeId, std::size_t> routes_;
+  std::ptrdiff_t default_route_ = -1;
+
+  std::map<ConnKey, Handler> connections_;
+  std::map<std::pair<std::uint8_t, std::uint32_t>, Handler> listeners_;
+  std::uint32_t next_ephemeral_ = 49152;
+  std::uint64_t undelivered_ = 0;
+  std::uint64_t unrouted_ = 0;
+};
+
+}  // namespace qoesim::net

@@ -1,0 +1,31 @@
+#include "net/packet.hpp"
+
+#include <atomic>
+#include <sstream>
+
+namespace qoesim::net {
+
+std::uint64_t next_packet_uid() {
+  static std::atomic<std::uint64_t> counter{0};
+  return counter.fetch_add(1, std::memory_order_relaxed);
+}
+
+std::string Packet::describe() const {
+  std::ostringstream out;
+  out << (proto == Protocol::kTcp ? "TCP" : "UDP") << " #" << uid << " "
+      << src << "->" << dst << " " << size_bytes << "B";
+  if (proto == Protocol::kTcp) {
+    out << " [";
+    if (tcp.syn) out << "S";
+    if (tcp.fin) out << "F";
+    if (tcp.has_ack) out << "A";
+    out << " seq=" << tcp.seq << " ack=" << tcp.ack
+        << " len=" << tcp.payload << "]";
+  } else {
+    out << " [" << udp.src_port << "->" << udp.dst_port
+        << " len=" << udp.payload << "]";
+  }
+  return out.str();
+}
+
+}  // namespace qoesim::net

@@ -1,0 +1,94 @@
+// qoesim -- packet model.
+//
+// Packets are value types: payload bytes are not materialized, only sizes
+// and the protocol/application metadata the simulator needs. A packet's
+// wire size includes all headers, so link serialization and buffer
+// occupancy match what the paper's testbeds measured.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "sim/time.hpp"
+
+namespace qoesim::net {
+
+using NodeId = std::uint32_t;
+using FlowId = std::uint64_t;
+
+inline constexpr NodeId kInvalidNode = 0xffffffffu;
+
+enum class Protocol : std::uint8_t { kTcp, kUdp };
+
+/// Header overheads (IPv4, no options).
+inline constexpr std::uint32_t kIpHeaderBytes = 20;
+inline constexpr std::uint32_t kTcpHeaderBytes = 20 + kIpHeaderBytes;  // 40
+inline constexpr std::uint32_t kUdpHeaderBytes = 8 + kIpHeaderBytes;   // 28
+inline constexpr std::uint32_t kRtpHeaderBytes = 12;
+/// Ethernet MTU payload; the paper sizes buffers in full-sized packets.
+inline constexpr std::uint32_t kMtuBytes = 1500;
+/// TCP maximum segment size for an MTU of 1500 with 40 bytes of headers.
+inline constexpr std::uint32_t kDefaultMss = kMtuBytes - kTcpHeaderBytes;
+
+/// One SACK block: received bytes [start, end).
+struct SackBlock {
+  std::uint64_t start = 0;
+  std::uint64_t end = 0;
+};
+
+struct TcpSegment {
+  std::uint32_t src_port = 0;
+  std::uint32_t dst_port = 0;
+  std::uint64_t seq = 0;    ///< sequence number of first payload byte
+  std::uint64_t ack = 0;    ///< cumulative acknowledgement (next expected byte)
+  std::uint32_t payload = 0;
+  bool syn = false;
+  bool fin = false;
+  bool has_ack = false;
+  /// RFC 2018 selective acknowledgements (up to 3 blocks fit alongside the
+  /// timestamp option in a real header).
+  std::uint8_t sack_count = 0;
+  SackBlock sack[3];
+};
+
+struct UdpDatagram {
+  std::uint32_t src_port = 0;
+  std::uint32_t dst_port = 0;
+  std::uint32_t payload = 0;
+};
+
+/// Application-level tag carried by probe traffic so receivers can
+/// reconstruct loss/delay patterns per media unit.
+enum class AppKind : std::uint8_t { kNone, kVoip, kVideo, kWeb, kBulk };
+
+struct AppTag {
+  AppKind kind = AppKind::kNone;
+  std::uint32_t stream_id = 0;  ///< call id / video stream id / transfer id
+  std::uint32_t seq = 0;        ///< per-stream packet sequence number
+  std::uint32_t frame = 0;      ///< video frame index
+  std::uint16_t slice = 0;      ///< video slice index within the frame
+  Time created;                 ///< application send time
+};
+
+struct Packet {
+  std::uint64_t uid = 0;     ///< globally unique packet id
+  FlowId flow = 0;           ///< transport flow id (for tracing)
+  NodeId src = kInvalidNode;
+  NodeId dst = kInvalidNode;
+  Protocol proto = Protocol::kUdp;
+  std::uint32_t size_bytes = 0;  ///< wire size including all headers
+
+  TcpSegment tcp;   ///< valid when proto == kTcp
+  UdpDatagram udp;  ///< valid when proto == kUdp
+  AppTag app;
+
+  Time enqueued_at;  ///< set by the queue on admission (delay accounting)
+
+  std::string describe() const;
+};
+
+/// Process-wide monotonically increasing packet uid (diagnostics only; no
+/// simulation behaviour depends on it).
+std::uint64_t next_packet_uid();
+
+}  // namespace qoesim::net

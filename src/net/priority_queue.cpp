@@ -1,0 +1,55 @@
+#include "net/priority_queue.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace qoesim::net {
+
+PriorityQueue::PriorityQueue(std::size_t capacity_packets,
+                             PriorityParams params)
+    : QueueDiscipline(capacity_packets) {
+  high_capacity_ = std::max<std::size_t>(
+      1, static_cast<std::size_t>(
+             std::ceil(static_cast<double>(capacity_packets) *
+                       params.high_priority_share)));
+  high_capacity_ = std::min(high_capacity_, capacity_packets);
+  low_capacity_ = std::max<std::size_t>(1, capacity_packets - high_capacity_);
+}
+
+bool PriorityQueue::do_enqueue(Packet&& p, Time /*now*/) {
+  if (is_high_priority(p)) {
+    if (high_.size() >= high_capacity_) {
+      ++high_drops_;
+      count_drop(p);
+      return false;
+    }
+    bytes_ += p.size_bytes;
+    high_.push_back(std::move(p));
+    return true;
+  }
+  if (low_.size() >= low_capacity_) {
+    ++low_drops_;
+    count_drop(p);
+    return false;
+  }
+  bytes_ += p.size_bytes;
+  low_.push_back(std::move(p));
+  return true;
+}
+
+std::optional<Packet> PriorityQueue::do_dequeue(Time /*now*/) {
+  std::deque<Packet>* source = nullptr;
+  if (!high_.empty()) {
+    source = &high_;
+  } else if (!low_.empty()) {
+    source = &low_;
+  } else {
+    return std::nullopt;
+  }
+  Packet p = std::move(source->front());
+  source->pop_front();
+  bytes_ -= p.size_bytes;
+  return p;
+}
+
+}  // namespace qoesim::net

@@ -1,0 +1,82 @@
+// qoesim -- queue discipline interface.
+//
+// A QueueDiscipline sits in front of a link transmitter; it decides, per
+// packet, whether to admit, drop, or (for AQM schemes) mark-by-drop. All
+// disciplines share a stats block so the experiment harness can read loss
+// rates uniformly. The paper's testbeds use drop-tail buffers sized in
+// packets; RED and CoDel are provided for the AQM ablation benchmark.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <string>
+
+#include "net/packet.hpp"
+#include "sim/time.hpp"
+
+namespace qoesim::net {
+
+struct QueueStats {
+  std::uint64_t offered = 0;         ///< enqueue attempts
+  std::uint64_t enqueued = 0;        ///< accepted packets
+  std::uint64_t dequeued = 0;
+  std::uint64_t dropped = 0;         ///< tail drops + AQM drops
+  std::uint64_t bytes_offered = 0;
+  std::uint64_t bytes_dropped = 0;
+  std::uint64_t max_packets_seen = 0;
+
+  double drop_rate() const {
+    return offered ? static_cast<double>(dropped) / static_cast<double>(offered)
+                   : 0.0;
+  }
+};
+
+class QueueDiscipline {
+ public:
+  explicit QueueDiscipline(std::size_t capacity_packets)
+      : capacity_(capacity_packets) {}
+  virtual ~QueueDiscipline() = default;
+
+  QueueDiscipline(const QueueDiscipline&) = delete;
+  QueueDiscipline& operator=(const QueueDiscipline&) = delete;
+
+  /// Offer a packet at time `now`. Returns true if admitted. On admission
+  /// the packet's `enqueued_at` is stamped for delay accounting.
+  bool enqueue(Packet&& p, Time now);
+
+  /// Remove the next packet to transmit, or nullopt if empty. AQM schemes
+  /// may silently drop head packets here (counted in stats).
+  std::optional<Packet> dequeue(Time now);
+
+  virtual std::size_t packet_count() const = 0;
+  virtual std::size_t byte_count() const = 0;
+  bool empty() const { return packet_count() == 0; }
+
+  std::size_t capacity_packets() const { return capacity_; }
+  const QueueStats& stats() const { return stats_; }
+  virtual std::string name() const = 0;
+
+ protected:
+  /// Admission decision + storage; return true if stored.
+  virtual bool do_enqueue(Packet&& p, Time now) = 0;
+  virtual std::optional<Packet> do_dequeue(Time now) = 0;
+
+  void count_drop(const Packet& p) {
+    ++stats_.dropped;
+    stats_.bytes_dropped += p.size_bytes;
+  }
+
+  std::size_t capacity_;
+  QueueStats stats_;
+};
+
+/// Which discipline to instantiate (scenario configuration).
+enum class QueueKind { kDropTail, kRed, kCoDel, kPriority };
+
+std::unique_ptr<QueueDiscipline> make_queue(QueueKind kind,
+                                            std::size_t capacity_packets);
+
+const char* to_string(QueueKind kind);
+
+}  // namespace qoesim::net

@@ -1,0 +1,58 @@
+#include "net/red.hpp"
+
+#include <algorithm>
+
+namespace qoesim::net {
+
+RedQueue::RedQueue(std::size_t capacity_packets, RedParams params,
+                   std::uint64_t seed)
+    : QueueDiscipline(capacity_packets), params_(params), rng_(seed) {}
+
+bool RedQueue::do_enqueue(Packet&& p, Time /*now*/) {
+  // Update the average queue estimate on every arrival.
+  avg_ = (1.0 - params_.weight) * avg_ +
+         params_.weight * static_cast<double>(q_.size());
+
+  const double min_th = params_.min_th_fraction * static_cast<double>(capacity_);
+  const double max_th = params_.max_th_fraction * static_cast<double>(capacity_);
+
+  bool drop = false;
+  if (q_.size() >= capacity_) {
+    drop = true;  // hard tail drop
+  } else if (avg_ >= max_th) {
+    drop = true;
+  } else if (avg_ >= min_th) {
+    // Probabilistic early drop; the 1/(1 - count*pb) correction spreads
+    // drops uniformly between forced drops (Floyd & Jacobson, eq. 2).
+    const double pb =
+        params_.max_p * (avg_ - min_th) / std::max(1e-9, max_th - min_th);
+    const double denom = 1.0 - static_cast<double>(count_since_drop_) * pb;
+    const double pa = denom <= 0.0 ? 1.0 : std::min(1.0, pb / denom);
+    if (rng_.bernoulli(pa)) {
+      drop = true;
+    } else {
+      ++count_since_drop_;
+    }
+  } else {
+    count_since_drop_ = 0;
+  }
+
+  if (drop) {
+    count_since_drop_ = 0;
+    count_drop(p);
+    return false;
+  }
+  bytes_ += p.size_bytes;
+  q_.push_back(std::move(p));
+  return true;
+}
+
+std::optional<Packet> RedQueue::do_dequeue(Time /*now*/) {
+  if (q_.empty()) return std::nullopt;
+  Packet p = std::move(q_.front());
+  q_.pop_front();
+  bytes_ -= p.size_bytes;
+  return p;
+}
+
+}  // namespace qoesim::net

@@ -1,0 +1,46 @@
+// qoesim -- Random Early Detection (Floyd & Jacobson 1993).
+//
+// Not used by the paper's testbeds (they are drop-tail), but provided for
+// the AQM ablation bench: the paper explicitly motivates AQM work (CoDel)
+// as a response to bufferbloat, so we quantify what AQM would have changed.
+#pragma once
+
+#include <deque>
+
+#include "net/queue.hpp"
+#include "sim/random.hpp"
+
+namespace qoesim::net {
+
+struct RedParams {
+  double min_th_fraction = 0.25;  ///< min threshold as fraction of capacity
+  double max_th_fraction = 0.75;  ///< max threshold as fraction of capacity
+  double max_p = 0.1;             ///< drop probability at max threshold
+  double weight = 0.002;          ///< EWMA weight for average queue size
+};
+
+class RedQueue final : public QueueDiscipline {
+ public:
+  explicit RedQueue(std::size_t capacity_packets, RedParams params = {},
+                    std::uint64_t seed = 0x52454421ull);
+
+  std::size_t packet_count() const override { return q_.size(); }
+  std::size_t byte_count() const override { return bytes_; }
+  std::string name() const override { return "RED"; }
+
+  double average_queue() const { return avg_; }
+
+ protected:
+  bool do_enqueue(Packet&& p, Time now) override;
+  std::optional<Packet> do_dequeue(Time now) override;
+
+ private:
+  RedParams params_;
+  std::deque<Packet> q_;
+  std::size_t bytes_ = 0;
+  double avg_ = 0.0;      // EWMA of the instantaneous queue length (packets)
+  std::uint64_t count_since_drop_ = 0;
+  RandomStream rng_;
+};
+
+}  // namespace qoesim::net

@@ -1,0 +1,68 @@
+#include "net/topology.hpp"
+
+#include <deque>
+#include <limits>
+
+namespace qoesim::net {
+
+Node& Topology::add_node(const std::string& name) {
+  const auto id = static_cast<NodeId>(nodes_.size());
+  nodes_.push_back(std::make_unique<Node>(sim_, id, name));
+  adjacency_.emplace_back();
+  return *nodes_.back();
+}
+
+Link* Topology::make_link(Node& from, Node& to, const LinkSpec& spec) {
+  std::string name = spec.name.empty()
+                         ? from.name() + "->" + to.name()
+                         : spec.name;
+  links_.push_back(std::make_unique<Link>(
+      sim_, std::move(name), spec.rate_bps, spec.delay,
+      make_queue(spec.queue, spec.buffer_packets)));
+  Link* link = links_.back().get();
+  Node* dest = &to;
+  link->set_sink([dest](Packet&& p) { dest->receive(std::move(p)); });
+  const std::size_t port = from.add_port(link);
+  adjacency_[from.id()].emplace_back(to.id(), port);
+  return link;
+}
+
+Topology::LinkPair Topology::connect(Node& a, Node& b, LinkSpec a_to_b,
+                                     LinkSpec b_to_a) {
+  LinkPair pair;
+  pair.forward = make_link(a, b, a_to_b);
+  pair.backward = make_link(b, a, b_to_a);
+  return pair;
+}
+
+void Topology::compute_routes() {
+  const std::size_t n = nodes_.size();
+  // BFS from every destination over reversed edges would be cheaper, but n
+  // is tiny (testbeds have ~12 nodes); BFS from every source is clearer.
+  for (NodeId src = 0; src < n; ++src) {
+    std::vector<std::size_t> dist(n, std::numeric_limits<std::size_t>::max());
+    std::vector<std::ptrdiff_t> first_port(n, -1);
+    std::deque<NodeId> frontier;
+    dist[src] = 0;
+    frontier.push_back(src);
+    while (!frontier.empty()) {
+      const NodeId u = frontier.front();
+      frontier.pop_front();
+      for (const auto& [v, port] : adjacency_[u]) {
+        if (dist[v] != std::numeric_limits<std::size_t>::max()) continue;
+        dist[v] = dist[u] + 1;
+        first_port[v] = u == src ? static_cast<std::ptrdiff_t>(port)
+                                 : first_port[u];
+        frontier.push_back(v);
+      }
+    }
+    for (NodeId dst = 0; dst < n; ++dst) {
+      if (dst != src && first_port[dst] >= 0) {
+        nodes_[src]->set_next_hop(dst,
+                                  static_cast<std::size_t>(first_port[dst]));
+      }
+    }
+  }
+}
+
+}  // namespace qoesim::net

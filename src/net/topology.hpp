@@ -1,0 +1,64 @@
+// qoesim -- topology builder.
+//
+// Owns nodes and links, wires link sinks to peer nodes, and computes static
+// shortest-path routes (BFS on hop count, deterministic tie-breaking).
+// The experiment testbeds (core/testbed.cpp) are built on top of this.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "net/link.hpp"
+#include "net/node.hpp"
+#include "net/queue.hpp"
+#include "sim/simulation.hpp"
+
+namespace qoesim::net {
+
+/// One direction of a connection.
+struct LinkSpec {
+  double rate_bps = 1e9;
+  Time delay = Time::zero();
+  std::size_t buffer_packets = 1000;
+  QueueKind queue = QueueKind::kDropTail;
+  std::string name;  ///< optional; auto-derived if empty
+};
+
+class Topology {
+ public:
+  explicit Topology(Simulation& sim) : sim_(sim) {}
+
+  Topology(const Topology&) = delete;
+  Topology& operator=(const Topology&) = delete;
+
+  Node& add_node(const std::string& name);
+
+  struct LinkPair {
+    Link* forward = nullptr;   ///< a -> b
+    Link* backward = nullptr;  ///< b -> a
+  };
+
+  /// Create a duplex connection between two nodes.
+  LinkPair connect(Node& a, Node& b, LinkSpec a_to_b, LinkSpec b_to_a);
+
+  /// Compute next-hop tables for all node pairs (call after wiring).
+  void compute_routes();
+
+  Node& node(NodeId id) { return *nodes_.at(id); }
+  const Node& node(NodeId id) const { return *nodes_.at(id); }
+  std::size_t node_count() const { return nodes_.size(); }
+
+  Simulation& sim() { return sim_; }
+
+ private:
+  Link* make_link(Node& from, Node& to, const LinkSpec& spec);
+
+  Simulation& sim_;
+  std::vector<std::unique_ptr<Node>> nodes_;
+  std::vector<std::unique_ptr<Link>> links_;
+  // adjacency[from] = list of (neighbor, port index on `from`)
+  std::vector<std::vector<std::pair<NodeId, std::size_t>>> adjacency_;
+};
+
+}  // namespace qoesim::net

@@ -1,0 +1,43 @@
+#include "qoe/emodel.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace qoesim::qoe {
+
+CodecProfile g711_profile() { return CodecProfile{"G.711", 0.0, 4.3}; }
+
+double EModel::delay_impairment(Time one_way_delay) {
+  const double ta_ms = std::max(0.0, one_way_delay.ms());
+  if (ta_ms <= 100.0) return 0.0;
+  // G.107 (2003) eq. for Idd with X = lg(Ta/100)/lg(2).
+  const double x = std::log10(ta_ms / 100.0) / std::log10(2.0);
+  const double term1 = std::pow(1.0 + std::pow(x, 6.0), 1.0 / 6.0);
+  const double term2 = 3.0 * std::pow(1.0 + std::pow(x / 3.0, 6.0), 1.0 / 6.0);
+  return 25.0 * (term1 - term2 + 2.0);
+}
+
+double EModel::equipment_impairment(double loss_fraction,
+                                    const CodecProfile& codec,
+                                    double burst_r) {
+  const double ppl = std::clamp(loss_fraction, 0.0, 1.0) * 100.0;  // percent
+  burst_r = std::max(1.0, burst_r);
+  return codec.ie +
+         (95.0 - codec.ie) * ppl / (ppl / burst_r + codec.bpl);
+}
+
+double EModel::r_to_mos(double r) {
+  if (r <= 0.0) return 1.0;
+  if (r >= 100.0) return kMaxMos;
+  // The G.107 cubic dips marginally below 1 for very small R; clamp to the
+  // MOS scale floor.
+  return std::max(1.0, 1.0 + 0.035 * r + r * (r - 60.0) * (100.0 - r) * 7e-6);
+}
+
+double EModel::rating(double loss_fraction, Time one_way_delay,
+                      const CodecProfile& codec, double burst_r) {
+  return kDefaultR - delay_impairment(one_way_delay) -
+         equipment_impairment(loss_fraction, codec, burst_r);
+}
+
+}  // namespace qoesim::qoe

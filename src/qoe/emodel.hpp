@@ -1,0 +1,51 @@
+// qoesim -- ITU-T G.107 E-Model (transmission rating R).
+//
+// Implements the pieces the paper uses: the delay impairment factor Idd
+// (their z2 score) and the effective equipment impairment Ie,eff for
+// packet-loss degradation of G.711, plus the standard R -> MOS mapping.
+// Burstiness of the loss process is modelled via BurstR as in G.107 §7.2.
+#pragma once
+
+#include "sim/time.hpp"
+
+namespace qoesim::qoe {
+
+/// Codec parameters for Ie,eff (ITU-T G.113 Appendix I).
+struct CodecProfile {
+  const char* name = "G.711";
+  double ie = 0.0;    ///< base equipment impairment
+  double bpl = 4.3;   ///< packet-loss robustness
+};
+
+/// G.711 a-law (PCMA), the codec the paper streams.
+CodecProfile g711_profile();
+
+class EModel {
+ public:
+  /// Default transmission rating with standard G.107 parameters
+  /// (Ro - Is for all-default settings).
+  static constexpr double kDefaultR = 93.2;
+  /// Maximum achievable MOS on the R->MOS curve.
+  static constexpr double kMaxMos = 4.5;
+
+  /// Delay impairment Idd for a one-way (mouth-to-ear) delay Ta.
+  /// Zero below 100 ms, then the G.107 logarithmic growth curve.
+  static double delay_impairment(Time one_way_delay);
+
+  /// Effective equipment impairment Ie,eff for a packet loss probability
+  /// `loss_fraction` in [0,1] and loss burstiness `burst_r` (1 = random
+  /// loss; >1 = bursty loss hurts more).
+  static double equipment_impairment(double loss_fraction,
+                                     const CodecProfile& codec = g711_profile(),
+                                     double burst_r = 1.0);
+
+  /// R (0..100) to MOS (1..4.5) conversion, G.107 Annex B.
+  static double r_to_mos(double r);
+
+  /// Full parametric rating: R = 93.2 - Idd - Ie,eff.
+  static double rating(double loss_fraction, Time one_way_delay,
+                       const CodecProfile& codec = g711_profile(),
+                       double burst_r = 1.0);
+};
+
+}  // namespace qoesim::qoe

@@ -1,0 +1,24 @@
+#include "qoe/g1030.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace qoesim::qoe {
+
+G1030::G1030(Time plt_min, Time plt_max) : plt_min_(plt_min), plt_max_(plt_max) {
+  if (!(plt_min > Time::zero()) || !(plt_max > plt_min)) {
+    throw std::invalid_argument("G1030: need 0 < plt_min < plt_max");
+  }
+}
+
+double G1030::mos(Time page_load_time) const {
+  const double plt = std::max(page_load_time.sec(), 1e-6);
+  const double lo = plt_min_.sec();
+  const double hi = plt_max_.sec();
+  // Logarithmic interpolation between (plt_min -> 5) and (plt_max -> 1).
+  const double score =
+      1.0 + 4.0 * (std::log(hi) - std::log(plt)) / (std::log(hi) - std::log(lo));
+  return clamp_mos(score);
+}
+
+}  // namespace qoesim::qoe

@@ -1,0 +1,38 @@
+// qoesim -- ITU-T G.1030 web QoE model (one-page session version).
+//
+// Maps a page load time logarithmically onto [1, 5]: PLT <= plt_min scores
+// "excellent" (5), PLT >= plt_max scores "bad" (1). The paper uses
+// plt_max = 6 s and plt_min = 0.56 s (access) / 0.85 s (backbone),
+// reflecting the different baseline RTTs of the two testbeds.
+#pragma once
+
+#include "qoe/mos.hpp"
+#include "sim/time.hpp"
+
+namespace qoesim::qoe {
+
+class G1030 {
+ public:
+  G1030(Time plt_min, Time plt_max);
+
+  /// Preset for the access testbed (§9.1): excellent at 0.56 s.
+  static G1030 access_profile() {
+    return G1030(Time::milliseconds(560), Time::seconds(6));
+  }
+  /// Preset for the backbone testbed (§9.1): excellent at 0.85 s.
+  static G1030 backbone_profile() {
+    return G1030(Time::milliseconds(850), Time::seconds(6));
+  }
+
+  /// MOS for a measured page load time.
+  double mos(Time page_load_time) const;
+
+  Time plt_min() const { return plt_min_; }
+  Time plt_max() const { return plt_max_; }
+
+ private:
+  Time plt_min_;
+  Time plt_max_;
+};
+
+}  // namespace qoesim::qoe

@@ -1,0 +1,29 @@
+#include "qoe/g114.hpp"
+
+namespace qoesim::qoe {
+
+G114Class g114_classify(Time one_way_delay) {
+  if (one_way_delay <= Time::milliseconds(150)) return G114Class::kAcceptable;
+  if (one_way_delay <= Time::milliseconds(400)) return G114Class::kProblematic;
+  return G114Class::kUnacceptable;
+}
+
+std::string to_string(G114Class cls) {
+  switch (cls) {
+    case G114Class::kAcceptable: return "acceptable";
+    case G114Class::kProblematic: return "problematic";
+    case G114Class::kUnacceptable: return "unacceptable";
+  }
+  return "?";
+}
+
+stats::CellTone g114_tone(Time one_way_delay) {
+  switch (g114_classify(one_way_delay)) {
+    case G114Class::kAcceptable: return stats::CellTone::kGood;
+    case G114Class::kProblematic: return stats::CellTone::kFair;
+    case G114Class::kUnacceptable: return stats::CellTone::kBad;
+  }
+  return stats::CellTone::kNeutral;
+}
+
+}  // namespace qoesim::qoe

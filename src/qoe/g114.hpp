@@ -1,0 +1,24 @@
+// qoesim -- ITU-T G.114 one-way delay classes.
+//
+// Fig. 4 colors queueing delays by their potential to degrade interactive
+// applications: <= 150 ms acceptable (green), <= 400 ms acceptable for
+// international-like paths but problematic (orange), above that
+// unacceptable (red).
+#pragma once
+
+#include <string>
+
+#include "sim/time.hpp"
+#include "stats/table.hpp"
+
+namespace qoesim::qoe {
+
+enum class G114Class { kAcceptable, kProblematic, kUnacceptable };
+
+G114Class g114_classify(Time one_way_delay);
+std::string to_string(G114Class cls);
+
+/// Tone used for heatmap coloring (Fig. 4 scheme).
+stats::CellTone g114_tone(Time one_way_delay);
+
+}  // namespace qoesim::qoe

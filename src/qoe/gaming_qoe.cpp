@@ -1,0 +1,36 @@
+#include "qoe/gaming_qoe.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace qoesim::qoe {
+
+namespace {
+
+/// Saturating impairment: 0 at x=0, `half` of the full 4-point range at
+/// x=x_half, asymptotically the full range (logistic-free, monotone).
+double impairment(double x, double x_half) {
+  if (x <= 0.0) return 0.0;
+  return 4.0 * x / (x + x_half) * 0.75;  // caps at 3 MOS points per factor
+}
+
+}  // namespace
+
+GamingScore GamingQoe::score(const apps::GamingMetrics& metrics,
+                             const GameProfile& profile) {
+  GamingScore s;
+  // Use the 95th-percentile action-to-reaction latency when available:
+  // gamers feel the spikes, not the mean.
+  const double rtt_ms =
+      (metrics.p95_rtt > Time::zero() ? metrics.p95_rtt : metrics.mean_rtt)
+          .ms();
+  s.delay_impairment = impairment(rtt_ms, profile.delay_half_ms);
+  s.jitter_impairment =
+      impairment(metrics.jitter.ms(), profile.jitter_half_ms) * 0.6;
+  s.loss_impairment = impairment(metrics.loss(), profile.loss_half) * 0.8;
+  s.mos = clamp_mos(5.0 - s.delay_impairment - s.jitter_impairment -
+                    s.loss_impairment);
+  return s;
+}
+
+}  // namespace qoesim::qoe

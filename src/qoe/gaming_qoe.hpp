@@ -1,0 +1,40 @@
+// qoesim -- gaming QoE model.
+//
+// Parametric model with the structure of ITU-T G.1072 (gaming QoE from
+// transmission parameters): a base score degraded by independent
+// impairments for action-to-reaction delay, jitter, and loss, with
+// sensitivity profiles per game class (FPS twitchy, RTS tolerant).
+// Constants follow the published FPS studies the paper's related work
+// points at (playability drops sharply beyond ~100-150 ms ping,
+// unplayable near ~300 ms).
+#pragma once
+
+#include "apps/gaming.hpp"
+#include "qoe/mos.hpp"
+
+namespace qoesim::qoe {
+
+struct GameProfile {
+  const char* name = "FPS";
+  double delay_half_ms = 120.0;   ///< ping adding ~1.5 MOS of impairment
+  double jitter_half_ms = 25.0;
+  double loss_half = 0.04;
+
+  static GameProfile fps() { return {"FPS", 120.0, 25.0, 0.04}; }
+  static GameProfile rts() { return {"RTS", 350.0, 80.0, 0.10}; }
+};
+
+struct GamingScore {
+  double mos = 5.0;
+  double delay_impairment = 0.0;
+  double jitter_impairment = 0.0;
+  double loss_impairment = 0.0;
+};
+
+class GamingQoe {
+ public:
+  static GamingScore score(const apps::GamingMetrics& metrics,
+                           const GameProfile& profile = GameProfile::fps());
+};
+
+}  // namespace qoesim::qoe

@@ -1,0 +1,48 @@
+#include "qoe/http_video_qoe.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace qoesim::qoe {
+
+HttpVideoScore HttpVideoQoe::score(const apps::HttpVideoMetrics& metrics,
+                                   const apps::HttpVideoConfig& config) {
+  HttpVideoScore s;
+
+  if (!metrics.completed) {
+    // Abandoned session: the viewer gave up.
+    s.mos = 1.0;
+    s.bitrate_utility = 0.0;
+    s.stall_impairment = 4.0;
+    return s;
+  }
+
+  // Bitrate utility: logarithmic between the lowest and highest rung.
+  const double lo = config.ladder_bps.front();
+  const double hi = config.ladder_bps.back();
+  const double rate = std::clamp(metrics.mean_bitrate_bps, lo, hi);
+  s.bitrate_utility =
+      hi > lo ? std::log(rate / lo) / std::log(hi / lo) : 1.0;
+  // Base quality 3.0 (lowest rung, smooth) .. 5.0 (top rung, smooth).
+  const double base = 3.0 + 2.0 * s.bitrate_utility;
+
+  // Stall impairment (Mok et al. shape): frequency dominates; a single
+  // rebuffering event already drops one category, repeated stalling is
+  // unacceptable regardless of duration.
+  const double freq_per_min =
+      metrics.stall_count * 60.0 / std::max(1.0, metrics.clip_duration.sec());
+  s.stall_impairment = 0.9 * static_cast<double>(metrics.stall_count) +
+                       0.25 * freq_per_min +
+                       0.08 * metrics.total_stall_time.sec();
+
+  // Startup delay is the mildest impairment (users tolerate a few
+  // seconds; G.1030-like logarithmic annoyance beyond 2 s).
+  const double startup = metrics.startup_delay.sec();
+  s.startup_impairment =
+      startup <= 2.0 ? 0.0 : 0.4 * std::log2(startup / 2.0);
+
+  s.mos = clamp_mos(base - s.stall_impairment - s.startup_impairment);
+  return s;
+}
+
+}  // namespace qoesim::qoe

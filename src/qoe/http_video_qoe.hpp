@@ -1,0 +1,31 @@
+// qoesim -- QoE model for HTTP adaptive streaming.
+//
+// Unlike RTP/UDP video (packet artifacts), HAS degradation appears as
+// waiting: startup delay, rebuffering stalls, and reduced bitrate. The
+// model follows the structure of Mok et al. (PAM 2011, "Measuring the
+// QoE of HTTP video streaming") -- a linear impairment model over startup
+// delay, stall frequency and stall duration -- combined with a logarithmic
+// bitrate utility (Weber-Fechner, as in the WebQoE models the paper
+// applies): the same perceptual laws, applied to the waiting dimensions.
+#pragma once
+
+#include "apps/http_video.hpp"
+#include "qoe/mos.hpp"
+
+namespace qoesim::qoe {
+
+struct HttpVideoScore {
+  double mos = 5.0;
+  double bitrate_utility = 1.0;  ///< [0,1]: 1 = top rung throughout
+  double stall_impairment = 0.0;
+  double startup_impairment = 0.0;
+};
+
+class HttpVideoQoe {
+ public:
+  /// Score a finished session against its configured ladder.
+  static HttpVideoScore score(const apps::HttpVideoMetrics& metrics,
+                              const apps::HttpVideoConfig& config);
+};
+
+}  // namespace qoesim::qoe

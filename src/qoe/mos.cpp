@@ -1,0 +1,50 @@
+#include "qoe/mos.hpp"
+
+#include <algorithm>
+
+namespace qoesim::qoe {
+
+double clamp_mos(double mos) { return std::clamp(mos, 1.0, 5.0); }
+
+VoipRating voip_rating(double mos) {
+  if (mos >= 4.3) return VoipRating::kVerySatisfied;
+  if (mos >= 4.0) return VoipRating::kSatisfied;
+  if (mos >= 3.6) return VoipRating::kSomeSatisfied;
+  if (mos >= 3.1) return VoipRating::kManyDissatisfied;
+  if (mos >= 2.6) return VoipRating::kNearlyAllDissatisfied;
+  return VoipRating::kNotRecommended;
+}
+
+std::string to_string(VoipRating rating) {
+  switch (rating) {
+    case VoipRating::kVerySatisfied: return "Very Satisfied";
+    case VoipRating::kSatisfied: return "Satisfied";
+    case VoipRating::kSomeSatisfied: return "Some Users Satisfied";
+    case VoipRating::kManyDissatisfied: return "Many Users Dissatisfied";
+    case VoipRating::kNearlyAllDissatisfied:
+      return "Nearly All Users Dissatisfied";
+    case VoipRating::kNotRecommended: return "Not Recommended";
+  }
+  return "?";
+}
+
+AcrRating acr_rating(double mos) {
+  if (mos >= 4.5) return AcrRating::kExcellent;
+  if (mos >= 3.5) return AcrRating::kGood;
+  if (mos >= 2.5) return AcrRating::kFair;
+  if (mos >= 1.5) return AcrRating::kPoor;
+  return AcrRating::kBad;
+}
+
+std::string to_string(AcrRating rating) {
+  switch (rating) {
+    case AcrRating::kExcellent: return "Excellent";
+    case AcrRating::kGood: return "Good";
+    case AcrRating::kFair: return "Fair";
+    case AcrRating::kPoor: return "Poor";
+    case AcrRating::kBad: return "Bad";
+  }
+  return "?";
+}
+
+}  // namespace qoesim::qoe

@@ -1,0 +1,34 @@
+// qoesim -- MOS scales and rating categories (paper Fig. 6).
+//
+// Two scales are used: the G.711 user-satisfaction scale for VoIP
+// (Fig. 6a, thresholds from ITU-T G.107 Annex B) and the standard ACR
+// five-point scale for video and web (Fig. 6b).
+#pragma once
+
+#include <string>
+
+namespace qoesim::qoe {
+
+/// Clamp a MOS value into the valid [1, 5] range.
+double clamp_mos(double mos);
+
+/// Fig. 6a: G.711 satisfaction bands.
+enum class VoipRating {
+  kNotRecommended,          // [1, 2.6)
+  kNearlyAllDissatisfied,   // [2.6, 3.1)
+  kManyDissatisfied,        // [3.1, 3.6)
+  kSomeSatisfied,           // [3.6, 4.0)
+  kSatisfied,               // [4.0, 4.3)
+  kVerySatisfied,           // [4.3, 5]
+};
+
+VoipRating voip_rating(double mos);
+std::string to_string(VoipRating rating);
+
+/// Fig. 6b: ACR categories.
+enum class AcrRating { kBad, kPoor, kFair, kGood, kExcellent };
+
+AcrRating acr_rating(double mos);
+std::string to_string(AcrRating rating);
+
+}  // namespace qoesim::qoe

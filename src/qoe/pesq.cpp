@@ -1,0 +1,19 @@
+#include "qoe/pesq.hpp"
+
+#include <algorithm>
+
+namespace qoesim::qoe {
+
+double PesqSurrogate::listening_score(const VoipCallMetrics& m,
+                                      const CodecProfile& codec) {
+  const double ie_eff =
+      EModel::equipment_impairment(m.effective_loss(), codec, m.burst_r);
+  return std::clamp(EModel::kDefaultR - ie_eff, 0.0, 100.0);
+}
+
+double PesqSurrogate::listening_mos(const VoipCallMetrics& m,
+                                    const CodecProfile& codec) {
+  return EModel::r_to_mos(listening_score(m, codec));
+}
+
+}  // namespace qoesim::qoe

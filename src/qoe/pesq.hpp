@@ -1,0 +1,64 @@
+// qoesim -- parametric PESQ surrogate (listening quality, paper's z1).
+//
+// The paper runs PESQ (ITU-T P.862) on the received audio signal. In this
+// reproduction the audio path degradations are exactly the packets lost in
+// the network plus packets discarded late at the jitter buffer, so we
+// substitute the standardized parametric map from effective packet loss to
+// listening quality (G.107 Ie,eff for G.711, which was calibrated against
+// signal-based listening tests; see Sun 2004, the thesis the paper cites
+// for the score remapping). Output is on the R-scale [0, 100], matching
+// the paper's remapped z1.
+#pragma once
+
+#include <cstdint>
+
+#include "qoe/emodel.hpp"
+#include "sim/time.hpp"
+
+namespace qoesim::qoe {
+
+/// What the VoIP receiver measured for one call; produced by
+/// apps::VoipReceiver, consumed by the QoE models.
+struct VoipCallMetrics {
+  std::uint64_t packets_sent = 0;
+  std::uint64_t packets_received = 0;  ///< made it through the network
+  std::uint64_t packets_played = 0;    ///< arrived in time for playout
+  std::uint64_t packets_late = 0;      ///< discarded at the jitter buffer
+
+  Time mean_network_delay;   ///< one-way network delay of received packets
+  Time max_network_delay;
+  Time jitter;               ///< RFC 3550 interarrival jitter
+  Time mouth_to_ear_delay;   ///< codec + network + playout buffer
+
+  /// Loss burstiness (G.107 BurstR): mean observed loss-burst length over
+  /// the burst length expected under random loss. 1 = random.
+  double burst_r = 1.0;
+
+  /// Fraction of the speech signal missing at playout.
+  double effective_loss() const {
+    if (packets_sent == 0) return 0.0;
+    const std::uint64_t played =
+        packets_played <= packets_sent ? packets_played : packets_sent;
+    return static_cast<double>(packets_sent - played) /
+           static_cast<double>(packets_sent);
+  }
+  double network_loss() const {
+    if (packets_sent == 0) return 0.0;
+    return static_cast<double>(packets_sent - packets_received) /
+           static_cast<double>(packets_sent);
+  }
+};
+
+class PesqSurrogate {
+ public:
+  /// Listening-quality score z1 in [0, 100] (R-scale): degradation from
+  /// effective loss (network loss + jitter-induced discard).
+  static double listening_score(const VoipCallMetrics& m,
+                                const CodecProfile& codec = g711_profile());
+
+  /// The same score expressed as listening-quality MOS (P.862.2-style).
+  static double listening_mos(const VoipCallMetrics& m,
+                              const CodecProfile& codec = g711_profile());
+};
+
+}  // namespace qoesim::qoe

@@ -1,0 +1,19 @@
+#include "qoe/voip_qoe.hpp"
+
+#include <algorithm>
+
+namespace qoesim::qoe {
+
+VoipScore VoipQoe::score(const VoipCallMetrics& metrics,
+                         const CodecProfile& codec) {
+  VoipScore s;
+  s.z1 = PesqSurrogate::listening_score(metrics, codec);
+  s.z2 = std::clamp(EModel::delay_impairment(metrics.mouth_to_ear_delay), 0.0,
+                    100.0);
+  s.z = std::max(0.0, s.z1 - s.z2);
+  s.mos = EModel::r_to_mos(s.z);
+  s.rating = voip_rating(s.mos);
+  return s;
+}
+
+}  // namespace qoesim::qoe

@@ -1,0 +1,29 @@
+// qoesim -- combined VoIP QoE score (paper §7.1 "Overall score").
+//
+// z1 (listening quality from the PESQ surrogate, [0,100], high = good) and
+// z2 (E-Model delay impairment Idd, [0,100], high = bad) are combined as
+// z = max{0, z1 - z2} and mapped to the MOS scale, exactly the composition
+// the paper defines.
+#pragma once
+
+#include "qoe/emodel.hpp"
+#include "qoe/mos.hpp"
+#include "qoe/pesq.hpp"
+
+namespace qoesim::qoe {
+
+struct VoipScore {
+  double z1 = 0.0;   ///< listening quality, [0, 100], higher is better
+  double z2 = 0.0;   ///< delay impairment, [0, 100], higher is worse
+  double z = 0.0;    ///< combined = max(0, z1 - z2)
+  double mos = 1.0;  ///< final MOS in [1, 4.5]
+  VoipRating rating = VoipRating::kNotRecommended;
+};
+
+class VoipQoe {
+ public:
+  static VoipScore score(const VoipCallMetrics& metrics,
+                         const CodecProfile& codec = g711_profile());
+};
+
+}  // namespace qoesim::qoe

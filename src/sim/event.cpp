@@ -1,0 +1,46 @@
+#include "sim/event.hpp"
+
+#include <stdexcept>
+
+namespace qoesim {
+
+EventHandle Scheduler::schedule_at(Time when, Callback cb) {
+  if (when < now_) {
+    throw std::invalid_argument("Scheduler::schedule_at: time in the past");
+  }
+  auto state = std::make_shared<EventHandle::State>();
+  queue_.push(Entry{when, next_seq_++, std::move(cb), state});
+  return EventHandle{std::move(state)};
+}
+
+bool Scheduler::step() {
+  while (!queue_.empty()) {
+    // priority_queue::top() is const; we need to move the callback out.
+    Entry entry = std::move(const_cast<Entry&>(queue_.top()));
+    queue_.pop();
+    if (entry.state->done) continue;  // cancelled
+    entry.state->done = true;
+    now_ = entry.when;
+    ++fired_;
+    entry.cb();
+    return true;
+  }
+  return false;
+}
+
+void Scheduler::run_until(Time until) {
+  for (;;) {
+    // Purge cancelled entries so the head timestamp is a live event.
+    while (!queue_.empty() && queue_.top().state->done) queue_.pop();
+    if (queue_.empty() || queue_.top().when > until) break;
+    step();
+  }
+  if (now_ < until) now_ = until;
+}
+
+void Scheduler::run() {
+  while (step()) {
+  }
+}
+
+}  // namespace qoesim

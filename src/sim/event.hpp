@@ -1,0 +1,99 @@
+// qoesim -- discrete-event scheduler.
+//
+// The Scheduler owns a priority queue of timestamped callbacks. Events that
+// share a timestamp fire in scheduling order (FIFO), which keeps simulations
+// deterministic. Events can be cancelled or rescheduled through EventHandle,
+// which is how protocol timers (TCP RTO, playout deadlines, ...) are built.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <queue>
+#include <vector>
+
+#include "sim/time.hpp"
+
+namespace qoesim {
+
+/// Handle to a scheduled event; allows cancellation. Handles are cheap to
+/// copy (shared state) and safe to destroy before or after the event fires.
+class EventHandle {
+ public:
+  EventHandle() = default;
+
+  /// True if the event is still pending (not fired, not cancelled).
+  bool pending() const { return state_ && !state_->done; }
+
+  /// Cancel the event if still pending. Idempotent.
+  void cancel() {
+    if (state_) state_->done = true;
+  }
+
+ private:
+  friend class Scheduler;
+  struct State {
+    bool done = false;
+  };
+  explicit EventHandle(std::shared_ptr<State> s) : state_(std::move(s)) {}
+  std::shared_ptr<State> state_;
+};
+
+/// Deterministic discrete-event scheduler.
+class Scheduler {
+ public:
+  using Callback = std::function<void()>;
+
+  Scheduler() = default;
+  Scheduler(const Scheduler&) = delete;
+  Scheduler& operator=(const Scheduler&) = delete;
+
+  /// Current simulated time.
+  Time now() const { return now_; }
+
+  /// Schedule `cb` to run at absolute time `when` (must be >= now()).
+  EventHandle schedule_at(Time when, Callback cb);
+
+  /// Schedule `cb` to run `delay` from now (negative delays clamp to now).
+  EventHandle schedule_in(Time delay, Callback cb) {
+    if (delay.is_negative()) delay = Time::zero();
+    return schedule_at(now_ + delay, std::move(cb));
+  }
+
+  /// Run events until the queue is empty or `until` is reached. The clock
+  /// is advanced to `until` even if the queue drains earlier.
+  void run_until(Time until);
+
+  /// Run until the event queue is empty.
+  void run();
+
+  /// Fire at most one event; returns false when the queue is empty.
+  bool step();
+
+  /// Number of events waiting (including cancelled ones not yet popped).
+  std::size_t pending_events() const { return queue_.size(); }
+
+  /// Total number of events fired so far (for perf accounting).
+  std::uint64_t fired_events() const { return fired_; }
+
+ private:
+  struct Entry {
+    Time when;
+    std::uint64_t seq;  // tiebreaker: FIFO among equal timestamps
+    Callback cb;
+    std::shared_ptr<EventHandle::State> state;
+  };
+  struct Later {
+    bool operator()(const Entry& a, const Entry& b) const {
+      if (a.when != b.when) return a.when > b.when;
+      return a.seq > b.seq;
+    }
+  };
+
+  Time now_;
+  std::uint64_t next_seq_ = 0;
+  std::uint64_t fired_ = 0;
+  std::priority_queue<Entry, std::vector<Entry>, Later> queue_;
+};
+
+}  // namespace qoesim

@@ -1,0 +1,73 @@
+#include "sim/random.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace qoesim {
+
+RandomStream RandomStream::derive(std::uint64_t master_seed,
+                                  std::string_view label) {
+  // FNV-1a over the label, folded with the master seed and finalized with a
+  // splitmix64 step so nearby seeds give unrelated streams.
+  std::uint64_t h = 14695981039346656037ull ^ master_seed;
+  for (char c : label) {
+    h ^= static_cast<std::uint64_t>(static_cast<unsigned char>(c));
+    h *= 1099511628211ull;
+  }
+  h += 0x9e3779b97f4a7c15ull;
+  h = (h ^ (h >> 30)) * 0xbf58476d1ce4e5b9ull;
+  h = (h ^ (h >> 27)) * 0x94d049bb133111ebull;
+  h ^= h >> 31;
+  return RandomStream(h);
+}
+
+double RandomStream::uniform() {
+  return std::uniform_real_distribution<double>(0.0, 1.0)(engine_);
+}
+
+double RandomStream::uniform(double lo, double hi) {
+  return std::uniform_real_distribution<double>(lo, hi)(engine_);
+}
+
+std::int64_t RandomStream::uniform_int(std::int64_t lo, std::int64_t hi) {
+  return std::uniform_int_distribution<std::int64_t>(lo, hi)(engine_);
+}
+
+bool RandomStream::bernoulli(double p) {
+  if (p <= 0.0) return false;
+  if (p >= 1.0) return true;
+  return uniform() < p;
+}
+
+double RandomStream::exponential(double mean) {
+  if (mean <= 0.0) throw std::invalid_argument("exponential: mean must be > 0");
+  return std::exponential_distribution<double>(1.0 / mean)(engine_);
+}
+
+double RandomStream::weibull(double shape, double scale) {
+  return std::weibull_distribution<double>(shape, scale)(engine_);
+}
+
+double RandomStream::pareto(double shape, double minimum) {
+  if (shape <= 0.0) throw std::invalid_argument("pareto: shape must be > 0");
+  double u;
+  do {
+    u = uniform();
+  } while (u == 0.0);
+  return minimum * std::pow(u, -1.0 / shape);
+}
+
+double RandomStream::lognormal(double mu, double sigma) {
+  return std::lognormal_distribution<double>(mu, sigma)(engine_);
+}
+
+double RandomStream::normal(double mean, double stddev) {
+  return std::normal_distribution<double>(mean, stddev)(engine_);
+}
+
+std::size_t RandomStream::discrete(const std::vector<double>& weights) {
+  std::discrete_distribution<std::size_t> dist(weights.begin(), weights.end());
+  return dist(engine_);
+}
+
+}  // namespace qoesim

@@ -1,0 +1,52 @@
+// qoesim -- deterministic random number streams.
+//
+// Each simulation component draws from its own RandomStream, derived from a
+// master seed plus a component label. This keeps runs reproducible and makes
+// components statistically independent of the order in which other
+// components consume random numbers.
+#pragma once
+
+#include <cstdint>
+#include <random>
+#include <string_view>
+#include <vector>
+
+namespace qoesim {
+
+/// A self-contained pseudo-random stream with the distributions used
+/// throughout the simulator.
+class RandomStream {
+ public:
+  explicit RandomStream(std::uint64_t seed) : engine_(seed) {}
+
+  /// Derive a stream from a master seed and a component label (FNV-1a mix).
+  static RandomStream derive(std::uint64_t master_seed, std::string_view label);
+
+  /// Uniform in [0, 1).
+  double uniform();
+  /// Uniform in [lo, hi).
+  double uniform(double lo, double hi);
+  /// Uniform integer in [lo, hi] inclusive.
+  std::int64_t uniform_int(std::int64_t lo, std::int64_t hi);
+  /// True with probability p.
+  bool bernoulli(double p);
+  /// Exponential with the given mean (mean > 0).
+  double exponential(double mean);
+  /// Weibull with given shape and scale.
+  double weibull(double shape, double scale);
+  /// Pareto (Lomax-style: xm * U^(-1/alpha)), alpha > 0.
+  double pareto(double shape, double minimum);
+  /// Log-normal parameterized by the underlying normal's mu/sigma.
+  double lognormal(double mu, double sigma);
+  /// Normal (Gaussian).
+  double normal(double mean, double stddev);
+  /// Pick an index in [0, weights.size()) proportionally to weights.
+  std::size_t discrete(const std::vector<double>& weights);
+
+  std::mt19937_64& engine() { return engine_; }
+
+ private:
+  std::mt19937_64 engine_;
+};
+
+}  // namespace qoesim

@@ -1,0 +1,26 @@
+#include "sim/simulation.hpp"
+
+#include <array>
+#include <cmath>
+#include <cstdio>
+
+#include "sim/time.hpp"
+
+namespace qoesim {
+
+std::string Time::to_string() const {
+  const double abs_ns = std::abs(static_cast<double>(ns_));
+  std::array<char, 64> buf{};
+  if (abs_ns < 1e3) {
+    std::snprintf(buf.data(), buf.size(), "%lldns", static_cast<long long>(ns_));
+  } else if (abs_ns < 1e6) {
+    std::snprintf(buf.data(), buf.size(), "%.3gus", us());
+  } else if (abs_ns < 1e9) {
+    std::snprintf(buf.data(), buf.size(), "%.4gms", ms());
+  } else {
+    std::snprintf(buf.data(), buf.size(), "%.6gs", sec());
+  }
+  return std::string(buf.data());
+}
+
+}  // namespace qoesim

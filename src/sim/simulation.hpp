@@ -1,0 +1,50 @@
+// qoesim -- top-level simulation context.
+//
+// A Simulation bundles the scheduler with a master seed and serves as the
+// root object every component hangs off. It is the only piece of global-ish
+// state; everything else takes a Simulation& (or Scheduler&) explicitly.
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+
+#include "sim/event.hpp"
+#include "sim/random.hpp"
+#include "sim/time.hpp"
+
+namespace qoesim {
+
+class Simulation {
+ public:
+  explicit Simulation(std::uint64_t seed = 1) : seed_(seed) {}
+
+  Simulation(const Simulation&) = delete;
+  Simulation& operator=(const Simulation&) = delete;
+
+  Scheduler& scheduler() { return scheduler_; }
+  const Scheduler& scheduler() const { return scheduler_; }
+
+  Time now() const { return scheduler_.now(); }
+  std::uint64_t seed() const { return seed_; }
+
+  /// Per-component random stream derived from the master seed.
+  RandomStream rng(std::string_view label) const {
+    return RandomStream::derive(seed_, label);
+  }
+
+  EventHandle at(Time when, Scheduler::Callback cb) {
+    return scheduler_.schedule_at(when, std::move(cb));
+  }
+  EventHandle after(Time delay, Scheduler::Callback cb) {
+    return scheduler_.schedule_in(delay, std::move(cb));
+  }
+
+  void run_until(Time until) { scheduler_.run_until(until); }
+  void run() { scheduler_.run(); }
+
+ private:
+  std::uint64_t seed_;
+  Scheduler scheduler_;
+};
+
+}  // namespace qoesim

@@ -1,0 +1,68 @@
+// qoesim -- simulation time.
+//
+// Simulated time is an integer count of nanoseconds since the start of the
+// simulation. An integer representation keeps event ordering exact (no
+// floating-point drift when many small serialization delays are summed) and
+// makes results bit-reproducible across platforms.
+#pragma once
+
+#include <cstdint>
+#include <compare>
+#include <limits>
+#include <string>
+
+namespace qoesim {
+
+/// A point in simulated time (or a duration; the type is used for both).
+class Time {
+ public:
+  constexpr Time() = default;
+
+  /// Named constructors. Fractional inputs are rounded to the nearest ns.
+  static constexpr Time nanoseconds(std::int64_t ns) { return Time{ns}; }
+  static constexpr Time microseconds(double us) { return from_unit(us, 1e3); }
+  static constexpr Time milliseconds(double ms) { return from_unit(ms, 1e6); }
+  static constexpr Time seconds(double s) { return from_unit(s, 1e9); }
+  static constexpr Time zero() { return Time{0}; }
+  static constexpr Time max() {
+    return Time{std::numeric_limits<std::int64_t>::max()};
+  }
+
+  constexpr std::int64_t ns() const { return ns_; }
+  constexpr double us() const { return static_cast<double>(ns_) / 1e3; }
+  constexpr double ms() const { return static_cast<double>(ns_) / 1e6; }
+  constexpr double sec() const { return static_cast<double>(ns_) / 1e9; }
+
+  constexpr bool is_zero() const { return ns_ == 0; }
+  constexpr bool is_negative() const { return ns_ < 0; }
+
+  friend constexpr Time operator+(Time a, Time b) { return Time{a.ns_ + b.ns_}; }
+  friend constexpr Time operator-(Time a, Time b) { return Time{a.ns_ - b.ns_}; }
+  friend constexpr Time operator*(Time a, double k) {
+    return Time{static_cast<std::int64_t>(static_cast<double>(a.ns_) * k + 0.5)};
+  }
+  friend constexpr Time operator*(double k, Time a) { return a * k; }
+  friend constexpr Time operator/(Time a, double k) { return a * (1.0 / k); }
+  friend constexpr double operator/(Time a, Time b) {
+    return static_cast<double>(a.ns_) / static_cast<double>(b.ns_);
+  }
+  constexpr Time& operator+=(Time b) { ns_ += b.ns_; return *this; }
+  constexpr Time& operator-=(Time b) { ns_ -= b.ns_; return *this; }
+
+  friend constexpr auto operator<=>(Time, Time) = default;
+
+  /// Human-readable rendering with an auto-selected unit, e.g. "12.5ms".
+  std::string to_string() const;
+
+ private:
+  explicit constexpr Time(std::int64_t ns) : ns_(ns) {}
+
+  static constexpr Time from_unit(double value, double ns_per_unit) {
+    const double ns = value * ns_per_unit;
+    return Time{static_cast<std::int64_t>(ns >= 0 ? ns + 0.5 : ns - 0.5)};
+  }
+
+  std::int64_t ns_ = 0;
+};
+
+}  // namespace qoesim

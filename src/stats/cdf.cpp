@@ -1,0 +1,49 @@
+#include "stats/cdf.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace qoesim::stats {
+
+Ecdf::Ecdf(std::vector<double> samples) : sorted_(std::move(samples)) {
+  if (sorted_.empty()) throw std::invalid_argument("Ecdf: no samples");
+  std::sort(sorted_.begin(), sorted_.end());
+}
+
+double Ecdf::at(double x) const {
+  const auto it = std::upper_bound(sorted_.begin(), sorted_.end(), x);
+  return static_cast<double>(it - sorted_.begin()) /
+         static_cast<double>(sorted_.size());
+}
+
+double Ecdf::quantile(double p) const {
+  if (p <= 0.0) return sorted_.front();
+  if (p >= 1.0) return sorted_.back();
+  const auto rank = static_cast<std::size_t>(
+      std::ceil(p * static_cast<double>(sorted_.size()))) - 1;
+  return sorted_[std::min(rank, sorted_.size() - 1)];
+}
+
+double Ecdf::ks_distance(const Ecdf& a, const Ecdf& b) {
+  // Sweep the merged sample points; the supremum is attained at samples.
+  double d = 0.0;
+  for (double x : a.sorted_) d = std::max(d, std::abs(a.at(x) - b.at(x)));
+  for (double x : b.sorted_) d = std::max(d, std::abs(a.at(x) - b.at(x)));
+  return d;
+}
+
+double Ecdf::ks_distance(const std::function<double(double)>& cdf) const {
+  // For one-sample KS the supremum is attained just before or at a sample.
+  double d = 0.0;
+  const double n = static_cast<double>(sorted_.size());
+  for (std::size_t i = 0; i < sorted_.size(); ++i) {
+    const double f = cdf(sorted_[i]);
+    const double lo = static_cast<double>(i) / n;
+    const double hi = static_cast<double>(i + 1) / n;
+    d = std::max({d, std::abs(f - lo), std::abs(f - hi)});
+  }
+  return d;
+}
+
+}  // namespace qoesim::stats

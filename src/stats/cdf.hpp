@@ -1,0 +1,39 @@
+// qoesim -- empirical CDFs and two-sample comparison.
+//
+// Measurement studies live on distribution comparisons ("did the PLT
+// distribution shift?"). Ecdf wraps a sample set with exact evaluation,
+// quantiles, and the Kolmogorov-Smirnov distance used by the tests to
+// check generated workloads against their analytic targets.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <vector>
+
+namespace qoesim::stats {
+
+class Ecdf {
+ public:
+  explicit Ecdf(std::vector<double> samples);
+
+  std::size_t count() const { return sorted_.size(); }
+
+  /// F(x): fraction of samples <= x.
+  double at(double x) const;
+
+  /// Inverse: smallest sample value v with F(v) >= p, p in (0, 1].
+  double quantile(double p) const;
+
+  const std::vector<double>& sorted_samples() const { return sorted_; }
+
+  /// Two-sample Kolmogorov-Smirnov statistic sup |F1 - F2|.
+  static double ks_distance(const Ecdf& a, const Ecdf& b);
+
+  /// One-sample KS statistic against an analytic CDF.
+  double ks_distance(const std::function<double(double)>& cdf) const;
+
+ private:
+  std::vector<double> sorted_;
+};
+
+}  // namespace qoesim::stats

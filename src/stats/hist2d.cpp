@@ -1,0 +1,59 @@
+#include "stats/hist2d.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace qoesim::stats {
+
+LogHist2D::LogHist2D(double min_value, double max_value,
+                     std::size_t bins_per_decade) {
+  if (min_value <= 0.0 || max_value <= min_value || bins_per_decade == 0) {
+    throw std::invalid_argument("LogHist2D: invalid parameters");
+  }
+  log_lo_ = std::log10(min_value);
+  const double log_hi = std::log10(max_value);
+  log_width_ = 1.0 / static_cast<double>(bins_per_decade);
+  nbins_ = std::max<std::size_t>(
+      1, static_cast<std::size_t>(std::ceil((log_hi - log_lo_) / log_width_)));
+  counts_.assign(nbins_ * nbins_, 0);
+}
+
+std::size_t LogHist2D::index(double v) const {
+  auto idx = static_cast<std::ptrdiff_t>((std::log10(v) - log_lo_) / log_width_);
+  idx = std::clamp<std::ptrdiff_t>(idx, 0,
+                                   static_cast<std::ptrdiff_t>(nbins_) - 1);
+  return static_cast<std::size_t>(idx);
+}
+
+void LogHist2D::add(double x, double y) {
+  if (x <= 0.0 || y <= 0.0) return;
+  ++counts_[index(y) * nbins_ + index(x)];
+  ++total_;
+}
+
+std::size_t LogHist2D::at(std::size_t ix, std::size_t iy) const {
+  return counts_.at(iy * nbins_ + ix);
+}
+
+double LogHist2D::bin_center(std::size_t i) const {
+  return std::pow(10.0, log_lo_ + log_width_ * (static_cast<double>(i) + 0.5));
+}
+
+double LogHist2D::bin_edge(std::size_t i) const {
+  return std::pow(10.0, log_lo_ + log_width_ * static_cast<double>(i));
+}
+
+double LogHist2D::diagonal_mass(std::size_t width) const {
+  if (total_ == 0) return 0.0;
+  std::size_t on_diag = 0;
+  for (std::size_t iy = 0; iy < nbins_; ++iy) {
+    for (std::size_t ix = 0; ix < nbins_; ++ix) {
+      const std::size_t d = ix > iy ? ix - iy : iy - ix;
+      if (d <= width) on_diag += counts_[iy * nbins_ + ix];
+    }
+  }
+  return static_cast<double>(on_diag) / static_cast<double>(total_);
+}
+
+}  // namespace qoesim::stats

@@ -1,0 +1,38 @@
+// qoesim -- 2-D histogram on log-log axes (Fig. 1b: min vs max RTT per flow).
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace qoesim::stats {
+
+/// 2-D histogram with logarithmic binning on both axes.
+class LogHist2D {
+ public:
+  LogHist2D(double min_value, double max_value, std::size_t bins_per_decade);
+
+  /// Add sample (x, y); non-positive coordinates are dropped.
+  void add(double x, double y);
+
+  std::size_t xbins() const { return nbins_; }
+  std::size_t ybins() const { return nbins_; }
+  std::size_t count() const { return total_; }
+  std::size_t at(std::size_t ix, std::size_t iy) const;
+
+  /// Linear-unit center of bin i on either axis.
+  double bin_center(std::size_t i) const;
+  /// Linear-unit lower edge of bin i.
+  double bin_edge(std::size_t i) const;
+
+  /// Fraction of the mass on the diagonal band |ix-iy| <= width bins.
+  double diagonal_mass(std::size_t width) const;
+
+ private:
+  std::size_t index(double v) const;
+  double log_lo_, log_width_;
+  std::size_t nbins_;
+  std::vector<std::size_t> counts_;  // row-major [iy * nbins_ + ix]
+  std::size_t total_ = 0;
+};
+
+}  // namespace qoesim::stats

@@ -1,0 +1,80 @@
+#include "stats/histogram.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace qoesim::stats {
+
+Histogram::Histogram(double lo, double hi, std::size_t bins)
+    : lo_(lo), hi_(hi), width_((hi - lo) / static_cast<double>(bins)),
+      counts_(bins, 0) {
+  if (bins == 0 || hi <= lo) {
+    throw std::invalid_argument("Histogram: invalid range or bin count");
+  }
+}
+
+void Histogram::add(double x) {
+  auto idx = static_cast<std::ptrdiff_t>((x - lo_) / width_);
+  idx = std::clamp<std::ptrdiff_t>(idx, 0,
+                                   static_cast<std::ptrdiff_t>(counts_.size()) - 1);
+  ++counts_[static_cast<std::size_t>(idx)];
+  ++total_;
+}
+
+std::vector<HistogramBin> Histogram::to_bins() const {
+  std::vector<HistogramBin> out(counts_.size());
+  for (std::size_t i = 0; i < counts_.size(); ++i) {
+    out[i].lo = lo_ + width_ * static_cast<double>(i);
+    out[i].hi = out[i].lo + width_;
+    out[i].count = counts_[i];
+    if (total_ > 0) {
+      out[i].density = static_cast<double>(counts_[i]) /
+                       (static_cast<double>(total_) * width_);
+    }
+  }
+  return out;
+}
+
+LogHistogram::LogHistogram(double min_value, double max_value,
+                           std::size_t bins_per_decade) {
+  if (min_value <= 0.0 || max_value <= min_value || bins_per_decade == 0) {
+    throw std::invalid_argument("LogHistogram: invalid parameters");
+  }
+  log_lo_ = std::log10(min_value);
+  log_hi_ = std::log10(max_value);
+  log_width_ = 1.0 / static_cast<double>(bins_per_decade);
+  const auto n = static_cast<std::size_t>(
+      std::ceil((log_hi_ - log_lo_) / log_width_));
+  counts_.assign(std::max<std::size_t>(n, 1), 0);
+}
+
+void LogHistogram::add(double x) {
+  if (x <= 0.0) {
+    ++dropped_;
+    return;
+  }
+  auto idx = static_cast<std::ptrdiff_t>((std::log10(x) - log_lo_) / log_width_);
+  idx = std::clamp<std::ptrdiff_t>(idx, 0,
+                                   static_cast<std::ptrdiff_t>(counts_.size()) - 1);
+  ++counts_[static_cast<std::size_t>(idx)];
+  ++total_;
+}
+
+std::vector<HistogramBin> LogHistogram::to_bins() const {
+  std::vector<HistogramBin> out(counts_.size());
+  for (std::size_t i = 0; i < counts_.size(); ++i) {
+    const double llo = log_lo_ + log_width_ * static_cast<double>(i);
+    out[i].lo = std::pow(10.0, llo);
+    out[i].hi = std::pow(10.0, llo + log_width_);
+    out[i].count = counts_[i];
+    if (total_ > 0) {
+      // Density per log10-unit: integrates to 1 over the log axis.
+      out[i].density = static_cast<double>(counts_[i]) /
+                       (static_cast<double>(total_) * log_width_);
+    }
+  }
+  return out;
+}
+
+}  // namespace qoesim::stats

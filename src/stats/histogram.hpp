@@ -1,0 +1,61 @@
+// qoesim -- 1-D histograms (linear and logarithmic binning).
+//
+// The CDN analysis (Fig. 1a/1c) plots probability densities of log-scaled
+// RTTs; LogHistogram bins samples by log10 and can emit a normalized PDF.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace qoesim::stats {
+
+struct HistogramBin {
+  double lo = 0.0;      // bin lower edge (in sample units)
+  double hi = 0.0;      // bin upper edge
+  std::size_t count = 0;
+  double density = 0.0;  // normalized so that sum(density * width) == 1
+};
+
+/// Fixed-range linear histogram. Out-of-range samples clamp to edge bins.
+class Histogram {
+ public:
+  Histogram(double lo, double hi, std::size_t bins);
+
+  void add(double x);
+  std::size_t count() const { return total_; }
+  std::size_t bins() const { return counts_.size(); }
+  std::size_t bin_count(std::size_t i) const { return counts_.at(i); }
+
+  /// Bins with densities normalized over the sample count and bin width.
+  std::vector<HistogramBin> to_bins() const;
+
+ private:
+  double lo_, hi_, width_;
+  std::vector<std::size_t> counts_;
+  std::size_t total_ = 0;
+};
+
+/// Histogram over log10(x): fixed number of bins per decade between
+/// [min_value, max_value]. Samples must be positive; non-positive samples
+/// are ignored (reported via dropped()).
+class LogHistogram {
+ public:
+  LogHistogram(double min_value, double max_value, std::size_t bins_per_decade);
+
+  void add(double x);
+  std::size_t count() const { return total_; }
+  std::size_t dropped() const { return dropped_; }
+  std::size_t bins() const { return counts_.size(); }
+
+  /// Bin geometry in *linear* units; density is per log10-unit so the plot
+  /// matches the paper's "probability density over log(RTT)" axes.
+  std::vector<HistogramBin> to_bins() const;
+
+ private:
+  double log_lo_, log_hi_, log_width_;
+  std::vector<std::size_t> counts_;
+  std::size_t total_ = 0;
+  std::size_t dropped_ = 0;
+};
+
+}  // namespace qoesim::stats

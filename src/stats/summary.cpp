@@ -1,0 +1,126 @@
+#include "stats/summary.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace qoesim::stats {
+
+void RunningStats::add(double x) {
+  if (n_ == 0) {
+    min_ = max_ = x;
+  } else {
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+  ++n_;
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(n_);
+  m2_ += delta * (x - mean_);
+}
+
+void RunningStats::merge(const RunningStats& other) {
+  if (other.n_ == 0) return;
+  if (n_ == 0) {
+    *this = other;
+    return;
+  }
+  const double na = static_cast<double>(n_);
+  const double nb = static_cast<double>(other.n_);
+  const double delta = other.mean_ - mean_;
+  const double total = na + nb;
+  mean_ += delta * nb / total;
+  m2_ += other.m2_ + delta * delta * na * nb / total;
+  n_ += other.n_;
+  min_ = std::min(min_, other.min_);
+  max_ = std::max(max_, other.max_);
+}
+
+double RunningStats::variance() const {
+  if (n_ < 2) return 0.0;
+  return m2_ / static_cast<double>(n_ - 1);
+}
+
+double RunningStats::stddev() const { return std::sqrt(variance()); }
+
+void Samples::add_all(const std::vector<double>& xs) {
+  data_.insert(data_.end(), xs.begin(), xs.end());
+  sorted_ = false;
+}
+
+void Samples::ensure_sorted() const {
+  if (!sorted_) {
+    std::sort(data_.begin(), data_.end());
+    sorted_ = true;
+  }
+}
+
+double Samples::mean() const {
+  if (data_.empty()) return 0.0;
+  double s = 0.0;
+  for (double x : data_) s += x;
+  return s / static_cast<double>(data_.size());
+}
+
+double Samples::stddev() const {
+  if (data_.size() < 2) return 0.0;
+  const double m = mean();
+  double s = 0.0;
+  for (double x : data_) s += (x - m) * (x - m);
+  return std::sqrt(s / static_cast<double>(data_.size() - 1));
+}
+
+double Samples::min() const {
+  ensure_sorted();
+  return data_.empty() ? 0.0 : data_.front();
+}
+
+double Samples::max() const {
+  ensure_sorted();
+  return data_.empty() ? 0.0 : data_.back();
+}
+
+double Samples::percentile(double p) const {
+  if (data_.empty()) throw std::logic_error("Samples::percentile: no samples");
+  ensure_sorted();
+  if (p <= 0.0) return data_.front();
+  if (p >= 100.0) return data_.back();
+  const double rank = p / 100.0 * static_cast<double>(data_.size() - 1);
+  const auto lo = static_cast<std::size_t>(rank);
+  const double frac = rank - static_cast<double>(lo);
+  if (lo + 1 >= data_.size()) return data_.back();
+  return data_[lo] * (1.0 - frac) + data_[lo + 1] * frac;
+}
+
+BoxplotStats Samples::boxplot() const {
+  BoxplotStats b;
+  if (data_.empty()) return b;
+  b.n = data_.size();
+  b.minimum = min();
+  b.maximum = max();
+  b.q1 = percentile(25.0);
+  b.median = percentile(50.0);
+  b.q3 = percentile(75.0);
+  const double iqr = b.q3 - b.q1;
+  // Whiskers extend to the farthest sample within 1.5*IQR of the quartiles.
+  const double lo_fence = b.q1 - 1.5 * iqr;
+  const double hi_fence = b.q3 + 1.5 * iqr;
+  ensure_sorted();
+  b.whisker_low = b.minimum;
+  for (double x : data_) {
+    if (x >= lo_fence) {
+      b.whisker_low = x;
+      break;
+    }
+  }
+  b.whisker_high = b.maximum;
+  for (auto it = data_.rbegin(); it != data_.rend(); ++it) {
+    if (*it <= hi_fence) {
+      b.whisker_high = *it;
+      break;
+    }
+  }
+  return b;
+}
+
+}  // namespace qoesim::stats

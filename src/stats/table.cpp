@@ -1,0 +1,203 @@
+#include "stats/table.hpp"
+
+#include <algorithm>
+#include <sstream>
+#include <stdexcept>
+
+namespace qoesim::stats {
+
+namespace {
+
+std::string pad(const std::string& s, std::size_t width) {
+  if (s.size() >= width) return s;
+  return s + std::string(width - s.size(), ' ');
+}
+
+std::string pad_left(const std::string& s, std::size_t width) {
+  if (s.size() >= width) return s;
+  return std::string(width - s.size(), ' ') + s;
+}
+
+const char* tone_color(CellTone tone) {
+  switch (tone) {
+    case CellTone::kGood: return "\x1b[42;30m";    // green bg
+    case CellTone::kFair: return "\x1b[43;30m";    // yellow/orange bg
+    case CellTone::kBad:  return "\x1b[41;97m";    // red bg
+    case CellTone::kNeutral: break;
+  }
+  return "";
+}
+
+const char* tone_tag(CellTone tone) {
+  switch (tone) {
+    case CellTone::kGood: return "[G]";
+    case CellTone::kFair: return "[F]";
+    case CellTone::kBad:  return "[B]";
+    case CellTone::kNeutral: break;
+  }
+  return "";
+}
+
+}  // namespace
+
+CellTone tone_from_mos(double mos) {
+  if (mos >= 4.0) return CellTone::kGood;
+  if (mos >= 3.0) return CellTone::kFair;
+  return CellTone::kBad;
+}
+
+void TextTable::set_header(std::vector<std::string> header) {
+  header_ = std::move(header);
+}
+
+void TextTable::add_row(std::vector<std::string> row) {
+  if (row.empty()) throw std::invalid_argument("TextTable: empty row");
+  rows_.push_back(std::move(row));
+}
+
+void TextTable::add_separator() { rows_.emplace_back(); }
+
+std::string TextTable::render() const {
+  std::size_t ncols = header_.size();
+  for (const auto& r : rows_) ncols = std::max(ncols, r.size());
+  std::vector<std::size_t> widths(ncols, 0);
+  auto measure = [&](const std::vector<std::string>& r) {
+    for (std::size_t i = 0; i < r.size(); ++i) {
+      widths[i] = std::max(widths[i], r[i].size());
+    }
+  };
+  measure(header_);
+  for (const auto& r : rows_) measure(r);
+
+  std::ostringstream out;
+  auto emit = [&](const std::vector<std::string>& r) {
+    for (std::size_t i = 0; i < ncols; ++i) {
+      const std::string& cell = i < r.size() ? r[i] : std::string{};
+      out << (i == 0 ? "" : "  ") << pad(cell, widths[i]);
+    }
+    out << '\n';
+  };
+  std::size_t total = ncols > 0 ? 2 * (ncols - 1) : 0;
+  for (auto w : widths) total += w;
+  if (!header_.empty()) {
+    emit(header_);
+    out << std::string(total, '-') << '\n';
+  }
+  for (const auto& r : rows_) {
+    if (r.empty()) {
+      out << std::string(total, '-') << '\n';
+    } else {
+      emit(r);
+    }
+  }
+  return out.str();
+}
+
+std::string TextTable::to_csv() const {
+  std::ostringstream out;
+  auto emit = [&](const std::vector<std::string>& r) {
+    for (std::size_t i = 0; i < r.size(); ++i) {
+      if (i) out << ',';
+      out << csv_escape(r[i]);
+    }
+    out << '\n';
+  };
+  if (!header_.empty()) emit(header_);
+  for (const auto& r : rows_) {
+    if (!r.empty()) emit(r);
+  }
+  return out.str();
+}
+
+HeatmapTable::HeatmapTable(std::string title,
+                           std::vector<std::string> column_labels)
+    : title_(std::move(title)), columns_(std::move(column_labels)) {}
+
+void HeatmapTable::add_row(std::string label, std::vector<HeatCell> cells) {
+  if (cells.size() != columns_.size()) {
+    throw std::invalid_argument("HeatmapTable: cell count != column count");
+  }
+  rows_.push_back(Row{false, std::move(label), std::move(cells)});
+}
+
+void HeatmapTable::add_group(std::string group_label) {
+  rows_.push_back(Row{true, std::move(group_label), {}});
+}
+
+std::string HeatmapTable::render(bool ansi_colors) const {
+  // Column widths: labels column + one per buffer column.
+  std::size_t label_w = 0;
+  for (const auto& r : rows_) label_w = std::max(label_w, r.label.size());
+  std::vector<std::size_t> col_w(columns_.size(), 0);
+  for (std::size_t i = 0; i < columns_.size(); ++i) {
+    col_w[i] = columns_[i].size();
+  }
+  for (const auto& r : rows_) {
+    if (r.is_group) continue;
+    for (std::size_t i = 0; i < r.cells.size(); ++i) {
+      std::size_t w = r.cells[i].text.size();
+      if (!ansi_colors && r.cells[i].tone != CellTone::kNeutral) w += 3;
+      col_w[i] = std::max(col_w[i], w);
+    }
+  }
+
+  std::ostringstream out;
+  out << "== " << title_ << " ==\n";
+  out << pad("", label_w);
+  for (std::size_t i = 0; i < columns_.size(); ++i) {
+    out << "  " << pad_left(columns_[i], col_w[i]);
+  }
+  out << '\n';
+  for (const auto& r : rows_) {
+    if (r.is_group) {
+      out << "-- " << r.label << " --\n";
+      continue;
+    }
+    out << pad(r.label, label_w);
+    for (std::size_t i = 0; i < r.cells.size(); ++i) {
+      const auto& c = r.cells[i];
+      std::string text = c.text;
+      if (!ansi_colors && c.tone != CellTone::kNeutral) text += tone_tag(c.tone);
+      text = pad_left(text, col_w[i]);
+      out << "  ";
+      if (ansi_colors && c.tone != CellTone::kNeutral) {
+        out << tone_color(c.tone) << text << "\x1b[0m";
+      } else {
+        out << text;
+      }
+    }
+    out << '\n';
+  }
+  return out.str();
+}
+
+std::string HeatmapTable::to_csv() const {
+  std::ostringstream out;
+  out << csv_escape("group") << ',' << csv_escape("row");
+  for (const auto& c : columns_) out << ',' << csv_escape(c);
+  out << '\n';
+  std::string group;
+  for (const auto& r : rows_) {
+    if (r.is_group) {
+      group = r.label;
+      continue;
+    }
+    out << csv_escape(group) << ',' << csv_escape(r.label);
+    for (const auto& c : r.cells) out << ',' << csv_escape(c.text);
+    out << '\n';
+  }
+  return out.str();
+}
+
+std::string csv_escape(const std::string& field) {
+  if (field.find_first_of(",\"\n") == std::string::npos) return field;
+  std::string out = "\"";
+  for (char ch : field) {
+    if (ch == '"') out += "\"\"";
+    else out += ch;
+  }
+  out += '"';
+  return out;
+}
+
+}  // namespace qoesim::stats

@@ -1,0 +1,75 @@
+// qoesim -- plain-text table and heatmap rendering.
+//
+// The paper presents most results as colored heatmaps (buffer size on the
+// x-axis, workload on the y-axis). HeatmapTable reproduces that layout in a
+// terminal: each cell carries a text value plus a quality tone that is
+// rendered as an ANSI background color (green/orange/red, as in the paper)
+// or as a letter tag when colors are disabled.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace qoesim::stats {
+
+/// Simple fixed-grid text table with column alignment.
+class TextTable {
+ public:
+  void set_header(std::vector<std::string> header);
+  void add_row(std::vector<std::string> row);
+  /// Insert a horizontal separator after the most recent row.
+  void add_separator();
+
+  std::string render() const;
+  std::string to_csv() const;
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;   // empty row == separator
+};
+
+/// Perceptual tone of a heatmap cell, mirroring the paper's color scheme
+/// (ITU G.114 classes / MOS bands): green = fine, orange = problematic,
+/// red = bad. Neutral cells carry no judgement (e.g. baseline labels).
+enum class CellTone { kNeutral, kGood, kFair, kBad };
+
+/// Map a MOS value in [1,5] onto a tone (>=4 good, >=3 fair, else bad).
+CellTone tone_from_mos(double mos);
+
+struct HeatCell {
+  std::string text;
+  CellTone tone = CellTone::kNeutral;
+};
+
+class HeatmapTable {
+ public:
+  HeatmapTable(std::string title, std::vector<std::string> column_labels);
+
+  void add_row(std::string label, std::vector<HeatCell> cells);
+  /// Group separator with a side label, mimicking the paper's split heatmaps
+  /// ("user talks" / "user listens", "uplink" / "downlink", "SD" / "HD").
+  void add_group(std::string group_label);
+
+  /// Render; when `ansi_colors` the tone becomes a background color,
+  /// otherwise a suffix tag ([G]/[F]/[B]).
+  std::string render(bool ansi_colors = true) const;
+  std::string to_csv() const;
+
+  const std::string& title() const { return title_; }
+
+ private:
+  struct Row {
+    bool is_group = false;
+    std::string label;
+    std::vector<HeatCell> cells;
+  };
+  std::string title_;
+  std::vector<std::string> columns_;
+  std::vector<Row> rows_;
+};
+
+/// Escape a CSV field (quotes, commas, newlines).
+std::string csv_escape(const std::string& field);
+
+}  // namespace qoesim::stats

@@ -1,0 +1,40 @@
+// qoesim -- time-binned accumulators.
+//
+// BinnedSeries accumulates a value (e.g. bytes transmitted) into fixed-width
+// time bins; utilization per bin = accumulated / (rate * bin). It backs the
+// per-second link utilization statistics of Table 1 and Fig. 5.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "sim/time.hpp"
+
+namespace qoesim::stats {
+
+class BinnedSeries {
+ public:
+  explicit BinnedSeries(qoesim::Time bin_width);
+
+  /// Accumulate `value` at time `t` into the bin containing t.
+  void add(qoesim::Time t, double value);
+
+  qoesim::Time bin_width() const { return bin_width_; }
+  std::size_t bins() const { return values_.size(); }
+  double bin_value(std::size_t i) const { return values_.at(i); }
+  qoesim::Time bin_start(std::size_t i) const {
+    return bin_width_ * static_cast<double>(i);
+  }
+
+  /// Sum of all bins.
+  double total() const;
+
+  /// Values of bins fully contained in [from, to) -- used to drop warmup.
+  std::vector<double> bin_values(qoesim::Time from, qoesim::Time to) const;
+
+ private:
+  qoesim::Time bin_width_;
+  std::vector<double> values_;
+};
+
+}  // namespace qoesim::stats

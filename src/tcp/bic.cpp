@@ -1,0 +1,63 @@
+#include "tcp/bic.hpp"
+
+#include <algorithm>
+
+namespace qoesim::tcp {
+
+BicCc::BicCc(double mss_bytes, double initial_cwnd_bytes)
+    : CongestionControl(mss_bytes, initial_cwnd_bytes) {}
+
+double BicCc::increment_segments() const {
+  const double cwnd_seg = cwnd_ / mss_;
+  if (cwnd_seg < kLowWindowSegments) {
+    return 1.0;  // Reno-like in the low-window regime
+  }
+  if (last_max_cwnd_ <= 0.0) {
+    // No search target yet (no loss seen): grow like Reno until the first
+    // loss establishes W_max. (Linux BIC reaches this state only out of
+    // slow start, where growth is likewise additive.)
+    return 1.0;
+  }
+  const double last_max_seg = last_max_cwnd_ / mss_;
+  double inc;
+  if (last_max_seg > cwnd_seg) {
+    // Binary search phase: jump half-way to the previous maximum.
+    inc = (last_max_seg - cwnd_seg) / 2.0;
+  } else {
+    // Max probing: grow slowly just past the old maximum, then faster.
+    inc = cwnd_seg - last_max_seg + 1.0;
+  }
+  return std::clamp(inc, kSminSegments, kSmaxSegments);
+}
+
+void BicCc::on_ack(double acked_bytes, Time rtt, Time /*now*/) {
+  hystart_check(rtt);
+  if (in_slow_start()) {
+    cwnd_ = std::min(cwnd_ + acked_bytes, std::max(ssthresh_, cwnd_ + mss_));
+    return;
+  }
+  // increment_segments() is "segments per RTT"; spread over the window.
+  const double acked_seg = acked_bytes / mss_;
+  cwnd_ += increment_segments() * mss_ * acked_seg / (cwnd_ / mss_);
+}
+
+void BicCc::on_loss_event(Time /*now*/) {
+  const double cwnd_seg = cwnd_ / mss_;
+  if (cwnd_ < last_max_cwnd_) {
+    // Fast convergence: remember a slightly lower maximum.
+    last_max_cwnd_ = cwnd_ * (1.0 + kBeta) / 2.0;
+  } else {
+    last_max_cwnd_ = cwnd_;
+  }
+  const double beta = cwnd_seg < kLowWindowSegments ? 0.5 : kBeta;
+  cwnd_ = std::max(cwnd_ * beta, 2.0 * mss_);
+  ssthresh_ = cwnd_;
+}
+
+void BicCc::on_timeout(Time /*now*/) {
+  last_max_cwnd_ = cwnd_;
+  ssthresh_ = std::max(cwnd_ / 2.0, 2.0 * mss_);
+  cwnd_ = mss_;
+}
+
+}  // namespace qoesim::tcp

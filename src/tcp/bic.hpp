@@ -1,0 +1,36 @@
+// qoesim -- BIC-TCP congestion control (Xu, Harfoush, Rhee 2004).
+//
+// Binary increase: after a loss, the window does a binary search between
+// the window at loss (last_max) and the reduced window, then probes beyond.
+// This was the Linux default (2.6.8-2.6.18) and one of the variants running
+// on the paper's access testbed hosts.
+#pragma once
+
+#include "tcp/congestion_control.hpp"
+
+namespace qoesim::tcp {
+
+class BicCc final : public CongestionControl {
+ public:
+  BicCc(double mss_bytes, double initial_cwnd_bytes);
+
+  void on_ack(double acked_bytes, Time rtt, Time now) override;
+  void on_loss_event(Time now) override;
+  void on_timeout(Time now) override;
+  std::string name() const override { return "bic"; }
+
+  double last_max_cwnd() const { return last_max_cwnd_; }
+
+ private:
+  /// Per-RTT additive increment in segments, from the BIC update rule.
+  double increment_segments() const;
+
+  static constexpr double kBeta = 0.8;        // multiplicative decrease
+  static constexpr double kSmaxSegments = 32; // max increment per RTT
+  static constexpr double kSminSegments = 0.01;
+  static constexpr double kLowWindowSegments = 14;  // fall back to Reno below
+
+  double last_max_cwnd_ = 0.0;  // bytes
+};
+
+}  // namespace qoesim::tcp

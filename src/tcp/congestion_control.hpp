@@ -1,0 +1,57 @@
+// qoesim -- pluggable TCP congestion control.
+//
+// The paper's hosts ran TCP Reno (backbone testbed) and BIC/CUBIC (access
+// testbed); all three are implemented behind this interface. The socket
+// owns loss detection (dup-ACKs, RTO) and calls into the controller, which
+// owns the congestion window trajectory.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "sim/time.hpp"
+
+namespace qoesim::tcp {
+
+enum class CcKind { kReno, kBic, kCubic, kVegas };
+
+const char* to_string(CcKind kind);
+
+class CongestionControl {
+ public:
+  CongestionControl(double mss_bytes, double initial_cwnd_bytes);
+  virtual ~CongestionControl() = default;
+
+  /// Cumulative ACK progress of `acked_bytes` new bytes.
+  virtual void on_ack(double acked_bytes, Time rtt, Time now) = 0;
+  /// Entering fast-recovery (triple dup-ACK loss event).
+  virtual void on_loss_event(Time now) = 0;
+  /// Retransmission timeout: collapse to one segment.
+  virtual void on_timeout(Time now) = 0;
+
+  virtual std::string name() const = 0;
+
+  double cwnd_bytes() const { return cwnd_; }
+  double ssthresh_bytes() const { return ssthresh_; }
+  double mss() const { return mss_; }
+  bool in_slow_start() const { return cwnd_ < ssthresh_; }
+
+ protected:
+  /// Delay-based slow-start exit (HyStart, Ha & Rhee 2011 -- the mechanism
+  /// shipped with Linux CUBIC since 2.6.29, i.e. on the paper's hosts):
+  /// once the measured RTT clearly rises above its floor, the queue is
+  /// building and slow start ends, avoiding the catastrophic overshoot of
+  /// blind doubling into deep buffers. Call from on_ack implementations.
+  void hystart_check(Time rtt);
+
+  double mss_;
+  double cwnd_;
+  double ssthresh_;
+  Time min_rtt_ = Time::max();
+};
+
+std::unique_ptr<CongestionControl> make_congestion_control(
+    CcKind kind, double mss_bytes, double initial_cwnd_bytes);
+
+}  // namespace qoesim::tcp

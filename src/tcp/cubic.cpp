@@ -1,0 +1,71 @@
+#include "tcp/cubic.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace qoesim::tcp {
+
+CubicCc::CubicCc(double mss_bytes, double initial_cwnd_bytes)
+    : CongestionControl(mss_bytes, initial_cwnd_bytes) {}
+
+void CubicCc::on_ack(double acked_bytes, Time rtt, Time now) {
+  hystart_check(rtt);
+  if (in_slow_start()) {
+    cwnd_ = std::min(cwnd_ + acked_bytes, std::max(ssthresh_, cwnd_ + mss_));
+    return;
+  }
+
+  const double cwnd_seg = cwnd_ / mss_;
+  if (!epoch_valid_) {
+    epoch_valid_ = true;
+    epoch_start_ = now;
+    if (w_max_ < cwnd_seg) w_max_ = cwnd_seg;
+    // Anchor the cubic so that W(0) equals the current window:
+    // C*K^3 == W_max - cwnd  (RFC 8312 with cwnd == beta*W_max).
+    k_ = std::cbrt(std::max(0.0, w_max_ - cwnd_seg) / kC);
+    w_est_ = cwnd_seg;
+  }
+
+  // Target window one RTT into the future (RFC 8312 §4.1).
+  const double t = (now - epoch_start_).sec() + rtt.sec();
+  double w_cubic = kC * std::pow(t - k_, 3.0) + w_max_;
+  // RFC 8312: the target is clamped to 1.5x the current window so a long
+  // epoch (e.g. across an extended recovery) cannot trigger a line-rate
+  // window jump.
+  w_cubic = std::min(w_cubic, 1.5 * cwnd_seg);
+
+  // TCP-friendly region estimate (standard AIMD rate with beta=0.7).
+  const double acked_seg = acked_bytes / mss_;
+  w_est_ += 3.0 * (1.0 - kBeta) / (1.0 + kBeta) * acked_seg / cwnd_seg;
+
+  const double target = std::max(w_cubic, w_est_);
+  if (target > cwnd_seg) {
+    // Approach the target over roughly one RTT.
+    cwnd_ += (target - cwnd_seg) / cwnd_seg * mss_ * acked_seg;
+  } else {
+    // Plateau: grow very slowly to keep probing.
+    cwnd_ += 0.01 * mss_ * acked_seg / cwnd_seg;
+  }
+}
+
+void CubicCc::on_loss_event(Time /*now*/) {
+  const double cwnd_seg = cwnd_ / mss_;
+  if (cwnd_seg < w_max_) {
+    // Fast convergence.
+    w_max_ = cwnd_seg * (2.0 - kBeta) / 2.0;
+  } else {
+    w_max_ = cwnd_seg;
+  }
+  cwnd_ = std::max(cwnd_ * kBeta, 2.0 * mss_);
+  ssthresh_ = cwnd_;
+  epoch_valid_ = false;
+}
+
+void CubicCc::on_timeout(Time /*now*/) {
+  w_max_ = cwnd_ / mss_;
+  ssthresh_ = std::max(cwnd_ / 2.0, 2.0 * mss_);
+  cwnd_ = mss_;
+  epoch_valid_ = false;
+}
+
+}  // namespace qoesim::tcp

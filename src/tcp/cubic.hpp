@@ -1,0 +1,34 @@
+// qoesim -- CUBIC congestion control (Ha, Rhee, Xu 2008; RFC 8312).
+//
+// Window growth is a cubic function of time since the last loss, anchored
+// at the window size where the loss occurred (W_max). Includes the
+// TCP-friendly region so small-BDP paths behave no worse than Reno.
+#pragma once
+
+#include "tcp/congestion_control.hpp"
+
+namespace qoesim::tcp {
+
+class CubicCc final : public CongestionControl {
+ public:
+  CubicCc(double mss_bytes, double initial_cwnd_bytes);
+
+  void on_ack(double acked_bytes, Time rtt, Time now) override;
+  void on_loss_event(Time now) override;
+  void on_timeout(Time now) override;
+  std::string name() const override { return "cubic"; }
+
+  double w_max_segments() const { return w_max_; }
+
+ private:
+  static constexpr double kC = 0.4;      // cubic scaling constant
+  static constexpr double kBeta = 0.7;   // multiplicative decrease
+
+  double w_max_ = 0.0;          // segments
+  Time epoch_start_ = Time::zero();
+  bool epoch_valid_ = false;
+  double k_ = 0.0;              // seconds until the plateau
+  double w_est_ = 0.0;          // TCP-friendly (Reno-equivalent) window, seg
+};
+
+}  // namespace qoesim::tcp

@@ -1,0 +1,29 @@
+#include "tcp/reno.hpp"
+
+#include <algorithm>
+
+namespace qoesim::tcp {
+
+void RenoCc::on_ack(double acked_bytes, Time rtt, Time /*now*/) {
+  hystart_check(rtt);
+  if (in_slow_start()) {
+    // Exponential growth: one MSS per acked MSS, capped at ssthresh so the
+    // transition into congestion avoidance is exact.
+    cwnd_ = std::min(cwnd_ + acked_bytes, std::max(ssthresh_, cwnd_ + mss_));
+  } else {
+    // Additive increase: one MSS per RTT (mss^2/cwnd per acked segment).
+    cwnd_ += mss_ * mss_ / cwnd_ * (acked_bytes / mss_);
+  }
+}
+
+void RenoCc::on_loss_event(Time /*now*/) {
+  ssthresh_ = std::max(cwnd_ / 2.0, 2.0 * mss_);
+  cwnd_ = ssthresh_;
+}
+
+void RenoCc::on_timeout(Time /*now*/) {
+  ssthresh_ = std::max(cwnd_ / 2.0, 2.0 * mss_);
+  cwnd_ = mss_;
+}
+
+}  // namespace qoesim::tcp

@@ -1,0 +1,18 @@
+// qoesim -- TCP Reno congestion control (RFC 5681).
+#pragma once
+
+#include "tcp/congestion_control.hpp"
+
+namespace qoesim::tcp {
+
+class RenoCc final : public CongestionControl {
+ public:
+  using CongestionControl::CongestionControl;
+
+  void on_ack(double acked_bytes, Time rtt, Time now) override;
+  void on_loss_event(Time now) override;
+  void on_timeout(Time now) override;
+  std::string name() const override { return "reno"; }
+};
+
+}  // namespace qoesim::tcp

@@ -1,0 +1,44 @@
+#include "tcp/rtt_estimator.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace qoesim::tcp {
+
+RttEstimator::RttEstimator(Config config) : config_(config) {}
+
+void RttEstimator::add_sample(Time rtt) {
+  if (rtt.is_negative()) rtt = Time::zero();
+  if (samples_ == 0) {
+    srtt_ = rtt;
+    rttvar_ = rtt / 2.0;
+  } else {
+    const Time err = rtt >= srtt_ ? rtt - srtt_ : srtt_ - rtt;
+    rttvar_ = rttvar_ * (1.0 - config_.beta) + err * config_.beta;
+    srtt_ = srtt_ * (1.0 - config_.alpha) + rtt * config_.alpha;
+  }
+  ++samples_;
+  backoff_shift_ = 0;
+
+  min_srtt_ = std::min(min_srtt_, srtt_);
+  max_srtt_ = std::max(max_srtt_, srtt_);
+  srtt_sum_ += srtt_;
+}
+
+Time RttEstimator::rto() const {
+  Time base = samples_ == 0 ? config_.initial_rto : srtt_ + rttvar_ * 4.0;
+  base = std::max(base, config_.min_rto);
+  const double factor = std::pow(2.0, static_cast<double>(backoff_shift_));
+  return std::min(base * factor, config_.max_rto);
+}
+
+void RttEstimator::backoff() {
+  if (backoff_shift_ < 16) ++backoff_shift_;
+}
+
+Time RttEstimator::avg_srtt() const {
+  if (samples_ == 0) return Time::zero();
+  return srtt_sum_ / static_cast<double>(samples_);
+}
+
+}  // namespace qoesim::tcp

@@ -1,0 +1,65 @@
+// qoesim -- TCP round-trip time estimation (RFC 6298, Jacobson/Karn).
+//
+// Besides driving the retransmission timer, the estimator keeps the same
+// per-connection smoothed-RTT statistics (min/avg/max/sample count) that the
+// Linux kernel exports and that the paper's CDN dataset (Section 3) is built
+// from -- so the in-simulator view and the "buffering in the wild" analysis
+// share one definition.
+#pragma once
+
+#include <cstdint>
+
+#include "sim/time.hpp"
+
+namespace qoesim::tcp {
+
+class RttEstimator {
+ public:
+  struct Config {
+    Time initial_rto = Time::seconds(1);
+    Time min_rto = Time::milliseconds(200);  // Linux lower bound
+    Time max_rto = Time::seconds(60);
+    double alpha = 1.0 / 8.0;  // srtt gain
+    double beta = 1.0 / 4.0;   // rttvar gain
+  };
+
+  RttEstimator() : RttEstimator(Config{}) {}
+  explicit RttEstimator(Config config);
+
+  /// Record a new RTT measurement (from a segment that was not
+  /// retransmitted -- Karn's rule is enforced by the caller).
+  void add_sample(Time rtt);
+
+  /// Current retransmission timeout including binary exponential backoff.
+  Time rto() const;
+
+  /// Double the backoff (on timeout). Cleared by the next valid sample.
+  void backoff();
+
+  /// Clear exponential backoff (forward progress observed; Linux resets
+  /// the retransmission backoff on any ACK that advances snd_una).
+  void reset_backoff() { backoff_shift_ = 0; }
+
+  bool has_samples() const { return samples_ > 0; }
+  std::uint64_t samples() const { return samples_; }
+  Time srtt() const { return srtt_; }
+  Time rttvar() const { return rttvar_; }
+
+  /// Kernel-style sRTT aggregates over the connection lifetime.
+  Time min_srtt() const { return min_srtt_; }
+  Time max_srtt() const { return max_srtt_; }
+  Time avg_srtt() const;
+
+ private:
+  Config config_;
+  Time srtt_ = Time::zero();
+  Time rttvar_ = Time::zero();
+  std::uint64_t samples_ = 0;
+  std::uint32_t backoff_shift_ = 0;
+
+  Time min_srtt_ = Time::max();
+  Time max_srtt_ = Time::zero();
+  Time srtt_sum_ = Time::zero();
+};
+
+}  // namespace qoesim::tcp

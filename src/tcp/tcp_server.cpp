@@ -1,0 +1,26 @@
+#include "tcp/tcp_server.hpp"
+
+namespace qoesim::tcp {
+
+TcpServer::TcpServer(net::Node& node, std::uint32_t port, TcpConfig config,
+                     AcceptFn on_accept)
+    : node_(node), port_(port), config_(config), on_accept_(std::move(on_accept)) {
+  node_.bind_listener(net::Protocol::kTcp, port_,
+                      [this](net::Packet&& p) { on_packet(std::move(p)); });
+}
+
+TcpServer::~TcpServer() {
+  node_.unbind_listener(net::Protocol::kTcp, port_);
+}
+
+void TcpServer::on_packet(net::Packet&& p) {
+  // Only fresh SYNs reach the listener; established flows match their
+  // exact 4-tuple binding first. Anything else (stray segment for a
+  // connection we already tore down) is dropped.
+  if (!p.tcp.syn || p.tcp.has_ack) return;
+  ++accepted_;
+  auto sock = TcpSocket::accept(node_, p, config_, {});
+  if (on_accept_) on_accept_(std::move(sock));
+}
+
+}  // namespace qoesim::tcp

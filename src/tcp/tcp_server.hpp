@@ -1,0 +1,41 @@
+// qoesim -- passive TCP endpoint (listener).
+//
+// Listens on a port; each incoming SYN spawns a TcpSocket in SYN-RCVD and
+// hands it to the accept callback, where the application installs its
+// callbacks (web server behaviour, harpoon sink, ...).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+
+#include "net/node.hpp"
+#include "tcp/tcp_socket.hpp"
+
+namespace qoesim::tcp {
+
+class TcpServer {
+ public:
+  using AcceptFn = std::function<void(std::shared_ptr<TcpSocket>)>;
+
+  TcpServer(net::Node& node, std::uint32_t port, TcpConfig config,
+            AcceptFn on_accept);
+  ~TcpServer();
+
+  TcpServer(const TcpServer&) = delete;
+  TcpServer& operator=(const TcpServer&) = delete;
+
+  std::uint32_t port() const { return port_; }
+  std::uint64_t accepted() const { return accepted_; }
+
+ private:
+  void on_packet(net::Packet&& p);
+
+  net::Node& node_;
+  std::uint32_t port_;
+  TcpConfig config_;
+  AcceptFn on_accept_;
+  std::uint64_t accepted_ = 0;
+};
+
+}  // namespace qoesim::tcp

@@ -1,0 +1,825 @@
+#include "tcp/tcp_socket.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <sstream>
+
+namespace qoesim::tcp {
+
+namespace {
+
+net::FlowId next_flow_id() {
+  static std::atomic<net::FlowId> counter{1};
+  return counter.fetch_add(1, std::memory_order_relaxed);
+}
+
+}  // namespace
+
+TcpSocket::TcpSocket(net::Node& node, net::NodeId remote,
+                     std::uint32_t local_port, std::uint32_t remote_port,
+                     TcpConfig config, Callbacks callbacks)
+    : node_(node),
+      sim_(node.sim()),
+      remote_(remote),
+      local_port_(local_port),
+      remote_port_(remote_port),
+      config_(config),
+      callbacks_(std::move(callbacks)),
+      flow_id_(next_flow_id()),
+      cc_(make_congestion_control(
+          config.cc, static_cast<double>(config.mss),
+          config.initial_cwnd_segments * static_cast<double>(config.mss))),
+      rtt_(config.rtt) {}
+
+TcpSocket::~TcpSocket() {
+  cancel_rto();
+  delack_timer_.cancel();
+  tlp_timer_.cancel();
+}
+
+std::shared_ptr<TcpSocket> TcpSocket::connect(net::Node& node,
+                                              net::NodeId remote,
+                                              std::uint32_t remote_port,
+                                              TcpConfig config,
+                                              Callbacks callbacks) {
+  auto sock = std::shared_ptr<TcpSocket>(
+      new TcpSocket(node, remote, node.allocate_port(), remote_port, config,
+                    std::move(callbacks)));
+  sock->start_connect();
+  return sock;
+}
+
+std::shared_ptr<TcpSocket> TcpSocket::accept(net::Node& node,
+                                             const net::Packet& syn,
+                                             TcpConfig config,
+                                             Callbacks callbacks) {
+  auto sock = std::shared_ptr<TcpSocket>(
+      new TcpSocket(node, syn.src, syn.tcp.dst_port, syn.tcp.src_port, config,
+                    std::move(callbacks)));
+  sock->start_accept(syn);
+  return sock;
+}
+
+void TcpSocket::start_connect() {
+  auto self = shared_from_this();
+  node_.bind_connection(net::Protocol::kTcp, local_port_, remote_, remote_port_,
+                        [self](net::Packet&& p) { self->on_packet(std::move(p)); });
+  bound_ = true;
+  state_ = State::kSynSent;
+  syn_sent_at_ = sim_.now();
+  send_control(/*syn=*/true, /*ack=*/false, /*fin=*/false);
+  arm_rto();
+}
+
+void TcpSocket::start_accept(const net::Packet& syn) {
+  auto self = shared_from_this();
+  node_.bind_connection(net::Protocol::kTcp, local_port_, remote_, remote_port_,
+                        [self](net::Packet&& p) { self->on_packet(std::move(p)); });
+  bound_ = true;
+  state_ = State::kSynRcvd;
+  syn_sent_at_ = sim_.now();
+  rcv_nxt_ = syn.tcp.seq + 1;  // SYN consumes one sequence number
+  send_control(/*syn=*/true, /*ack=*/true, /*fin=*/false);
+  arm_rto();
+}
+
+void TcpSocket::send(std::uint64_t bytes) {
+  if (bytes == 0 || fin_pending_ || stats_.aborted) return;
+  app_bytes_queued_ += bytes;
+  stats_.bytes_sent_app += bytes;
+  if (state_ == State::kEstablished) maybe_send_data();
+}
+
+void TcpSocket::close() {
+  if (fin_pending_ || stats_.aborted) return;
+  fin_pending_ = true;
+  if (state_ == State::kEstablished) maybe_send_data();
+}
+
+void TcpSocket::abort() {
+  if (stats_.aborted || stats_.closed) return;
+  stats_.aborted = true;
+  finish_close();
+}
+
+std::uint64_t TcpSocket::unsent_bytes() const {
+  const std::uint64_t data_end = 1 + app_bytes_queued_;
+  return data_end > snd_nxt_data_ ? data_end - snd_nxt_data_ : 0;
+}
+
+void TcpSocket::on_packet(net::Packet&& p) {
+  if (state_ == State::kClosed) return;
+
+  const net::TcpSegment& seg = p.tcp;
+
+  // Handshake transitions.
+  if (state_ == State::kSynSent) {
+    if (seg.syn && seg.has_ack && seg.ack >= 1) {
+      snd_una_ = 1;
+      rcv_nxt_ = seg.seq + 1;
+      state_ = State::kEstablished;
+      stats_.connected = true;
+      stats_.established_at = sim_.now();
+      stats_.connect_time = sim_.now() - syn_sent_at_;
+      if (stats_.timeouts == 0) rtt_.add_sample(sim_.now() - syn_sent_at_);
+      cancel_rto();
+      send_ack_now();
+      if (callbacks_.on_connected) callbacks_.on_connected();
+      maybe_send_data();
+    }
+    return;
+  }
+
+  if (state_ == State::kSynRcvd) {
+    if (seg.has_ack && seg.ack >= 1) {
+      snd_una_ = std::max<std::uint64_t>(snd_una_, 1);
+      state_ = State::kEstablished;
+      stats_.connected = true;
+      stats_.established_at = sim_.now();
+      stats_.connect_time = sim_.now() - syn_sent_at_;
+      if (stats_.timeouts == 0) rtt_.add_sample(sim_.now() - syn_sent_at_);
+      cancel_rto();
+      if (callbacks_.on_connected) callbacks_.on_connected();
+      // fall through: the packet may carry data and a further ACK
+    } else if (seg.syn && !seg.has_ack) {
+      // Duplicate SYN (our SYN-ACK was lost): re-answer.
+      send_control(/*syn=*/true, /*ack=*/true, /*fin=*/false);
+      return;
+    } else {
+      return;
+    }
+  }
+
+  if (seg.syn) {
+    // Duplicate SYN / SYN-ACK after establishment (our ACK was lost):
+    // re-acknowledge so the peer leaves its handshake state.
+    send_ack_now();
+    return;
+  }
+
+  if (seg.has_ack) handle_ack(p);
+  if (seg.payload > 0 || seg.fin) handle_data(p);
+
+  if (state_ != State::kClosed) maybe_send_data();
+  check_done();
+}
+
+void TcpSocket::add_sack_block(std::uint64_t start, std::uint64_t end) {
+  start = std::max(start, snd_una_);
+  end = std::min<std::uint64_t>(end, snd_max_ + 1);  // +1 covers a FIN seq
+  if (end <= start) return;
+  // Merge [start, end) into the interval map.
+  auto it = sacked_.upper_bound(start);
+  if (it != sacked_.begin()) {
+    auto prev = std::prev(it);
+    if (prev->second >= start) {
+      start = prev->first;
+      end = std::max(end, prev->second);
+      sacked_bytes_ -= prev->second - prev->first;
+      it = sacked_.erase(prev);
+    }
+  }
+  while (it != sacked_.end() && it->first <= end) {
+    end = std::max(end, it->second);
+    sacked_bytes_ -= it->second - it->first;
+    it = sacked_.erase(it);
+  }
+  sacked_.emplace(start, end);
+  sacked_bytes_ += end - start;
+  high_sack_ = std::max(high_sack_, end);
+}
+
+void TcpSocket::prune_sacked() {
+  for (auto it = sacked_.begin(); it != sacked_.end();) {
+    if (it->second <= snd_una_) {
+      sacked_bytes_ -= it->second - it->first;
+      it = sacked_.erase(it);
+    } else if (it->first < snd_una_) {
+      sacked_bytes_ -= snd_una_ - it->first;
+      auto end = it->second;
+      sacked_.erase(it);
+      it = sacked_.emplace(snd_una_, end).first;
+      break;
+    } else {
+      break;
+    }
+  }
+  if (sacked_.empty()) high_sack_ = 0;
+}
+
+void TcpSocket::handle_ack(const net::Packet& p) {
+  const std::uint64_t ack = p.tcp.ack;
+  const std::uint64_t una_before = snd_una_;
+  const std::uint64_t sacked_before = sacked_bytes_;
+  for (std::uint8_t i = 0; i < p.tcp.sack_count; ++i) {
+    add_sack_block(p.tcp.sack[i].start, p.tcp.sack[i].end);
+  }
+  // Conservation of packets: what this ACK reports as delivered may be
+  // re-spent on retransmissions by maybe_send_data (PRR-style), keeping
+  // the link busy through recovery even when the pipe estimate is stuck.
+  const std::uint64_t cum_advance = ack > una_before ? ack - una_before : 0;
+  const std::uint64_t newly_sacked =
+      sacked_bytes_ > sacked_before ? sacked_bytes_ - sacked_before : 0;
+  conservation_credit_ = static_cast<double>(cum_advance + newly_sacked);
+  if (ack > snd_una_) {
+    const std::uint64_t old_una = snd_una_;
+    snd_una_ = ack;
+    dupack_count_ = 0;
+    consecutive_timeouts_ = 0;
+    rtt_.reset_backoff();
+    tlp_allowed_ = true;
+    prune_sacked();
+    rtx_next_ = std::max(rtx_next_, snd_una_);
+    // Retransmitted holes below the new ack are resolved.
+    for (auto it = rtx_marked_.begin(); it != rtx_marked_.end();) {
+      if (it->second <= snd_una_) {
+        it = rtx_marked_.erase(it);
+      } else {
+        break;
+      }
+    }
+
+    // App-byte accounting (exclude SYN/FIN sequence numbers).
+    const std::uint64_t data_end = 1 + app_bytes_queued_;
+    const std::uint64_t acked_lo = std::clamp<std::uint64_t>(old_una, 1, data_end);
+    const std::uint64_t acked_hi = std::clamp<std::uint64_t>(ack, 1, data_end);
+    stats_.bytes_acked += acked_hi - acked_lo;
+
+    // A timeout may have rolled snd_nxt back; never resend acked bytes.
+    snd_nxt_data_ =
+        std::max(snd_nxt_data_, std::min<std::uint64_t>(ack, data_end));
+
+    // The FIN consumes sequence number data_end; an ACK covering it counts
+    // even if a timeout rollback temporarily cleared fin_sent_.
+    if (fin_pending_ && ack >= data_end + 1) {
+      fin_sent_ = true;
+      fin_seq_ = data_end;
+      our_fin_acked_ = true;
+    }
+
+    // RTT sample (Karn: probe is disarmed on any retransmission).
+    Time rtt_sample = Time::zero();
+    bool have_sample = false;
+    if (rtt_probe_armed_ && ack >= rtt_probe_seq_) {
+      rtt_sample = sim_.now() - rtt_probe_sent_;
+      rtt_.add_sample(rtt_sample);
+      have_sample = true;
+      rtt_probe_armed_ = false;
+    }
+
+    if (in_recovery_) {
+      if (ack >= recover_) {
+        in_recovery_ = false;
+        recovery_inflation_ = 0.0;
+        rtx_marked_.clear();
+      } else if (sacked_.empty()) {
+        // NewReno partial ACK (no SACK info): the head segment after `ack`
+        // was also lost. Deflate the inflated window by the acked amount,
+        // then re-inflate by one MSS (RFC 6582) to preserve self-clocking.
+        const auto acked = static_cast<double>(ack - old_una);
+        recovery_inflation_ = std::max(
+            0.0, recovery_inflation_ - acked + static_cast<double>(config_.mss));
+        retransmit_head();
+      }
+      // With SACK, hole retransmissions are driven by maybe_send_data().
+    } else {
+      // RFC 3465 Appropriate Byte Counting with L=2*SMSS: a huge
+      // cumulative ACK (e.g. after a retransmission fills a hole) must not
+      // credit the whole jump to the window in one step, or the growth
+      // formulas explode and emit line-rate bursts.
+      const double abc_bytes = std::min<double>(
+          static_cast<double>(ack - old_una), 2.0 * config_.mss);
+      cc_->on_ack(abc_bytes, have_sample ? rtt_sample : rtt_.srtt(),
+                  sim_.now());
+    }
+
+    if (flight_bytes() > 0 || (fin_sent_ && !our_fin_acked_)) {
+      arm_rto();
+    } else if (unsent_bytes() > 0 || (fin_pending_ && !fin_sent_)) {
+      arm_rto();  // watchdog: data queued but window-blocked
+    } else {
+      cancel_rto();
+    }
+  } else if (ack == snd_una_ && p.tcp.payload == 0 && !p.tcp.fin &&
+             flight_bytes() > 0) {
+    ++dupack_count_;
+    ++stats_.dup_acks_seen;
+    if (in_recovery_) {
+      if (sacked_.empty()) {
+        // Every further duplicate ACK means another packet left the
+        // network. Bounded by one cwnd so mass loss cannot balloon flight.
+        recovery_inflation_ = std::min(
+            recovery_inflation_ + static_cast<double>(config_.mss),
+            cc_->cwnd_bytes());
+      }
+      maybe_send_data();
+    } else if (dupack_count_ >= config_.dupack_threshold ||
+               sacked_bytes_ >= 3ull * config_.mss) {
+      enter_recovery();
+    }
+  }
+}
+
+void TcpSocket::enter_recovery() {
+  in_recovery_ = true;
+  recover_ = snd_max_;
+  if (fin_sent_) recover_ = fin_seq_ + 1;
+  cc_->on_loss_event(sim_.now());
+  rtx_next_ = snd_una_;
+  rtx_marked_.clear();
+  rtx_pass_started_ = sim_.now();
+  if (sacked_.empty()) {
+    recovery_inflation_ =
+        static_cast<double>(config_.dupack_threshold) * config_.mss;
+    retransmit_head();
+  } else {
+    // Fast retransmit proper: the first hole goes out immediately,
+    // regardless of the pipe (RFC 6675 step 4.3); further holes are
+    // paced by maybe_send_data().
+    retransmit_next_hole();
+    maybe_send_data();
+  }
+  arm_rto();
+}
+
+double TcpSocket::outstanding_estimate() const {
+  // RFC 6675 pipe. Out of recovery only plain flight counts (a stale
+  // scoreboard must not block transmission). In recovery, bytes below the
+  // SACK high-water mark that are neither SACKed nor freshly
+  // retransmitted are presumed lost and leave the pipe, so hole
+  // retransmissions are never starved by dead bytes.
+  if (!in_recovery_ || high_sack_ <= snd_una_) {
+    return static_cast<double>(flight_bytes());
+  }
+  const std::uint64_t upper = std::max(snd_nxt_data_, high_sack_);
+  std::uint64_t pipe = upper > high_sack_ ? upper - high_sack_ : 0;
+  // Add retransmitted holes still awaiting acknowledgement, minus any
+  // parts the receiver has meanwhile SACKed.
+  for (const auto& [start, end] : rtx_marked_) {
+    std::uint64_t lo = std::max(start, snd_una_);
+    const std::uint64_t hi = std::min(end, high_sack_);
+    if (hi <= lo) continue;
+    std::uint64_t covered = 0;
+    for (const auto& [ss, se] : sacked_) {
+      const std::uint64_t olo = std::max(lo, ss);
+      const std::uint64_t ohi = std::min(hi, se);
+      if (ohi > olo) covered += ohi - olo;
+    }
+    pipe += (hi - lo) - covered;
+  }
+  return static_cast<double>(pipe);
+}
+
+bool TcpSocket::retransmit_next_hole() {
+  if (!in_recovery_ || high_sack_ <= snd_una_) return false;
+  std::uint64_t pos = std::max(rtx_next_, snd_una_);
+  std::uint64_t hole_end = high_sack_;
+  for (const auto& [start, end] : sacked_) {
+    if (pos < start) {
+      hole_end = start;
+      break;
+    }
+    if (pos < end) pos = end;
+  }
+  if (pos >= high_sack_) {
+    rtx_next_ = pos;
+    // Every hole was retransmitted once this pass. Retransmissions can be
+    // lost too; after roughly one RTT without the scoreboard resolving,
+    // start a new pass from the bottom (rescue retransmission).
+    if (sim_.now() - rtx_pass_started_ > rtt_.srtt() &&
+        snd_una_ < high_sack_) {
+      rtx_pass_started_ = sim_.now();
+      rtx_next_ = snd_una_;
+      rtx_marked_.clear();  // earlier retransmissions presumed lost too
+      pos = snd_una_;
+      hole_end = high_sack_;
+      for (const auto& [start, end] : sacked_) {
+        if (pos < start) {
+          hole_end = start;
+          break;
+        }
+        if (pos < end) pos = end;
+      }
+      if (pos >= high_sack_) return false;
+    } else {
+      return false;
+    }
+  }
+  const std::uint64_t data_end = 1 + app_bytes_queued_;
+  if (pos >= data_end) {
+    // Only the FIN remains unsacked below high_sack.
+    if (fin_sent_ && !our_fin_acked_) {
+      send_control(/*syn=*/false, /*ack=*/true, /*fin=*/true);
+      rtx_next_ = pos + 1;
+      ++stats_.retransmits;
+      return true;
+    }
+    return false;
+  }
+  const auto len = static_cast<std::uint32_t>(std::min<std::uint64_t>(
+      {config_.mss, hole_end - pos, data_end - pos}));
+  ++stats_.retransmits;
+  send_segment(pos, len, /*fin=*/false, /*is_retransmit=*/true);
+  rtx_next_ = pos + len;
+  rtx_marked_[pos] = pos + len;
+  return true;
+}
+
+void TcpSocket::retransmit_head() {
+  rtt_probe_armed_ = false;  // Karn's rule
+  ++stats_.retransmits;
+  if (fin_sent_ && snd_una_ == fin_seq_) {
+    send_control(/*syn=*/false, /*ack=*/true, /*fin=*/true);
+    return;
+  }
+  const std::uint64_t data_end = 1 + app_bytes_queued_;
+  if (snd_una_ >= 1 && snd_una_ < data_end) {
+    const auto len = static_cast<std::uint32_t>(
+        std::min<std::uint64_t>(config_.mss, data_end - snd_una_));
+    send_segment(snd_una_, len, /*fin=*/false, /*is_retransmit=*/true);
+  }
+}
+
+void TcpSocket::maybe_send_data() {
+  if (state_ != State::kEstablished && state_ != State::kFinWait) return;
+
+  const std::uint64_t data_end = 1 + app_bytes_queued_;
+  // RFC 3042 limited transmit: the first duplicate ACKs release one new
+  // segment each, keeping the ACK clock alive in small-window regimes so
+  // fast retransmit can still trigger.
+  const double limited_transmit =
+      !in_recovery_ && dupack_count_ > 0
+          ? static_cast<double>(std::min<std::uint32_t>(dupack_count_, 2) *
+                                config_.mss)
+          : 0.0;
+  const double window =
+      std::min(cc_->cwnd_bytes() + recovery_inflation_ + limited_transmit,
+               static_cast<double>(config_.receive_window));
+
+  // Per-call send budget: everything pushed in this call is charged
+  // against the window headroom measured on entry, so one ACK can trigger
+  // at most (window - outstanding) bytes regardless of how the estimate
+  // reacts to retransmissions or post-timeout rollback re-sends.
+  const double outstanding0 = outstanding_estimate();
+  const double burst_budget =
+      static_cast<double>(config_.max_burst_segments) * config_.mss;
+  double sent_this_call = 0.0;
+
+  // SACK recovery first: fill holes while the pipe has room.
+  while (in_recovery_ && outstanding0 + sent_this_call < window &&
+         sent_this_call < burst_budget) {
+    if (!retransmit_next_hole()) break;
+    sent_this_call += config_.mss;
+    arm_rto();
+  }
+
+  while (snd_nxt_data_ < data_end) {
+    if (outstanding0 + sent_this_call >= window ||
+        sent_this_call >= burst_budget) {
+      break;  // window full or burst bound reached
+    }
+    const auto len = static_cast<std::uint32_t>(
+        std::min<std::uint64_t>(config_.mss, data_end - snd_nxt_data_));
+    // After a timeout rolled snd_nxt back, re-sent bytes are retransmits
+    // (Karn's rule must not sample them).
+    const bool is_retransmit = snd_nxt_data_ + len <= snd_max_;
+    if (is_retransmit) ++stats_.retransmits;
+    send_segment(snd_nxt_data_, len, /*fin=*/false, is_retransmit);
+    snd_nxt_data_ += len;
+    snd_max_ = std::max(snd_max_, snd_nxt_data_);
+    sent_this_call += len;
+    arm_rto();
+  }
+
+  // Conservation fallback: if the pipe estimate blocked everything (a
+  // dead burst above the SACK high-water mark keeps it inflated until the
+  // RTO), spend the delivery credit of the triggering ACK on hole
+  // retransmissions -- each delivered byte proves network capacity freed.
+  if (in_recovery_ && sent_this_call == 0.0 && !sacked_.empty()) {
+    double credit = std::max(conservation_credit_,
+                             static_cast<double>(config_.mss));
+    conservation_credit_ = 0.0;
+    while (credit > 0.0 && retransmit_next_hole()) {
+      credit -= static_cast<double>(config_.mss);
+      arm_rto();
+    }
+  }
+
+  if (fin_pending_ && !fin_sent_ && snd_nxt_data_ == data_end) {
+    fin_sent_ = true;
+    fin_seq_ = data_end;
+    state_ = State::kFinWait;
+    send_control(/*syn=*/false, /*ack=*/true, /*fin=*/true);
+    arm_rto();
+  }
+}
+
+namespace {
+
+/// Attach up to three SACK blocks describing the out-of-order intervals
+/// (lowest-first, so the peer's scoreboard fills bottom-up).
+void fill_sack(net::TcpSegment& seg,
+               const std::map<std::uint64_t, std::uint64_t>& ooo) {
+  seg.sack_count = 0;
+  for (const auto& [start, end] : ooo) {
+    if (seg.sack_count >= 3) break;
+    seg.sack[seg.sack_count++] = net::SackBlock{start, end};
+  }
+}
+
+}  // namespace
+
+void TcpSocket::send_segment(std::uint64_t seq, std::uint32_t len, bool fin,
+                             bool is_retransmit) {
+  net::Packet p;
+  p.uid = net::next_packet_uid();
+  p.flow = flow_id_;
+  p.src = node_.id();
+  p.dst = remote_;
+  p.proto = net::Protocol::kTcp;
+  p.size_bytes = len + net::kTcpHeaderBytes;
+  p.tcp.src_port = local_port_;
+  p.tcp.dst_port = remote_port_;
+  p.tcp.seq = seq;
+  p.tcp.ack = rcv_nxt_;
+  p.tcp.has_ack = state_ != State::kSynSent;
+  p.tcp.fin = fin;
+  p.tcp.payload = len;
+  if (p.tcp.has_ack) fill_sack(p.tcp, ooo_);
+  p.app.kind = net::AppKind::kBulk;
+  p.app.created = sim_.now();
+  ++stats_.segments_sent;
+
+  if (!is_retransmit && !rtt_probe_armed_ && len > 0) {
+    rtt_probe_armed_ = true;
+    rtt_probe_seq_ = seq + len;
+    rtt_probe_sent_ = sim_.now();
+  }
+  node_.send(std::move(p));
+}
+
+void TcpSocket::send_control(bool syn, bool ack, bool fin) {
+  net::Packet p;
+  p.uid = net::next_packet_uid();
+  p.flow = flow_id_;
+  p.src = node_.id();
+  p.dst = remote_;
+  p.proto = net::Protocol::kTcp;
+  p.size_bytes = net::kTcpHeaderBytes;
+  p.tcp.src_port = local_port_;
+  p.tcp.dst_port = remote_port_;
+  p.tcp.syn = syn;
+  p.tcp.fin = fin;
+  p.tcp.has_ack = ack;
+  p.tcp.ack = ack ? rcv_nxt_ : 0;
+  p.tcp.seq = syn ? 0 : (fin ? fin_seq_ : snd_nxt_data_);
+  p.tcp.payload = 0;
+  if (ack) fill_sack(p.tcp, ooo_);
+  ++stats_.segments_sent;
+  node_.send(std::move(p));
+}
+
+void TcpSocket::send_ack_now() {
+  pending_ack_segments_ = 0;
+  delack_timer_.cancel();
+  send_control(/*syn=*/false, /*ack=*/true, /*fin=*/false);
+}
+
+void TcpSocket::schedule_delayed_ack() {
+  if (delack_timer_.pending()) return;
+  auto weak = weak_from_this();
+  delack_timer_ = sim_.after(config_.delayed_ack_timeout, [weak] {
+    if (auto self = weak.lock()) {
+      if (self->pending_ack_segments_ > 0) self->send_ack_now();
+    }
+  });
+}
+
+void TcpSocket::handle_data(const net::Packet& p) {
+  const std::uint64_t seq = p.tcp.seq;
+  const std::uint32_t len = p.tcp.payload;
+
+  if (p.tcp.fin) {
+    peer_fin_received_ = true;  // may still be waiting for earlier data
+    peer_fin_seq_ = seq + len;
+  }
+
+  bool out_of_order = false;
+  if (len > 0) {
+    if (seq + len <= rcv_nxt_) {
+      // Entirely duplicate; re-ACK immediately so the sender can recover.
+      out_of_order = true;
+    } else if (seq <= rcv_nxt_) {
+      rcv_nxt_ = seq + len;
+      deliver_in_order();
+    } else {
+      // Gap: stash the interval.
+      auto [it, inserted] = ooo_.try_emplace(seq, seq + len);
+      if (!inserted) it->second = std::max(it->second, seq + len);
+      out_of_order = true;
+    }
+  }
+
+  // Consume the FIN once all preceding data has arrived.
+  bool fin_consumed = false;
+  if (peer_fin_received_ && rcv_nxt_ == peer_fin_seq_) {
+    rcv_nxt_ = peer_fin_seq_ + 1;
+    fin_consumed = true;
+  }
+
+  if (fin_consumed) {
+    send_ack_now();
+    if (callbacks_.on_remote_close) callbacks_.on_remote_close();
+    return;
+  }
+
+  if (len == 0) {
+    if (p.tcp.fin) send_ack_now();  // FIN arrived before missing data
+    return;
+  }
+
+  if (out_of_order || !config_.delayed_ack) {
+    send_ack_now();
+    return;
+  }
+  if (++pending_ack_segments_ >= 2) {
+    send_ack_now();
+  } else {
+    schedule_delayed_ack();
+  }
+}
+
+void TcpSocket::deliver_in_order() {
+  // Merge any stored intervals now contiguous with rcv_nxt_.
+  for (auto it = ooo_.begin(); it != ooo_.end();) {
+    if (it->first <= rcv_nxt_) {
+      rcv_nxt_ = std::max(rcv_nxt_, it->second);
+      it = ooo_.erase(it);
+    } else {
+      break;
+    }
+  }
+  const std::uint64_t delivered_total = rcv_nxt_ - 1;  // data starts at seq 1
+  if (delivered_total > stats_.bytes_received) {
+    const std::uint64_t newly = delivered_total - stats_.bytes_received;
+    stats_.bytes_received = delivered_total;
+    if (callbacks_.on_data) callbacks_.on_data(newly);
+  }
+}
+
+void TcpSocket::arm_rto() {
+  cancel_rto();
+  auto weak = weak_from_this();
+  rto_timer_ = sim_.after(rtt_.rto(), [weak] {
+    if (auto self = weak.lock()) self->on_rto();
+  });
+  arm_tlp();
+}
+
+void TcpSocket::cancel_rto() {
+  rto_timer_.cancel();
+  tlp_timer_.cancel();
+}
+
+void TcpSocket::arm_tlp() {
+  tlp_timer_.cancel();
+  if (!config_.enable_tlp || !tlp_allowed_ || !rtt_.has_samples()) return;
+  if (state_ != State::kEstablished && state_ != State::kFinWait) return;
+  // PTO = 2 * sRTT, kept comfortably below the RTO so the probe fires
+  // first; skip if the RTO would win anyway.
+  const Time pto = std::max(rtt_.srtt() * 2.0, Time::milliseconds(10));
+  if (pto >= rtt_.rto()) return;
+  auto weak = weak_from_this();
+  tlp_timer_ = sim_.after(pto, [weak] {
+    if (auto self = weak.lock()) self->on_tlp();
+  });
+}
+
+void TcpSocket::on_tlp() {
+  if (state_ == State::kClosed || in_recovery_) return;
+  if (flight_bytes() == 0) return;
+  // Probe with the highest outstanding segment: if the tail was lost, the
+  // probe's (duplicate) arrival produces SACK information that starts
+  // normal fast recovery instead of waiting for the RTO.
+  tlp_allowed_ = false;
+  ++stats_.tlp_probes;
+  const std::uint64_t data_end = 1 + app_bytes_queued_;
+  const std::uint64_t upper = std::min(snd_nxt_data_, data_end);
+  if (upper <= snd_una_) {
+    if (fin_sent_ && !our_fin_acked_) {
+      send_control(/*syn=*/false, /*ack=*/true, /*fin=*/true);
+    }
+    return;
+  }
+  const std::uint64_t len64 =
+      std::min<std::uint64_t>(config_.mss, upper - snd_una_);
+  const std::uint64_t seq = upper - len64;
+  send_segment(seq, static_cast<std::uint32_t>(len64), /*fin=*/false,
+               /*is_retransmit=*/true);
+}
+
+void TcpSocket::on_rto() {
+  if (state_ == State::kClosed) return;
+  ++stats_.timeouts;
+  rtt_.backoff();
+
+  // Give up on connections making no progress (peer gone / persistent
+  // blackhole), like a kernel's retransmission limit.
+  if (++consecutive_timeouts_ > 12) {
+    abort();
+    return;
+  }
+
+  if (state_ == State::kSynSent) {
+    if (stats_.timeouts > 6) {  // connect gives up after ~6 attempts
+      abort();
+      return;
+    }
+    send_control(/*syn=*/true, /*ack=*/false, /*fin=*/false);
+    arm_rto();
+    return;
+  }
+  if (state_ == State::kSynRcvd) {
+    send_control(/*syn=*/true, /*ack=*/true, /*fin=*/false);
+    arm_rto();
+    return;
+  }
+
+  if (flight_bytes() == 0 && !(fin_sent_ && !our_fin_acked_)) {
+    // Watchdog path: nothing in flight but data is queued (the window was
+    // blocked, e.g. by a stale recovery scoreboard). Reset and kick.
+    if (unsent_bytes() > 0 || (fin_pending_ && !fin_sent_)) {
+      in_recovery_ = false;
+      recovery_inflation_ = 0.0;
+      sacked_.clear();
+      sacked_bytes_ = 0;
+      high_sack_ = 0;
+      maybe_send_data();
+      if (flight_bytes() > 0 || (fin_sent_ && !our_fin_acked_)) arm_rto();
+    }
+    return;
+  }
+
+  cc_->on_timeout(sim_.now());
+  in_recovery_ = false;
+  recovery_inflation_ = 0.0;
+  dupack_count_ = 0;
+  rtt_probe_armed_ = false;  // Karn
+  // Conservatively forget SACK state (the scoreboard may be stale).
+  sacked_.clear();
+  sacked_bytes_ = 0;
+  high_sack_ = 0;
+  rtx_marked_.clear();
+
+  const std::uint64_t data_end = 1 + app_bytes_queued_;
+  if (snd_una_ >= 1 && snd_una_ < data_end) {
+    // Go-back-N: after a timeout everything unacknowledged is presumed
+    // lost; roll snd_nxt back so the slow-start restart retransmits the
+    // whole window progressively (classic RTO recovery).
+    snd_nxt_data_ = snd_una_;
+    if (fin_sent_ && !our_fin_acked_) fin_sent_ = false;
+    maybe_send_data();
+  } else {
+    retransmit_head();  // SYN/FIN-only cases
+  }
+  arm_rto();
+}
+
+void TcpSocket::check_done() {
+  if (state_ == State::kClosed) return;
+  const bool send_done = fin_sent_ && our_fin_acked_;
+  const bool recv_done =
+      peer_fin_received_ && rcv_nxt_ == peer_fin_seq_ + 1;
+  if (send_done && recv_done) finish_close();
+}
+
+void TcpSocket::finish_close() {
+  if (state_ == State::kClosed && stats_.closed) return;
+  state_ = State::kClosed;
+  stats_.closed = true;
+  stats_.closed_at = sim_.now();
+  cancel_rto();
+  delack_timer_.cancel();
+  if (bound_) {
+    bound_ = false;
+    // Defer the unbind: the node's demux entry holds the shared_ptr that may
+    // be keeping us alive during this call stack.
+    auto* node = &node_;
+    const auto lp = local_port_;
+    const auto rn = remote_;
+    const auto rp = remote_port_;
+    sim_.after(Time::zero(), [node, lp, rn, rp] {
+      node->unbind_connection(net::Protocol::kTcp, lp, rn, rp);
+    });
+  }
+  if (callbacks_.on_closed) callbacks_.on_closed();
+}
+
+std::string TcpSocket::describe() const {
+  std::ostringstream out;
+  out << "tcp flow=" << flow_id_ << " " << node_.name() << ":" << local_port_
+      << " -> node" << remote_ << ":" << remote_port_ << " cc=" << cc_->name();
+  return out.str();
+}
+
+}  // namespace qoesim::tcp

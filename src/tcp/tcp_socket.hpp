@@ -1,0 +1,238 @@
+// qoesim -- TCP connection endpoint.
+//
+// A full-duplex TCP implementation sufficient for the paper's workloads:
+// three-way handshake, cumulative ACKs with delayed-ACK, out-of-order
+// reassembly, fast retransmit on three duplicate ACKs with NewReno partial
+// ACK handling, RTO with Karn's rule and exponential backoff, FIN-based
+// teardown, and pluggable congestion control (Reno/BIC/CUBIC).
+//
+// Data is modelled as byte counts (no payload content); sequence numbers
+// are 64-bit so wrap-around needs no handling.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+
+#include "net/node.hpp"
+#include "net/packet.hpp"
+#include "sim/simulation.hpp"
+#include "tcp/congestion_control.hpp"
+#include "tcp/rtt_estimator.hpp"
+
+namespace qoesim::tcp {
+
+struct TcpConfig {
+  std::uint32_t mss = net::kDefaultMss;
+  CcKind cc = CcKind::kReno;
+  double initial_cwnd_segments = 4;
+  /// Receive window (bytes); large default emulates window scaling, which
+  /// the paper verified was enabled on all testbed hosts.
+  std::uint64_t receive_window = 4u * 1024u * 1024u;
+  bool delayed_ack = true;
+  Time delayed_ack_timeout = Time::milliseconds(40);
+  RttEstimator::Config rtt = {};
+  std::uint32_t dupack_threshold = 3;
+  /// Maximum segments released by one event (ACK arrival, app write,
+  /// timer). Linux's equivalent burst bound (tso/pacing heuristics) keeps
+  /// window-sized line-rate bursts off slow links; ACK clocking sustains
+  /// full throughput regardless.
+  std::uint32_t max_burst_segments = 16;
+  /// Tail loss probe (Dukkipati et al. 2013, later RFC 8985): after ~2
+  /// sRTT of ACK silence, re-send the highest outstanding segment so a
+  /// lost tail is repaired through SACK recovery instead of an RTO with
+  /// full window collapse.
+  bool enable_tlp = true;
+};
+
+struct TcpStats {
+  std::uint64_t bytes_sent_app = 0;   ///< app bytes submitted
+  std::uint64_t bytes_acked = 0;      ///< app bytes acked by peer
+  std::uint64_t bytes_received = 0;   ///< in-order app bytes delivered
+  std::uint64_t segments_sent = 0;
+  std::uint64_t retransmits = 0;
+  std::uint64_t timeouts = 0;
+  std::uint64_t tlp_probes = 0;
+  std::uint64_t dup_acks_seen = 0;
+  Time connect_time = Time::zero();     ///< SYN -> established
+  Time established_at = Time::zero();
+  Time closed_at = Time::zero();
+  bool connected = false;
+  bool closed = false;
+  bool aborted = false;
+};
+
+class TcpSocket : public std::enable_shared_from_this<TcpSocket> {
+ public:
+  /// Callbacks an application can hook. All optional.
+  struct Callbacks {
+    std::function<void()> on_connected;
+    std::function<void(std::uint64_t bytes)> on_data;  ///< in-order delivery
+    std::function<void()> on_remote_close;             ///< FIN received
+    std::function<void()> on_closed;  ///< both directions closed (or abort)
+  };
+
+  /// Active open: allocates an ephemeral local port and sends a SYN.
+  static std::shared_ptr<TcpSocket> connect(net::Node& node,
+                                            net::NodeId remote,
+                                            std::uint32_t remote_port,
+                                            TcpConfig config = {},
+                                            Callbacks callbacks = {});
+
+  /// Passive open (used by TcpServer): responds to `syn` with SYN-ACK.
+  static std::shared_ptr<TcpSocket> accept(net::Node& node,
+                                           const net::Packet& syn,
+                                           TcpConfig config,
+                                           Callbacks callbacks);
+
+  ~TcpSocket();
+  TcpSocket(const TcpSocket&) = delete;
+  TcpSocket& operator=(const TcpSocket&) = delete;
+
+  /// Queue `bytes` of application data for transmission.
+  void send(std::uint64_t bytes);
+  /// Half-close: FIN after all queued data has been sent.
+  void close();
+  /// Immediate teardown (no FIN exchange; peer will time out).
+  void abort();
+
+  void set_callbacks(Callbacks callbacks) { callbacks_ = std::move(callbacks); }
+
+  bool established() const { return state_ == State::kEstablished; }
+  bool fully_closed() const { return state_ == State::kClosed && stats_.closed; }
+
+  const TcpStats& stats() const { return stats_; }
+  const RttEstimator& rtt() const { return rtt_; }
+  const CongestionControl& congestion() const { return *cc_; }
+  net::FlowId flow_id() const { return flow_id_; }
+  std::uint32_t local_port() const { return local_port_; }
+  std::uint32_t remote_port() const { return remote_port_; }
+  net::NodeId remote_node() const { return remote_; }
+  std::string describe() const;
+
+  /// Bytes of queued app data not yet transmitted for the first time.
+  std::uint64_t unsent_bytes() const;
+  /// Bytes in flight (sent, not cumulatively acked). snd_una can overtake
+  /// snd_nxt_data by one when our FIN's sequence number is acknowledged.
+  std::uint64_t flight_bytes() const {
+    return snd_una_ < snd_nxt_data_ ? snd_nxt_data_ - snd_una_ : 0;
+  }
+
+ private:
+  enum class State {
+    kClosed,
+    kSynSent,
+    kSynRcvd,
+    kEstablished,
+    kFinWait,    // our FIN sent, waiting for its ACK and/or peer FIN
+    kTimeWait,
+  };
+
+  TcpSocket(net::Node& node, net::NodeId remote, std::uint32_t local_port,
+            std::uint32_t remote_port, TcpConfig config, Callbacks callbacks);
+
+  void start_connect();
+  void start_accept(const net::Packet& syn);
+  void on_packet(net::Packet&& p);
+  void handle_ack(const net::Packet& p);
+  void handle_data(const net::Packet& p);
+  void maybe_send_data();
+  /// Bytes believed to be in the network (pipe algorithm under SACK
+  /// recovery, plain flight otherwise).
+  double outstanding_estimate() const;
+  /// Retransmit the first un-sacked hole at/above rtx_next_; false if none.
+  bool retransmit_next_hole();
+  /// Merge a SACK block into the scoreboard; returns newly covered bytes.
+  void add_sack_block(std::uint64_t start, std::uint64_t end);
+  /// Drop scoreboard state at/below the new cumulative ack.
+  void prune_sacked();
+  void send_segment(std::uint64_t seq, std::uint32_t len, bool fin,
+                    bool is_retransmit);
+  void send_control(bool syn, bool ack, bool fin);
+  void send_ack_now();
+  void schedule_delayed_ack();
+  void enter_recovery();
+  void retransmit_head();
+  void arm_rto();
+  void cancel_rto();
+  void on_rto();
+  void arm_tlp();
+  void on_tlp();
+  void check_done();
+  void finish_close();
+  void deliver_in_order();
+
+  net::Node& node_;
+  Simulation& sim_;
+  net::NodeId remote_;
+  std::uint32_t local_port_;
+  std::uint32_t remote_port_;
+  TcpConfig config_;
+  Callbacks callbacks_;
+  net::FlowId flow_id_;
+
+  State state_ = State::kClosed;
+  std::unique_ptr<CongestionControl> cc_;
+  RttEstimator rtt_;
+
+  // ---- send side (sequence space: SYN=0, data starts at 1) ----
+  std::uint64_t snd_una_ = 0;       ///< oldest unacknowledged seq
+  std::uint64_t snd_nxt_data_ = 1;  ///< next new data seq to send
+  std::uint64_t snd_max_ = 1;       ///< highest data seq ever sent (+1)
+  std::uint64_t app_bytes_queued_ = 0;  ///< total app bytes submitted
+  bool fin_pending_ = false;  ///< close() called
+  bool fin_sent_ = false;
+  std::uint64_t fin_seq_ = 0;  ///< sequence number consumed by our FIN
+
+  // Loss recovery (NewReno, RFC 6582).
+  std::uint32_t dupack_count_ = 0;
+  std::uint32_t consecutive_timeouts_ = 0;
+  bool in_recovery_ = false;
+  std::uint64_t recover_ = 0;  ///< NewReno recovery point
+  /// RFC 5681 window inflation during fast recovery: each duplicate ACK
+  /// signals a departed packet, permitting new data to keep the pipe full.
+  /// Only used when the peer supplies no SACK information.
+  double recovery_inflation_ = 0.0;
+
+  // SACK scoreboard (RFC 2018/6675): selectively acked intervals above
+  // snd_una, the highest sacked sequence, and per-episode retransmission
+  // progress for the pipe algorithm.
+  std::map<std::uint64_t, std::uint64_t> sacked_;  ///< [start -> end)
+  std::uint64_t sacked_bytes_ = 0;
+  std::uint64_t high_sack_ = 0;
+  std::uint64_t rtx_next_ = 0;           ///< next hole candidate this episode
+  /// Hole bytes retransmitted and presumed back in flight ([start -> end)).
+  /// Counted into the pipe until cumulatively acked, SACKed, or given up.
+  std::map<std::uint64_t, std::uint64_t> rtx_marked_;
+  /// Bytes delivered by the most recent ACK (cumulative advance + newly
+  /// SACKed); entitles the conservation fallback to an equal amount of
+  /// retransmission even when the pipe estimate is jammed by dead bytes.
+  double conservation_credit_ = 0.0;
+  Time rtx_pass_started_;                ///< start of the current hole pass
+
+  // RTT probe (one at a time; Karn's rule).
+  bool rtt_probe_armed_ = false;
+  std::uint64_t rtt_probe_seq_ = 0;
+  Time rtt_probe_sent_;
+
+  EventHandle rto_timer_;
+  EventHandle delack_timer_;
+  EventHandle tlp_timer_;
+  bool tlp_allowed_ = true;  ///< one probe per ACK-progress epoch
+
+  // ---- receive side ----
+  std::uint64_t rcv_nxt_ = 0;  ///< next expected peer seq (0 until SYN seen)
+  std::map<std::uint64_t, std::uint64_t> ooo_;  ///< out-of-order [start,end)
+  std::uint32_t pending_ack_segments_ = 0;
+  bool peer_fin_received_ = false;
+  std::uint64_t peer_fin_seq_ = 0;
+  bool our_fin_acked_ = false;
+
+  TcpStats stats_;
+  Time syn_sent_at_;
+  bool bound_ = false;
+};
+
+}  // namespace qoesim::tcp

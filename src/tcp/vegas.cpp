@@ -1,0 +1,56 @@
+#include "tcp/vegas.hpp"
+
+#include <algorithm>
+
+namespace qoesim::tcp {
+
+VegasCc::VegasCc(double mss_bytes, double initial_cwnd_bytes)
+    : CongestionControl(mss_bytes, initial_cwnd_bytes) {}
+
+void VegasCc::on_ack(double acked_bytes, Time rtt, Time /*now*/) {
+  if (rtt > Time::zero() && rtt < base_rtt_) base_rtt_ = rtt;
+  if (base_rtt_ == Time::max() || rtt <= Time::zero()) return;
+
+  if (in_slow_start()) {
+    // Vegas slow start: grow every other RTT in spirit; we approximate by
+    // half-rate byte counting, and leave on backlog like CA does below.
+    cwnd_ = std::min(cwnd_ + acked_bytes / 2.0,
+                     std::max(ssthresh_, cwnd_ + mss_));
+  }
+
+  // Backlog estimate: Diff = (Expected - Actual) * BaseRTT, in packets.
+  const double expected_pps = cwnd_ / base_rtt_.sec();
+  const double actual_pps = cwnd_ / std::max(rtt.sec(), 1e-9);
+  const double diff_pkts =
+      (expected_pps - actual_pps) * base_rtt_.sec() / mss_;
+  last_backlog_ = diff_pkts;
+
+  if (in_slow_start()) {
+    if (diff_pkts > kBeta) ssthresh_ = cwnd_;  // backlog building: exit
+    return;
+  }
+
+  // Congestion avoidance: one MSS per RTT up/down toward the target band.
+  const double per_ack = mss_ * (acked_bytes / std::max(cwnd_, mss_));
+  if (diff_pkts < kAlpha) {
+    cwnd_ += per_ack;
+  } else if (diff_pkts > kBeta) {
+    cwnd_ = std::max(2.0 * mss_, cwnd_ - per_ack);
+    // A deliberate decrease must not drop the window below ssthresh and
+    // re-trigger slow start on the next ACK.
+    ssthresh_ = std::min(ssthresh_, cwnd_);
+  }
+  // else: inside the band, hold.
+}
+
+void VegasCc::on_loss_event(Time /*now*/) {
+  ssthresh_ = std::max(cwnd_ * 3.0 / 4.0, 2.0 * mss_);
+  cwnd_ = ssthresh_;
+}
+
+void VegasCc::on_timeout(Time /*now*/) {
+  ssthresh_ = std::max(cwnd_ / 2.0, 2.0 * mss_);
+  cwnd_ = mss_;
+}
+
+}  // namespace qoesim::tcp

@@ -1,0 +1,35 @@
+// qoesim -- TCP Vegas congestion control (Brakmo & Peterson 1995).
+//
+// Delay-based: Vegas estimates the backlog it keeps in the bottleneck
+// queue (expected vs. actual rate) and holds it between alpha and beta
+// packets. Included as an ablation for the bufferbloat discussion: a
+// delay-based sender never fills a deep buffer in the first place, so
+// the paper's worst cells vanish without AQM -- at the price of losing
+// against loss-based flows (which is why the Internet didn't adopt it).
+#pragma once
+
+#include "tcp/congestion_control.hpp"
+
+namespace qoesim::tcp {
+
+class VegasCc final : public CongestionControl {
+ public:
+  VegasCc(double mss_bytes, double initial_cwnd_bytes);
+
+  void on_ack(double acked_bytes, Time rtt, Time now) override;
+  void on_loss_event(Time now) override;
+  void on_timeout(Time now) override;
+  std::string name() const override { return "vegas"; }
+
+  /// Estimated packets queued at the bottleneck (diagnostic).
+  double backlog_estimate() const { return last_backlog_; }
+
+ private:
+  static constexpr double kAlpha = 2.0;  // target backlog lower bound (pkts)
+  static constexpr double kBeta = 4.0;   // upper bound
+
+  Time base_rtt_ = Time::max();  // propagation estimate (min observed)
+  double last_backlog_ = 0.0;
+};
+
+}  // namespace qoesim::tcp

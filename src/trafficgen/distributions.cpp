@@ -1,0 +1,148 @@
+#include "trafficgen/distributions.hpp"
+
+#include <cmath>
+#include <limits>
+#include <sstream>
+#include <stdexcept>
+
+namespace qoesim::trafficgen {
+
+ConstantDist::ConstantDist(double value) : value_(value) {}
+
+std::string ConstantDist::describe() const {
+  std::ostringstream out;
+  out << "constant(" << value_ << ")";
+  return out.str();
+}
+
+UniformDist::UniformDist(double lo, double hi) : lo_(lo), hi_(hi) {
+  if (hi < lo) throw std::invalid_argument("UniformDist: hi < lo");
+}
+
+double UniformDist::sample(RandomStream& rng) const {
+  return rng.uniform(lo_, hi_);
+}
+
+std::string UniformDist::describe() const {
+  std::ostringstream out;
+  out << "uniform(" << lo_ << "," << hi_ << ")";
+  return out.str();
+}
+
+ExponentialDist::ExponentialDist(double mean) : mean_(mean) {
+  if (mean <= 0) throw std::invalid_argument("ExponentialDist: mean <= 0");
+}
+
+double ExponentialDist::sample(RandomStream& rng) const {
+  return rng.exponential(mean_);
+}
+
+std::string ExponentialDist::describe() const {
+  std::ostringstream out;
+  out << "exp(mean=" << mean_ << ")";
+  return out.str();
+}
+
+WeibullDist::WeibullDist(double shape, double scale)
+    : shape_(shape), scale_(scale) {
+  if (shape <= 0 || scale <= 0) {
+    throw std::invalid_argument("WeibullDist: parameters must be > 0");
+  }
+}
+
+double WeibullDist::sample(RandomStream& rng) const {
+  return rng.weibull(shape_, scale_);
+}
+
+double WeibullDist::mean() const {
+  return scale_ * std::tgamma(1.0 + 1.0 / shape_);
+}
+
+double WeibullDist::scale_for_mean(double shape, double mean) {
+  return mean / std::tgamma(1.0 + 1.0 / shape);
+}
+
+std::string WeibullDist::describe() const {
+  std::ostringstream out;
+  out << "weibull(shape=" << shape_ << ",scale=" << scale_ << ")";
+  return out.str();
+}
+
+ParetoDist::ParetoDist(double shape, double minimum)
+    : shape_(shape), minimum_(minimum) {
+  if (shape <= 0 || minimum <= 0) {
+    throw std::invalid_argument("ParetoDist: parameters must be > 0");
+  }
+}
+
+double ParetoDist::sample(RandomStream& rng) const {
+  return rng.pareto(shape_, minimum_);
+}
+
+double ParetoDist::mean() const {
+  if (shape_ <= 1.0) return std::numeric_limits<double>::infinity();
+  return shape_ * minimum_ / (shape_ - 1.0);
+}
+
+std::string ParetoDist::describe() const {
+  std::ostringstream out;
+  out << "pareto(shape=" << shape_ << ",min=" << minimum_ << ")";
+  return out.str();
+}
+
+LogNormalDist::LogNormalDist(double mu, double sigma) : mu_(mu), sigma_(sigma) {
+  if (sigma < 0) throw std::invalid_argument("LogNormalDist: sigma < 0");
+}
+
+double LogNormalDist::sample(RandomStream& rng) const {
+  return rng.lognormal(mu_, sigma_);
+}
+
+double LogNormalDist::mean() const {
+  return std::exp(mu_ + sigma_ * sigma_ / 2.0);
+}
+
+LogNormalDist LogNormalDist::from_mean_median(double mean, double median) {
+  if (median <= 0 || mean <= median) {
+    throw std::invalid_argument("LogNormalDist: need mean > median > 0");
+  }
+  const double mu = std::log(median);
+  const double sigma = std::sqrt(2.0 * std::log(mean / median));
+  return LogNormalDist(mu, sigma);
+}
+
+std::string LogNormalDist::describe() const {
+  std::ostringstream out;
+  out << "lognormal(mu=" << mu_ << ",sigma=" << sigma_ << ")";
+  return out.str();
+}
+
+EmpiricalDist::EmpiricalDist(std::vector<double> values)
+    : values_(std::move(values)) {
+  if (values_.empty()) throw std::invalid_argument("EmpiricalDist: empty");
+}
+
+double EmpiricalDist::sample(RandomStream& rng) const {
+  const auto idx = static_cast<std::size_t>(
+      rng.uniform_int(0, static_cast<std::int64_t>(values_.size()) - 1));
+  return values_[idx];
+}
+
+double EmpiricalDist::mean() const {
+  double s = 0.0;
+  for (double v : values_) s += v;
+  return s / static_cast<double>(values_.size());
+}
+
+std::string EmpiricalDist::describe() const {
+  std::ostringstream out;
+  out << "empirical(n=" << values_.size() << ")";
+  return out.str();
+}
+
+DistributionPtr paper_file_sizes() {
+  // Table 1: weibull(shape=0.35, scale=10039) -> mean flow size ~50 KB.
+  return std::make_shared<WeibullDist>(0.35, 10039.0);
+}
+
+}  // namespace qoesim::trafficgen

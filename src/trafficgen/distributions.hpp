@@ -1,0 +1,116 @@
+// qoesim -- random variate distributions for workload generation.
+//
+// The paper's workloads are specified distributionally (Table 1):
+// exponential flow inter-arrivals and Weibull(shape=0.35, scale=10039) file
+// sizes (mean 50 KB), chosen over Pareto because mean and variance are
+// finite. The polymorphic interface lets scenarios swap size models.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "sim/random.hpp"
+
+namespace qoesim::trafficgen {
+
+class Distribution {
+ public:
+  virtual ~Distribution() = default;
+  virtual double sample(RandomStream& rng) const = 0;
+  /// Analytic mean (used for workload sanity checks and Table 1 reporting).
+  virtual double mean() const = 0;
+  virtual std::string describe() const = 0;
+};
+
+using DistributionPtr = std::shared_ptr<const Distribution>;
+
+class ConstantDist final : public Distribution {
+ public:
+  explicit ConstantDist(double value);
+  double sample(RandomStream&) const override { return value_; }
+  double mean() const override { return value_; }
+  std::string describe() const override;
+
+ private:
+  double value_;
+};
+
+class UniformDist final : public Distribution {
+ public:
+  UniformDist(double lo, double hi);
+  double sample(RandomStream& rng) const override;
+  double mean() const override { return (lo_ + hi_) / 2.0; }
+  std::string describe() const override;
+
+ private:
+  double lo_, hi_;
+};
+
+class ExponentialDist final : public Distribution {
+ public:
+  explicit ExponentialDist(double mean);
+  double sample(RandomStream& rng) const override;
+  double mean() const override { return mean_; }
+  std::string describe() const override;
+
+ private:
+  double mean_;
+};
+
+class WeibullDist final : public Distribution {
+ public:
+  WeibullDist(double shape, double scale);
+  double sample(RandomStream& rng) const override;
+  double mean() const override;  // scale * Gamma(1 + 1/shape)
+  std::string describe() const override;
+  double shape() const { return shape_; }
+  double scale() const { return scale_; }
+
+  /// Scale such that a Weibull with `shape` has the requested mean.
+  static double scale_for_mean(double shape, double mean);
+
+ private:
+  double shape_, scale_;
+};
+
+class ParetoDist final : public Distribution {
+ public:
+  ParetoDist(double shape, double minimum);
+  double sample(RandomStream& rng) const override;
+  double mean() const override;  // infinite for shape <= 1
+  std::string describe() const override;
+
+ private:
+  double shape_, minimum_;
+};
+
+class LogNormalDist final : public Distribution {
+ public:
+  LogNormalDist(double mu, double sigma);
+  double sample(RandomStream& rng) const override;
+  double mean() const override;
+  std::string describe() const override;
+
+  /// Parameterize from a desired (mean, median) pair, both > 0, mean>median.
+  static LogNormalDist from_mean_median(double mean, double median);
+
+ private:
+  double mu_, sigma_;
+};
+
+class EmpiricalDist final : public Distribution {
+ public:
+  explicit EmpiricalDist(std::vector<double> values);
+  double sample(RandomStream& rng) const override;
+  double mean() const override;
+  std::string describe() const override;
+
+ private:
+  std::vector<double> values_;
+};
+
+/// The paper's file size model: Weibull(0.35, 10039), mean ~50 KB.
+DistributionPtr paper_file_sizes();
+
+}  // namespace qoesim::trafficgen

@@ -1,0 +1,126 @@
+#include "trafficgen/harpoon.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace qoesim::trafficgen {
+
+void ConcurrencyGauge::change(Time now, int delta) {
+  integral_ += static_cast<double>(current_) * (now - last_change_).sec();
+  last_change_ = now;
+  if (delta < 0 && current_ < static_cast<std::size_t>(-delta)) {
+    current_ = 0;
+  } else {
+    current_ = static_cast<std::size_t>(static_cast<std::ptrdiff_t>(current_) +
+                                        delta);
+  }
+  peak_ = std::max(peak_, current_);
+}
+
+double ConcurrencyGauge::time_weighted_mean(Time now) const {
+  const double total =
+      integral_ + static_cast<double>(current_) * (now - last_change_).sec();
+  const double duration = now.sec();
+  return duration > 0 ? total / duration : 0.0;
+}
+
+HarpoonGenerator::HarpoonGenerator(Simulation& sim,
+                                   std::vector<net::Node*> sources,
+                                   std::vector<net::Node*> sinks,
+                                   HarpoonConfig config, RandomStream rng)
+    : sim_(sim),
+      sources_(std::move(sources)),
+      sinks_(std::move(sinks)),
+      config_(std::move(config)),
+      rng_(rng) {
+  if (sources_.empty() || sinks_.empty()) {
+    throw std::invalid_argument("HarpoonGenerator: need sources and sinks");
+  }
+  if (!config_.interarrival || !config_.file_size) {
+    throw std::invalid_argument("HarpoonGenerator: distributions required");
+  }
+}
+
+void HarpoonGenerator::start() {
+  // One acceptor per sink node; received flows are closed once the peer
+  // half-closes, which completes the transfer.
+  for (net::Node* sink : sinks_) {
+    acceptors_.push_back(std::make_unique<tcp::TcpServer>(
+        *sink, config_.sink_port, config_.tcp,
+        [](std::shared_ptr<tcp::TcpSocket> sock) {
+          auto weak = std::weak_ptr<tcp::TcpSocket>(sock);
+          sock->set_callbacks({
+              .on_connected = {},
+              .on_data = {},
+              .on_remote_close =
+                  [weak] {
+                    if (auto s = weak.lock()) s->close();
+                  },
+              .on_closed = {},
+          });
+        }));
+  }
+
+  sessions_.resize(config_.sessions);
+  for (std::size_t i = 0; i < sessions_.size(); ++i) {
+    sessions_[i].index = i;
+    schedule_next(sessions_[i]);
+  }
+}
+
+void HarpoonGenerator::schedule_next(Session& session) {
+  const double wait_s = std::max(0.0, config_.interarrival->sample(rng_));
+  const std::size_t idx = session.index;
+  sim_.after(Time::seconds(wait_s), [this, idx] {
+    if (stopped_) return;
+    start_flow(sessions_[idx]);
+    schedule_next(sessions_[idx]);
+  });
+}
+
+void HarpoonGenerator::start_flow(Session& session) {
+  if (config_.max_active_per_session != 0 &&
+      session.active >= config_.max_active_per_session) {
+    ++flows_skipped_;
+    return;
+  }
+  const auto size = static_cast<std::uint64_t>(
+      std::max(1.0, config_.file_size->sample(rng_)));
+  net::Node* src = sources_[static_cast<std::size_t>(
+      rng_.uniform_int(0, static_cast<std::int64_t>(sources_.size()) - 1))];
+  net::Node* dst = sinks_[static_cast<std::size_t>(
+      rng_.uniform_int(0, static_cast<std::int64_t>(sinks_.size()) - 1))];
+
+  ++flows_started_;
+  ++session.active;
+  gauge_.change(sim_.now(), +1);
+  const Time t0 = sim_.now();
+  const std::size_t session_idx = session.index;
+
+  auto sock = tcp::TcpSocket::connect(*src, dst->id(), config_.sink_port,
+                                      config_.tcp, {});
+  auto weak = std::weak_ptr<tcp::TcpSocket>(sock);
+  sock->set_callbacks({
+      .on_connected =
+          [weak, size] {
+            if (auto s = weak.lock()) {
+              s->send(size);
+              s->close();
+            }
+          },
+      .on_data = {},
+      .on_remote_close = {},
+      .on_closed =
+          [this, session_idx, size, t0] {
+            ++flows_completed_;
+            bytes_completed_ += size;
+            if (sessions_[session_idx].active > 0) {
+              --sessions_[session_idx].active;
+            }
+            gauge_.change(sim_.now(), -1);
+            fct_.add((sim_.now() - t0).sec());
+          },
+  });
+}
+
+}  // namespace qoesim::trafficgen

@@ -1,0 +1,102 @@
+// qoesim -- Harpoon-like flow-level traffic generator (Sommers et al.).
+//
+// Each "session" mimics a user: it draws file-transfer request times from
+// an exponential inter-arrival process and file sizes from a configurable
+// distribution, opening one TCP connection per file from a source host to a
+// sink host. Requests do not wait for earlier transfers, so heavy files
+// produce the self-similar mixture of short bursts and long-lived flows the
+// paper uses as background traffic ("short-*" scenarios).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "net/node.hpp"
+#include "sim/simulation.hpp"
+#include "stats/summary.hpp"
+#include "tcp/tcp_server.hpp"
+#include "tcp/tcp_socket.hpp"
+#include "trafficgen/distributions.hpp"
+
+namespace qoesim::trafficgen {
+
+struct HarpoonConfig {
+  std::size_t sessions = 1;
+  DistributionPtr interarrival;  ///< seconds between requests per session
+  DistributionPtr file_size;     ///< bytes per transfer
+  tcp::TcpConfig tcp;
+  std::uint32_t sink_port = 9000;
+  /// Requests arriving while this many flows of a session are still active
+  /// are skipped (guards the simulator against unbounded flow pile-up in
+  /// overload scenarios; 0 = unlimited, Harpoon semantics).
+  std::size_t max_active_per_session = 0;
+};
+
+/// Tracks the number of concurrently active flows as a time-weighted mean,
+/// the statistic reported in Table 1 ("Concurrent Flows").
+class ConcurrencyGauge {
+ public:
+  void change(Time now, int delta);
+  std::size_t current() const { return current_; }
+  double time_weighted_mean(Time now) const;
+  std::size_t peak() const { return peak_; }
+
+ private:
+  std::size_t current_ = 0;
+  std::size_t peak_ = 0;
+  Time last_change_;
+  double integral_ = 0.0;  // sum of count * seconds
+};
+
+class HarpoonGenerator {
+ public:
+  /// Traffic flows from `sources` to `sinks` (sources actively connect and
+  /// push data; sinks run acceptors). Call start() to begin.
+  HarpoonGenerator(Simulation& sim, std::vector<net::Node*> sources,
+                   std::vector<net::Node*> sinks, HarpoonConfig config,
+                   RandomStream rng);
+  ~HarpoonGenerator() = default;
+
+  HarpoonGenerator(const HarpoonGenerator&) = delete;
+  HarpoonGenerator& operator=(const HarpoonGenerator&) = delete;
+
+  void start();
+  /// Stop generating new flows (active flows drain naturally).
+  void stop() { stopped_ = true; }
+
+  std::uint64_t flows_started() const { return flows_started_; }
+  std::uint64_t flows_completed() const { return flows_completed_; }
+  std::uint64_t flows_skipped() const { return flows_skipped_; }
+  std::uint64_t bytes_completed() const { return bytes_completed_; }
+  const ConcurrencyGauge& concurrency() const { return gauge_; }
+  /// Flow completion times (seconds), a QoS metric from related work (§2).
+  const stats::Samples& completion_times() const { return fct_; }
+
+ private:
+  struct Session {
+    std::size_t index = 0;
+    std::size_t active = 0;
+  };
+
+  void schedule_next(Session& session);
+  void start_flow(Session& session);
+
+  Simulation& sim_;
+  std::vector<net::Node*> sources_;
+  std::vector<net::Node*> sinks_;
+  HarpoonConfig config_;
+  RandomStream rng_;
+  bool stopped_ = false;
+
+  std::vector<std::unique_ptr<tcp::TcpServer>> acceptors_;
+  std::vector<Session> sessions_;
+  std::uint64_t flows_started_ = 0;
+  std::uint64_t flows_completed_ = 0;
+  std::uint64_t flows_skipped_ = 0;
+  std::uint64_t bytes_completed_ = 0;
+  ConcurrencyGauge gauge_;
+  stats::Samples fct_;
+};
+
+}  // namespace qoesim::trafficgen

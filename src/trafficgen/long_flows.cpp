@@ -1,0 +1,70 @@
+#include "trafficgen/long_flows.hpp"
+
+#include <stdexcept>
+
+namespace qoesim::trafficgen {
+
+LongFlowGenerator::LongFlowGenerator(Simulation& sim,
+                                     std::vector<net::Node*> sources,
+                                     std::vector<net::Node*> sinks,
+                                     LongFlowConfig config, RandomStream rng)
+    : sim_(sim),
+      sources_(std::move(sources)),
+      sinks_(std::move(sinks)),
+      config_(config),
+      rng_(rng) {
+  if (sources_.empty() || sinks_.empty()) {
+    throw std::invalid_argument("LongFlowGenerator: need sources and sinks");
+  }
+}
+
+void LongFlowGenerator::start() {
+  for (net::Node* sink : sinks_) {
+    acceptors_.push_back(std::make_unique<tcp::TcpServer>(
+        *sink, config_.sink_port, config_.tcp,
+        [](std::shared_ptr<tcp::TcpSocket>) {
+          // Pure sink: never closes; data is consumed on arrival.
+        }));
+  }
+
+  for (std::size_t i = 0; i < config_.flows; ++i) {
+    net::Node* src = sources_[i % sources_.size()];
+    net::Node* dst = sinks_[i % sinks_.size()];
+    const Time start = config_.start_window * rng_.uniform();
+    sim_.after(start, [this, src, dst] {
+      auto sock = tcp::TcpSocket::connect(*src, dst->id(), config_.sink_port,
+                                          config_.tcp, {});
+      auto weak = std::weak_ptr<tcp::TcpSocket>(sock);
+      const std::uint64_t chunk = config_.chunk_bytes;
+      sock->set_callbacks({
+          .on_connected =
+              [weak, chunk] {
+                if (auto s = weak.lock()) s->send(2 * chunk);
+              },
+          .on_data = {},
+          .on_remote_close = {},
+          .on_closed = {},
+      });
+      flows_.push_back(std::move(sock));
+    });
+  }
+
+  refill();
+}
+
+void LongFlowGenerator::refill() {
+  for (auto& sock : flows_) {
+    if (sock->established() && sock->unsent_bytes() < config_.chunk_bytes) {
+      sock->send(config_.chunk_bytes);
+    }
+  }
+  sim_.after(config_.refill_interval, [this] { refill(); });
+}
+
+std::uint64_t LongFlowGenerator::total_bytes_acked() const {
+  std::uint64_t total = 0;
+  for (const auto& sock : flows_) total += sock->stats().bytes_acked;
+  return total;
+}
+
+}  // namespace qoesim::trafficgen

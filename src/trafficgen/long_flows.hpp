@@ -1,0 +1,60 @@
+// qoesim -- long-lived ("infinite") TCP flows.
+//
+// The paper's "long" scenarios use flows of infinite duration whose link
+// utilization is almost independent of the flow count. Senders keep their
+// socket buffers topped up so the flows are persistently backlogged
+// (greedy), like iperf/netperf sessions on the testbed hosts.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "net/node.hpp"
+#include "sim/simulation.hpp"
+#include "tcp/tcp_server.hpp"
+#include "tcp/tcp_socket.hpp"
+
+namespace qoesim::trafficgen {
+
+struct LongFlowConfig {
+  std::size_t flows = 1;
+  tcp::TcpConfig tcp;
+  std::uint32_t sink_port = 9100;
+  /// Connections start uniformly spread over this window to avoid
+  /// synchronized slow starts.
+  Time start_window = Time::seconds(1);
+  /// Sender refill granularity.
+  std::uint64_t chunk_bytes = 256 * 1024;
+  Time refill_interval = Time::milliseconds(100);
+};
+
+class LongFlowGenerator {
+ public:
+  LongFlowGenerator(Simulation& sim, std::vector<net::Node*> sources,
+                    std::vector<net::Node*> sinks, LongFlowConfig config,
+                    RandomStream rng);
+
+  LongFlowGenerator(const LongFlowGenerator&) = delete;
+  LongFlowGenerator& operator=(const LongFlowGenerator&) = delete;
+
+  void start();
+
+  std::size_t flow_count() const { return flows_.size(); }
+  const tcp::TcpSocket& flow(std::size_t i) const { return *flows_.at(i); }
+  std::uint64_t total_bytes_acked() const;
+
+ private:
+  void refill();
+
+  Simulation& sim_;
+  std::vector<net::Node*> sources_;
+  std::vector<net::Node*> sinks_;
+  LongFlowConfig config_;
+  RandomStream rng_;
+
+  std::vector<std::unique_ptr<tcp::TcpServer>> acceptors_;
+  std::vector<std::shared_ptr<tcp::TcpSocket>> flows_;
+};
+
+}  // namespace qoesim::trafficgen

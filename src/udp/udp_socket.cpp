@@ -1,0 +1,35 @@
+#include "udp/udp_socket.hpp"
+
+namespace qoesim::udp {
+
+UdpSocket::UdpSocket(net::Node& node, std::uint32_t local_port)
+    : node_(node),
+      port_(local_port != 0 ? local_port : node.allocate_port()) {
+  node_.bind_listener(net::Protocol::kUdp, port_, [this](net::Packet&& p) {
+    ++received_packets_;
+    if (on_receive_) on_receive_(std::move(p));
+  });
+}
+
+UdpSocket::~UdpSocket() {
+  node_.unbind_listener(net::Protocol::kUdp, port_);
+}
+
+void UdpSocket::send_to(net::NodeId dst, std::uint32_t dst_port,
+                        std::uint32_t payload_bytes, const net::AppTag& tag,
+                        std::uint32_t extra_header_bytes) {
+  net::Packet p;
+  p.uid = net::next_packet_uid();
+  p.src = node_.id();
+  p.dst = dst;
+  p.proto = net::Protocol::kUdp;
+  p.size_bytes = payload_bytes + extra_header_bytes + net::kUdpHeaderBytes;
+  p.udp.src_port = port_;
+  p.udp.dst_port = dst_port;
+  p.udp.payload = payload_bytes;
+  p.app = tag;
+  ++sent_packets_;
+  node_.send(std::move(p));
+}
+
+}  // namespace qoesim::udp

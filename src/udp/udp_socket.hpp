@@ -1,0 +1,49 @@
+// qoesim -- UDP endpoint.
+//
+// Thin datagram wrapper over the node demux: used by the VoIP and RTP video
+// applications. Datagrams carry an AppTag so receivers can reconstruct
+// per-media-unit loss and delay.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+
+#include "net/node.hpp"
+#include "net/packet.hpp"
+
+namespace qoesim::udp {
+
+class UdpSocket {
+ public:
+  using ReceiveFn = std::function<void(net::Packet&&)>;
+
+  /// Bind to `local_port` (0 = allocate an ephemeral port).
+  UdpSocket(net::Node& node, std::uint32_t local_port = 0);
+  ~UdpSocket();
+
+  UdpSocket(const UdpSocket&) = delete;
+  UdpSocket& operator=(const UdpSocket&) = delete;
+
+  void set_receive(ReceiveFn fn) { on_receive_ = std::move(fn); }
+
+  /// Send `payload_bytes` of application payload (+UDP/IP headers on the
+  /// wire; add RTP overhead at the application layer via extra_header).
+  void send_to(net::NodeId dst, std::uint32_t dst_port,
+               std::uint32_t payload_bytes, const net::AppTag& tag,
+               std::uint32_t extra_header_bytes = 0);
+
+  std::uint32_t port() const { return port_; }
+  net::Node& node() { return node_; }
+  std::uint64_t sent_packets() const { return sent_packets_; }
+  std::uint64_t received_packets() const { return received_packets_; }
+
+ private:
+  net::Node& node_;
+  std::uint32_t port_;
+  ReceiveFn on_receive_;
+  std::uint64_t sent_packets_ = 0;
+  std::uint64_t received_packets_ = 0;
+};
+
+}  // namespace qoesim::udp

@@ -1,0 +1,55 @@
+// Shared harness for TCP tests: a two-node duplex topology with
+// configurable rate/delay/buffer, plus simple source/sink helpers.
+#pragma once
+
+#include <memory>
+
+#include "net/topology.hpp"
+#include "sim/simulation.hpp"
+#include "tcp/tcp_server.hpp"
+#include "tcp/tcp_socket.hpp"
+
+namespace qoesim::testutil {
+
+struct PairNet {
+  explicit PairNet(double rate_bps = 10e6,
+                   Time delay = Time::milliseconds(10),
+                   std::size_t buffer = 100)
+      : topo(sim) {
+    a = &topo.add_node("a");
+    b = &topo.add_node("b");
+    net::LinkSpec spec;
+    spec.rate_bps = rate_bps;
+    spec.delay = delay;
+    spec.buffer_packets = buffer;
+    links = topo.connect(*a, *b, spec, spec);
+    topo.compute_routes();
+  }
+
+  Simulation sim;
+  net::Topology topo;
+  net::Node* a = nullptr;
+  net::Node* b = nullptr;
+  net::Topology::LinkPair links;
+};
+
+/// Echo-less sink: accepts connections, closes when the peer half-closes.
+inline std::unique_ptr<tcp::TcpServer> make_sink(net::Node& node,
+                                                 std::uint32_t port,
+                                                 tcp::TcpConfig config = {}) {
+  return std::make_unique<tcp::TcpServer>(
+      node, port, config, [](std::shared_ptr<tcp::TcpSocket> sock) {
+        auto weak = std::weak_ptr<tcp::TcpSocket>(sock);
+        sock->set_callbacks({
+            .on_connected = {},
+            .on_data = {},
+            .on_remote_close =
+                [weak] {
+                  if (auto s = weak.lock()) s->close();
+                },
+            .on_closed = {},
+        });
+      });
+}
+
+}  // namespace qoesim::testutil

@@ -1,0 +1,92 @@
+// Ecdf / Kolmogorov-Smirnov tests, including distribution validation of
+// the workload generators against their analytic CDFs.
+#include "stats/cdf.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "sim/random.hpp"
+#include "trafficgen/distributions.hpp"
+
+namespace qoesim::stats {
+namespace {
+
+TEST(Ecdf, BasicEvaluation) {
+  Ecdf e({1.0, 2.0, 3.0, 4.0});
+  EXPECT_DOUBLE_EQ(e.at(0.5), 0.0);
+  EXPECT_DOUBLE_EQ(e.at(1.0), 0.25);
+  EXPECT_DOUBLE_EQ(e.at(2.5), 0.5);
+  EXPECT_DOUBLE_EQ(e.at(10.0), 1.0);
+  EXPECT_EQ(e.count(), 4u);
+}
+
+TEST(Ecdf, EmptyThrows) {
+  EXPECT_THROW(Ecdf({}), std::invalid_argument);
+}
+
+TEST(Ecdf, Quantiles) {
+  Ecdf e({5.0, 1.0, 3.0, 2.0, 4.0});
+  EXPECT_DOUBLE_EQ(e.quantile(0.2), 1.0);
+  EXPECT_DOUBLE_EQ(e.quantile(0.5), 3.0);
+  EXPECT_DOUBLE_EQ(e.quantile(1.0), 5.0);
+  EXPECT_DOUBLE_EQ(e.quantile(0.0), 1.0);
+}
+
+TEST(Ecdf, KsIdenticalIsZero) {
+  Ecdf a({1, 2, 3});
+  Ecdf b({1, 2, 3});
+  EXPECT_DOUBLE_EQ(Ecdf::ks_distance(a, b), 0.0);
+}
+
+TEST(Ecdf, KsDisjointIsOne) {
+  Ecdf a({1, 2, 3});
+  Ecdf b({10, 20, 30});
+  EXPECT_DOUBLE_EQ(Ecdf::ks_distance(a, b), 1.0);
+}
+
+TEST(Ecdf, TwoSampleSameDistributionSmallKs) {
+  RandomStream rng(11);
+  std::vector<double> s1, s2;
+  for (int i = 0; i < 5000; ++i) {
+    s1.push_back(rng.exponential(2.0));
+    s2.push_back(rng.exponential(2.0));
+  }
+  EXPECT_LT(Ecdf::ks_distance(Ecdf(s1), Ecdf(s2)), 0.05);
+}
+
+TEST(Ecdf, ExponentialSamplesMatchAnalyticCdf) {
+  RandomStream rng(12);
+  std::vector<double> s;
+  for (int i = 0; i < 20000; ++i) s.push_back(rng.exponential(2.0));
+  const double d = Ecdf(s).ks_distance(
+      [](double x) { return x <= 0 ? 0.0 : 1.0 - std::exp(-x / 2.0); });
+  // KS critical value at alpha=0.01 for n=20000 is ~0.0115.
+  EXPECT_LT(d, 0.015);
+}
+
+TEST(Ecdf, PaperFileSizesMatchWeibullCdf) {
+  // The Table 1 workload generator really produces
+  // Weibull(shape 0.35, scale 10039).
+  auto dist = trafficgen::paper_file_sizes();
+  RandomStream rng(13);
+  std::vector<double> s;
+  for (int i = 0; i < 20000; ++i) s.push_back(dist->sample(rng));
+  const double d = Ecdf(s).ks_distance([](double x) {
+    return x <= 0 ? 0.0 : 1.0 - std::exp(-std::pow(x / 10039.0, 0.35));
+  });
+  EXPECT_LT(d, 0.015);
+}
+
+TEST(Ecdf, DetectsWrongDistribution) {
+  RandomStream rng(14);
+  std::vector<double> s;
+  for (int i = 0; i < 5000; ++i) s.push_back(rng.exponential(2.0));
+  // Compare against an exponential with a different mean.
+  const double d = Ecdf(s).ks_distance(
+      [](double x) { return x <= 0 ? 0.0 : 1.0 - std::exp(-x / 4.0); });
+  EXPECT_GT(d, 0.1);
+}
+
+}  // namespace
+}  // namespace qoesim::stats

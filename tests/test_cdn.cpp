@@ -1,0 +1,135 @@
+// CDN dataset generator + §3 analysis pipeline tests.
+#include <gtest/gtest.h>
+
+#include "cdn/srtt_analysis.hpp"
+#include "cdn/srtt_dataset.hpp"
+
+namespace qoesim::cdn {
+namespace {
+
+std::vector<FlowRecord> generate(std::size_t flows, std::uint64_t seed = 1) {
+  auto cfg = CdnDatasetConfig::paper_calibration();
+  cfg.flows = flows;
+  CdnDatasetGenerator gen(cfg);
+  RandomStream rng(seed);
+  return gen.generate(rng);
+}
+
+TEST(CdnDataset, SchemaInvariants) {
+  for (const auto& f : generate(20000)) {
+    EXPECT_GT(f.min_srtt_ms, 0.0);
+    EXPECT_GE(f.avg_srtt_ms, f.min_srtt_ms);
+    EXPECT_GE(f.max_srtt_ms, f.avg_srtt_ms);
+    EXPECT_GE(f.samples, 2u);
+    EXPECT_LE(f.samples, 200u);
+  }
+}
+
+TEST(CdnDataset, TechMixMatchesPaper) {
+  auto flows = generate(200000);
+  std::size_t adsl = 0, cable = 0, ftth = 0;
+  for (const auto& f : flows) {
+    adsl += f.tech == AccessTech::kAdsl;
+    cable += f.tech == AccessTech::kCable;
+    ftth += f.tech == AccessTech::kFtth;
+  }
+  const double n = static_cast<double>(flows.size());
+  EXPECT_NEAR(adsl / n, 0.70, 0.01);   // §3: 70% ADSL
+  EXPECT_NEAR(cable / n, 0.014, 0.003);  // 1.4% Cable
+  EXPECT_LT(ftth / n, 0.002);            // 0.02% FTTH
+}
+
+TEST(CdnDataset, Deterministic) {
+  auto a = generate(1000, 7);
+  auto b = generate(1000, 7);
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].min_srtt_ms, b[i].min_srtt_ms);
+  }
+}
+
+TEST(CdnAnalysis, MinSamplesFilterApplied) {
+  SrttAnalysis analysis;
+  FlowRecord few;
+  few.min_srtt_ms = 10;
+  few.avg_srtt_ms = 20;
+  few.max_srtt_ms = 30;
+  few.samples = 5;  // below the paper's >= 10 cut
+  FlowRecord enough = few;
+  enough.samples = 10;
+  analysis.add(few);
+  analysis.add(enough);
+  EXPECT_EQ(analysis.flows_total(), 2u);
+  EXPECT_EQ(analysis.flows_considered(), 1u);
+}
+
+TEST(CdnAnalysis, TailFractionsReproducePaper) {
+  // §3 headline numbers: ~80% of flows < 100 ms estimated queueing delay,
+  // ~2.8% > 500 ms, ~1% > 1 s.
+  SrttAnalysis analysis;
+  analysis.add_all(generate(300000));
+  const auto t = analysis.tail_fractions();
+  EXPECT_NEAR(t.below_100ms, 0.80, 0.06);
+  EXPECT_NEAR(t.above_500ms, 0.028, 0.012);
+  EXPECT_NEAR(t.above_1000ms, 0.010, 0.010);
+}
+
+TEST(CdnAnalysis, ProximityCutTightensTail) {
+  // §3: for flows with min sRTT <= 100 ms, 95% see < 100 ms queueing and
+  // 99.9% less than 1 s (we verify direction and ballpark).
+  SrttAnalysis analysis;
+  analysis.add_all(generate(300000));
+  const auto all = analysis.tail_fractions();
+  const auto near = analysis.tail_fractions_near(100.0);
+  EXPECT_GT(near.flows_considered, 0u);
+  EXPECT_GE(near.below_100ms, all.below_100ms - 0.02);
+  EXPECT_LE(near.above_1000ms, 0.02);
+}
+
+TEST(CdnAnalysis, RttOrderingInPdfs) {
+  SrttAnalysis analysis;
+  analysis.add_all(generate(100000));
+  // Mean of max-RTT distribution must exceed mean of min-RTT distribution
+  // (Fig. 1a: avg and max deviate from min -> queueing).
+  auto mean_of = [](const stats::LogHistogram& h) {
+    double weighted = 0.0;
+    std::size_t n = 0;
+    for (const auto& b : h.to_bins()) {
+      weighted += (b.lo + b.hi) / 2.0 * static_cast<double>(b.count);
+      n += b.count;
+    }
+    return weighted / static_cast<double>(n);
+  };
+  EXPECT_GT(mean_of(analysis.max_rtt_pdf()), mean_of(analysis.min_rtt_pdf()));
+  EXPECT_GT(mean_of(analysis.max_rtt_pdf()), mean_of(analysis.avg_rtt_pdf()));
+}
+
+TEST(CdnAnalysis, MinVsMaxOffDiagonal) {
+  // Fig. 1b: max RTT significantly differs from min RTT per flow, so a
+  // sizable fraction of the 2-D histogram mass is off the diagonal.
+  SrttAnalysis analysis;
+  analysis.add_all(generate(100000));
+  EXPECT_LT(analysis.min_vs_max().diagonal_mass(0), 0.8);
+}
+
+TEST(CdnAnalysis, PerTechQueueingOrdering) {
+  // ADSL shows heavier queueing than FTTH (paper Fig. 1c).
+  SrttAnalysis analysis;
+  analysis.add_all(generate(400000));
+  auto tail_above = [](const stats::LogHistogram& h, double ms) {
+    std::size_t above = 0, total = 0;
+    for (const auto& b : h.to_bins()) {
+      total += b.count;
+      if (b.lo >= ms) above += b.count;
+    }
+    return static_cast<double>(above) / static_cast<double>(total);
+  };
+  const double adsl_tail =
+      tail_above(analysis.queueing_pdf(AccessTech::kAdsl), 100.0);
+  const double ftth_tail =
+      tail_above(analysis.queueing_pdf(AccessTech::kFtth), 100.0);
+  EXPECT_GT(adsl_tail, ftth_tail);
+}
+
+}  // namespace
+}  // namespace qoesim::cdn

@@ -1,0 +1,98 @@
+// Distribution model tests (workload generator inputs).
+#include "trafficgen/distributions.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace qoesim::trafficgen {
+namespace {
+
+TEST(Distributions, ConstantAlwaysSame) {
+  ConstantDist d(42.0);
+  RandomStream rng(1);
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(d.sample(rng), 42.0);
+  EXPECT_EQ(d.mean(), 42.0);
+}
+
+TEST(Distributions, UniformBoundsAndMean) {
+  UniformDist d(2.0, 6.0);
+  RandomStream rng(2);
+  double sum = 0;
+  for (int i = 0; i < 10000; ++i) {
+    const double x = d.sample(rng);
+    EXPECT_GE(x, 2.0);
+    EXPECT_LT(x, 6.0);
+    sum += x;
+  }
+  EXPECT_NEAR(sum / 10000, d.mean(), 0.1);
+  EXPECT_THROW(UniformDist(3.0, 1.0), std::invalid_argument);
+}
+
+TEST(Distributions, ExponentialEmpiricalMean) {
+  ExponentialDist d(2.0);
+  RandomStream rng(3);
+  double sum = 0;
+  for (int i = 0; i < 20000; ++i) sum += d.sample(rng);
+  EXPECT_NEAR(sum / 20000, 2.0, 0.1);
+}
+
+TEST(Distributions, PaperFileSizesMatchTable1) {
+  // Table 1: weibull(shape=0.35, scale=10039) with ~50 KB mean.
+  auto d = paper_file_sizes();
+  EXPECT_NEAR(d->mean(), 50000.0, 1500.0);
+  EXPECT_NE(d->describe().find("weibull"), std::string::npos);
+}
+
+TEST(Distributions, WeibullScaleForMeanInverts) {
+  const double scale = WeibullDist::scale_for_mean(0.35, 50000.0);
+  WeibullDist d(0.35, scale);
+  EXPECT_NEAR(d.mean(), 50000.0, 1.0);
+  EXPECT_NEAR(scale, 10039.0, 150.0);  // the paper's own scale parameter
+}
+
+TEST(Distributions, WeibullHeavyTailShape) {
+  // With shape 0.35 most transfers are small but the tail is long: the
+  // median is far below the mean.
+  WeibullDist d(0.35, 10039.0);
+  RandomStream rng(4);
+  std::vector<double> xs;
+  for (int i = 0; i < 20000; ++i) xs.push_back(d.sample(rng));
+  std::sort(xs.begin(), xs.end());
+  const double median = xs[xs.size() / 2];
+  EXPECT_LT(median, 0.3 * d.mean());
+}
+
+TEST(Distributions, ParetoMean) {
+  ParetoDist d(2.5, 1000.0);
+  EXPECT_NEAR(d.mean(), 2.5 * 1000 / 1.5, 1e-9);
+  ParetoDist heavy(0.9, 1000.0);
+  EXPECT_TRUE(std::isinf(heavy.mean()));
+}
+
+TEST(Distributions, LogNormalFromMeanMedian) {
+  auto d = LogNormalDist::from_mean_median(100.0, 40.0);
+  EXPECT_NEAR(d.mean(), 100.0, 1e-9);
+  RandomStream rng(5);
+  int below = 0;
+  for (int i = 0; i < 20000; ++i) {
+    if (d.sample(rng) < 40.0) ++below;
+  }
+  EXPECT_NEAR(below / 20000.0, 0.5, 0.02);
+  EXPECT_THROW(LogNormalDist::from_mean_median(40.0, 100.0),
+               std::invalid_argument);
+}
+
+TEST(Distributions, EmpiricalSamplesFromValues) {
+  EmpiricalDist d({1.0, 2.0, 3.0});
+  EXPECT_DOUBLE_EQ(d.mean(), 2.0);
+  RandomStream rng(6);
+  for (int i = 0; i < 100; ++i) {
+    const double x = d.sample(rng);
+    EXPECT_TRUE(x == 1.0 || x == 2.0 || x == 3.0);
+  }
+  EXPECT_THROW(EmpiricalDist({}), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace qoesim::trafficgen

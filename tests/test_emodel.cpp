@@ -1,0 +1,100 @@
+// G.107 E-Model tests: delay impairment, loss impairment, R->MOS mapping.
+#include "qoe/emodel.hpp"
+
+#include <gtest/gtest.h>
+
+namespace qoesim::qoe {
+namespace {
+
+TEST(EModel, NoImpairmentBelow100ms) {
+  EXPECT_EQ(EModel::delay_impairment(Time::zero()), 0.0);
+  EXPECT_EQ(EModel::delay_impairment(Time::milliseconds(100)), 0.0);
+  EXPECT_EQ(EModel::delay_impairment(Time::milliseconds(50)), 0.0);
+}
+
+TEST(EModel, DelayImpairmentGrowsMonotonically) {
+  double prev = 0.0;
+  for (int ms = 100; ms <= 3000; ms += 50) {
+    const double idd = EModel::delay_impairment(Time::milliseconds(ms));
+    EXPECT_GE(idd, prev - 1e-12) << ms;
+    prev = idd;
+  }
+}
+
+TEST(EModel, DelayImpairmentReferenceValues) {
+  // Published G.107 curve landmarks: Idd(150ms) is small, Idd(400ms) in
+  // the tens, Idd(1s) severe.
+  const double idd150 = EModel::delay_impairment(Time::milliseconds(150));
+  const double idd400 = EModel::delay_impairment(Time::milliseconds(400));
+  const double idd1000 = EModel::delay_impairment(Time::milliseconds(1000));
+  EXPECT_LT(idd150, 5.0);
+  EXPECT_GT(idd400, 10.0);
+  EXPECT_LT(idd400, 30.0);
+  EXPECT_GT(idd1000, 35.0);
+}
+
+TEST(EModel, EquipmentImpairmentZeroAtNoLoss) {
+  EXPECT_DOUBLE_EQ(EModel::equipment_impairment(0.0), 0.0);
+}
+
+TEST(EModel, EquipmentImpairmentMonotoneInLoss) {
+  double prev = -1.0;
+  for (double loss = 0.0; loss <= 0.5; loss += 0.01) {
+    const double ie = EModel::equipment_impairment(loss);
+    EXPECT_GT(ie, prev);
+    prev = ie;
+  }
+}
+
+TEST(EModel, G711LossLandmarks) {
+  // G.711 with Bpl=4.3: ~1% loss -> Ie,eff ~ 18; 5% -> ~51; 10% -> ~66.
+  EXPECT_NEAR(EModel::equipment_impairment(0.01), 17.9, 1.0);
+  EXPECT_NEAR(EModel::equipment_impairment(0.05), 51.1, 1.5);
+  EXPECT_NEAR(EModel::equipment_impairment(0.10), 66.4, 1.5);
+}
+
+TEST(EModel, BurstinessWorsensImpairment) {
+  const double random_loss = EModel::equipment_impairment(0.02, g711_profile(), 1.0);
+  const double bursty_loss = EModel::equipment_impairment(0.02, g711_profile(), 2.0);
+  EXPECT_GT(bursty_loss, random_loss);
+}
+
+TEST(EModel, RToMosEndpoints) {
+  EXPECT_DOUBLE_EQ(EModel::r_to_mos(0.0), 1.0);
+  EXPECT_DOUBLE_EQ(EModel::r_to_mos(-10.0), 1.0);
+  EXPECT_DOUBLE_EQ(EModel::r_to_mos(100.0), 4.5);
+  EXPECT_DOUBLE_EQ(EModel::r_to_mos(150.0), 4.5);
+}
+
+TEST(EModel, RToMosKnownPoints) {
+  // Standard curve: R=50 -> ~2.6, R=70 -> ~3.6, R=80 -> ~4.0, R=90 -> ~4.3.
+  EXPECT_NEAR(EModel::r_to_mos(50.0), 2.6, 0.1);
+  EXPECT_NEAR(EModel::r_to_mos(70.0), 3.6, 0.1);
+  EXPECT_NEAR(EModel::r_to_mos(80.0), 4.0, 0.1);
+  EXPECT_NEAR(EModel::r_to_mos(93.2), 4.41, 0.05);
+}
+
+TEST(EModel, RToMosMonotone) {
+  double prev = 0.0;
+  for (double r = 0.0; r <= 100.0; r += 1.0) {
+    const double mos = EModel::r_to_mos(r);
+    EXPECT_GE(mos, prev);
+    prev = mos;
+  }
+}
+
+TEST(EModel, CleanCallScoresExcellent) {
+  const double r = EModel::rating(0.0, Time::milliseconds(50));
+  EXPECT_NEAR(r, 93.2, 1e-9);
+  EXPECT_GT(EModel::r_to_mos(r), 4.3);
+}
+
+TEST(EModel, BloatedUplinkScoresBad) {
+  // 3 s one-way delay (256-packet uplink buffer) with 5% loss: the paper's
+  // worst access cells.
+  const double r = EModel::rating(0.05, Time::seconds(3));
+  EXPECT_LT(EModel::r_to_mos(r), 1.8);
+}
+
+}  // namespace
+}  // namespace qoesim::qoe

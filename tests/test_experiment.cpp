@@ -1,0 +1,125 @@
+// ExperimentRunner plumbing tests (budget scaling, cell aggregation,
+// reproducibility). Heavier end-to-end behaviour lives in
+// test_integration.cpp.
+#include "core/experiment.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+
+namespace qoesim::core {
+namespace {
+
+TEST(ProbeBudgetTest, ScalingRounds) {
+  ProbeBudget b;
+  b.voip_calls = 4;
+  b.video_reps = 2;
+  b.web_loads = 12;
+  const auto half = b.scaled(0.5);
+  EXPECT_EQ(half.voip_calls, 2);
+  EXPECT_EQ(half.video_reps, 1);
+  EXPECT_EQ(half.web_loads, 6);
+  const auto twice = b.scaled(2.0);
+  EXPECT_EQ(twice.voip_calls, 8);
+  EXPECT_EQ(twice.web_loads, 24);
+}
+
+TEST(ProbeBudgetTest, ScalingHasFloors) {
+  ProbeBudget b;
+  const auto tiny = b.scaled(0.01);
+  EXPECT_GE(tiny.voip_calls, 1);
+  EXPECT_GE(tiny.video_reps, 1);
+  EXPECT_GE(tiny.web_loads, 2);
+  EXPECT_GE(tiny.qos_duration.sec(), 4.9);
+}
+
+TEST(ProbeBudgetTest, EnvOverride) {
+  setenv("QOESIM_SCALE", "0.5", 1);
+  const auto b = ProbeBudget::from_env();
+  unsetenv("QOESIM_SCALE");
+  EXPECT_EQ(b.voip_calls, ProbeBudget{}.scaled(0.5).voip_calls);
+}
+
+TEST(ProbeBudgetTest, BadEnvIgnored) {
+  setenv("QOESIM_SCALE", "bogus", 1);
+  const auto b = ProbeBudget::from_env();
+  unsetenv("QOESIM_SCALE");
+  EXPECT_EQ(b.voip_calls, ProbeBudget{}.voip_calls);
+}
+
+ProbeBudget tiny_budget() {
+  ProbeBudget b;
+  b.voip_calls = 2;
+  b.video_reps = 1;
+  b.web_loads = 3;
+  b.warmup = Time::seconds(2);
+  b.qos_duration = Time::seconds(5);
+  b.web_timeout = Time::seconds(10);
+  return b;
+}
+
+ScenarioConfig quiet_access() {
+  ScenarioConfig cfg;
+  cfg.testbed = TestbedType::kAccess;
+  cfg.workload = WorkloadType::kNoBg;
+  cfg.buffer_packets = 64;
+  return cfg;
+}
+
+TEST(ExperimentRunnerTest, VoipCellSampleCounts) {
+  ExperimentRunner runner(tiny_budget());
+  const auto cell = runner.run_voip(quiet_access(), true);
+  EXPECT_EQ(cell.mos_talks.count(), 2u);
+  EXPECT_EQ(cell.mos_listens.count(), 2u);
+  EXPECT_EQ(cell.loss_talks.count(), 2u);
+}
+
+TEST(ExperimentRunnerTest, UnidirectionalVoipHasNoTalksLeg) {
+  ExperimentRunner runner(tiny_budget());
+  const auto cell = runner.run_voip(quiet_access(), false);
+  EXPECT_EQ(cell.mos_talks.count(), 0u);
+  EXPECT_EQ(cell.mos_listens.count(), 2u);
+  EXPECT_EQ(cell.median_mos_talks(), 1.0);  // defined fallback
+}
+
+TEST(ExperimentRunnerTest, WebCellCounts) {
+  ExperimentRunner runner(tiny_budget());
+  const auto cell = runner.run_web(quiet_access());
+  EXPECT_EQ(cell.plt_s.count(), 3u);
+  EXPECT_EQ(cell.mos.count(), 3u);
+  EXPECT_EQ(cell.timeouts, 0);
+}
+
+TEST(ExperimentRunnerTest, VideoCellCounts) {
+  ExperimentRunner runner(tiny_budget());
+  const auto cell =
+      runner.run_video(quiet_access(), apps::VideoCodecConfig::sd());
+  EXPECT_EQ(cell.ssim.count(), 1u);
+  EXPECT_EQ(cell.mos.count(), 1u);
+}
+
+TEST(ExperimentRunnerTest, SameSeedSameResult) {
+  ExperimentRunner runner(tiny_budget());
+  auto cfg = quiet_access();
+  cfg.workload = WorkloadType::kShortFew;
+  cfg.direction = CongestionDirection::kDownstream;
+  cfg.seed = 77;
+  const auto a = runner.run_web(cfg);
+  const auto b = runner.run_web(cfg);
+  EXPECT_DOUBLE_EQ(a.median_plt_s(), b.median_plt_s());
+}
+
+TEST(ExperimentRunnerTest, DifferentSeedDifferentTraffic) {
+  ExperimentRunner runner(tiny_budget());
+  auto cfg = quiet_access();
+  cfg.workload = WorkloadType::kShortMany;
+  cfg.direction = CongestionDirection::kDownstream;
+  cfg.seed = 1;
+  const auto a = runner.run_qos(cfg);
+  cfg.seed = 2;
+  const auto b = runner.run_qos(cfg);
+  EXPECT_NE(a.util_down_mean, b.util_down_mean);
+}
+
+}  // namespace
+}  // namespace qoesim::core

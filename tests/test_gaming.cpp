@@ -1,0 +1,113 @@
+// Gaming probe + QoE model tests.
+#include <gtest/gtest.h>
+
+#include "apps/gaming.hpp"
+#include "core/testbed.hpp"
+#include "core/workloads.hpp"
+#include "qoe/gaming_qoe.hpp"
+
+namespace qoesim {
+namespace {
+
+core::ScenarioConfig access_cfg(core::WorkloadType wl,
+                                core::CongestionDirection dir,
+                                std::size_t buffer) {
+  core::ScenarioConfig cfg;
+  cfg.testbed = core::TestbedType::kAccess;
+  cfg.workload = wl;
+  cfg.direction = dir;
+  cfg.buffer_packets = buffer;
+  return cfg;
+}
+
+TEST(GamingApp, CleanNetworkDeliversEverything) {
+  core::Testbed tb(access_cfg(core::WorkloadType::kNoBg,
+                              core::CongestionDirection::kDownstream, 64));
+  apps::GamingSession session(tb.probe_client(), tb.probe_server(), {}, 1);
+  session.start(Time::seconds(1));
+  tb.sim().run_until(session.end_time() + Time::seconds(1));
+  ASSERT_TRUE(session.finished());
+  const auto m = session.metrics();
+  EXPECT_GT(m.commands_sent, 500u);
+  EXPECT_EQ(m.commands_delivered, m.commands_sent);
+  EXPECT_EQ(m.updates_delivered, m.updates_sent);
+  EXPECT_DOUBLE_EQ(m.loss(), 0.0);
+  // Action-to-reaction ~ base RTT (50 ms).
+  EXPECT_NEAR(m.mean_rtt.ms(), 51.0, 5.0);
+  EXPECT_LT(m.jitter.ms(), 2.0);
+}
+
+TEST(GamingApp, UploadBloatInflatesReactionTime) {
+  core::Testbed tb(access_cfg(core::WorkloadType::kLongFew,
+                              core::CongestionDirection::kUpstream, 128));
+  core::Workload load(tb);
+  apps::GamingSession session(tb.probe_client(), tb.probe_server(), {}, 1);
+  session.start(Time::seconds(15));
+  tb.sim().run_until(session.end_time() + Time::seconds(1));
+  const auto m = session.metrics();
+  EXPECT_GT(m.mean_rtt.ms(), 200.0);  // command path rides the full queue
+}
+
+TEST(GamingQoeModel, PerfectNetworkIsExcellent) {
+  apps::GamingMetrics m;
+  m.commands_sent = m.commands_delivered = 600;
+  m.updates_sent = m.updates_delivered = 400;
+  m.mean_rtt = Time::milliseconds(30);
+  m.p95_rtt = Time::milliseconds(35);
+  m.jitter = Time::milliseconds(1);
+  const auto s = qoe::GamingQoe::score(m);
+  EXPECT_GT(s.mos, 4.0);
+}
+
+TEST(GamingQoeModel, DelayMonotone) {
+  apps::GamingMetrics m;
+  m.commands_sent = m.commands_delivered = 100;
+  m.updates_sent = m.updates_delivered = 100;
+  double prev = 6.0;
+  for (double ms : {20.0, 50.0, 100.0, 200.0, 500.0, 1500.0}) {
+    m.p95_rtt = Time::milliseconds(ms);
+    const double mos = qoe::GamingQoe::score(m).mos;
+    EXPECT_LT(mos, prev) << ms;
+    prev = mos;
+  }
+  EXPECT_LT(prev, 2.5);  // 1.5 s reaction time is unplayable
+}
+
+TEST(GamingQoeModel, FpsMoreSensitiveThanRts) {
+  apps::GamingMetrics m;
+  m.commands_sent = m.commands_delivered = 100;
+  m.updates_sent = m.updates_delivered = 100;
+  m.p95_rtt = Time::milliseconds(200);
+  m.jitter = Time::milliseconds(20);
+  const double fps = qoe::GamingQoe::score(m, qoe::GameProfile::fps()).mos;
+  const double rts = qoe::GamingQoe::score(m, qoe::GameProfile::rts()).mos;
+  EXPECT_LT(fps, rts);
+}
+
+TEST(GamingQoeModel, LossImpairs) {
+  apps::GamingMetrics clean;
+  clean.commands_sent = clean.commands_delivered = 100;
+  clean.updates_sent = clean.updates_delivered = 100;
+  clean.p95_rtt = Time::milliseconds(40);
+  apps::GamingMetrics lossy = clean;
+  lossy.commands_delivered = 80;
+  lossy.updates_delivered = 80;
+  EXPECT_LT(qoe::GamingQoe::score(lossy).mos, qoe::GamingQoe::score(clean).mos);
+  EXPECT_NEAR(lossy.loss(), 0.2, 1e-9);
+}
+
+TEST(GamingQoeModel, MosBounded) {
+  apps::GamingMetrics m;
+  m.commands_sent = 100;
+  m.commands_delivered = 0;
+  m.updates_sent = 100;
+  m.updates_delivered = 0;
+  m.p95_rtt = Time::seconds(10);
+  m.jitter = Time::seconds(1);
+  const auto s = qoe::GamingQoe::score(m);
+  EXPECT_GE(s.mos, 1.0);
+  EXPECT_LE(s.mos, 5.0);
+}
+
+}  // namespace
+}  // namespace qoesim

@@ -1,0 +1,151 @@
+// Traffic generator tests: Harpoon sessions and long-lived flows.
+#include "trafficgen/harpoon.hpp"
+
+#include <gtest/gtest.h>
+
+#include "net/monitors.hpp"
+#include "net/topology.hpp"
+#include "trafficgen/long_flows.hpp"
+
+namespace qoesim::trafficgen {
+namespace {
+
+struct GenNet {
+  explicit GenNet(double rate = 10e6, std::size_t buffer = 64) : topo(sim) {
+    src = &topo.add_node("src");
+    dst = &topo.add_node("dst");
+    net::LinkSpec spec;
+    spec.rate_bps = rate;
+    spec.delay = Time::milliseconds(10);
+    spec.buffer_packets = buffer;
+    links = topo.connect(*src, *dst, spec, spec);
+    topo.compute_routes();
+  }
+  Simulation sim;
+  net::Topology topo;
+  net::Node* src;
+  net::Node* dst;
+  net::Topology::LinkPair links;
+};
+
+HarpoonConfig small_config() {
+  HarpoonConfig cfg;
+  cfg.sessions = 4;
+  cfg.interarrival = std::make_shared<ExponentialDist>(0.5);
+  cfg.file_size = std::make_shared<ConstantDist>(20000.0);
+  return cfg;
+}
+
+TEST(ConcurrencyGaugeTest, TimeWeightedMean) {
+  ConcurrencyGauge g;
+  g.change(Time::seconds(0), +1);
+  g.change(Time::seconds(10), +1);  // 1 flow for 10 s
+  g.change(Time::seconds(20), -2);  // 2 flows for 10 s
+  // At t=40: (1*10 + 2*10 + 0*20) / 40 = 0.75
+  EXPECT_NEAR(g.time_weighted_mean(Time::seconds(40)), 0.75, 1e-9);
+  EXPECT_EQ(g.peak(), 2u);
+  EXPECT_EQ(g.current(), 0u);
+}
+
+TEST(ConcurrencyGaugeTest, UnderflowClamps) {
+  ConcurrencyGauge g;
+  g.change(Time::seconds(1), -5);
+  EXPECT_EQ(g.current(), 0u);
+}
+
+TEST(Harpoon, GeneratesAndCompletesFlows) {
+  GenNet net;
+  HarpoonGenerator gen(net.sim, {net.src}, {net.dst}, small_config(),
+                       net.sim.rng("h"));
+  gen.start();
+  net.sim.run_until(Time::seconds(30));
+  EXPECT_GT(gen.flows_started(), 20u);
+  EXPECT_GT(gen.flows_completed(), 15u);
+  // Each completed flow moved the configured constant file size.
+  EXPECT_EQ(gen.bytes_completed(), gen.flows_completed() * 20000u);
+  EXPECT_GT(gen.completion_times().count(), 0u);
+  EXPECT_GT(gen.completion_times().median(), 0.02);  // at least ~1 RTT
+}
+
+TEST(Harpoon, OfferedLoadMatchesSessionModel) {
+  GenNet net(100e6, 1000);  // uncongested
+  HarpoonConfig cfg = small_config();
+  cfg.sessions = 10;
+  cfg.interarrival = std::make_shared<ExponentialDist>(1.0);
+  cfg.file_size = std::make_shared<ConstantDist>(50000.0);
+  net::LinkMonitor mon(*net.links.forward);
+  HarpoonGenerator gen(net.sim, {net.src}, {net.dst}, cfg, net.sim.rng("h"));
+  gen.start();
+  net.sim.run_until(Time::seconds(60));
+  // Offered: 10 sessions * 50 KB/s = 4 Mbit/s (+ headers).
+  const double rate = mon.tx_bytes() * 8.0 / 60.0;
+  EXPECT_NEAR(rate, 4.2e6, 0.8e6);
+}
+
+TEST(Harpoon, MaxActivePerSessionSkips) {
+  GenNet net(0.2e6, 16);  // slow link: transfers outlive the interarrival
+  HarpoonConfig cfg = small_config();
+  cfg.sessions = 2;
+  cfg.max_active_per_session = 1;
+  HarpoonGenerator gen(net.sim, {net.src}, {net.dst}, cfg, net.sim.rng("h"));
+  gen.start();
+  net.sim.run_until(Time::seconds(30));
+  EXPECT_GT(gen.flows_skipped(), 0u);
+  EXPECT_LE(gen.concurrency().peak(), 2u);
+}
+
+TEST(Harpoon, StopCeasesNewFlows) {
+  GenNet net;
+  HarpoonGenerator gen(net.sim, {net.src}, {net.dst}, small_config(),
+                       net.sim.rng("h"));
+  gen.start();
+  net.sim.run_until(Time::seconds(5));
+  const auto started = gen.flows_started();
+  gen.stop();
+  net.sim.run_until(Time::seconds(15));
+  EXPECT_EQ(gen.flows_started(), started);
+}
+
+TEST(Harpoon, RequiresConfig) {
+  GenNet net;
+  HarpoonConfig cfg;  // missing distributions
+  EXPECT_THROW(HarpoonGenerator(net.sim, {net.src}, {net.dst}, cfg,
+                                net.sim.rng("h")),
+               std::invalid_argument);
+  EXPECT_THROW(HarpoonGenerator(net.sim, {}, {net.dst}, small_config(),
+                                net.sim.rng("h")),
+               std::invalid_argument);
+}
+
+TEST(LongFlows, SaturateLinkIndefinitely) {
+  GenNet net;
+  net::LinkMonitor mon(*net.links.forward);
+  LongFlowConfig cfg;
+  cfg.flows = 4;
+  LongFlowGenerator gen(net.sim, {net.src}, {net.dst}, cfg,
+                        net.sim.rng("lf"));
+  gen.start();
+  net.sim.run_until(Time::seconds(30));
+  EXPECT_EQ(gen.flow_count(), 4u);
+  // Utilization after warmup should be near 1.
+  EXPECT_GT(mon.mean_utilization(Time::seconds(5), Time::seconds(30)), 0.85);
+  // Flows never complete.
+  for (std::size_t i = 0; i < gen.flow_count(); ++i) {
+    EXPECT_FALSE(gen.flow(i).stats().closed);
+    EXPECT_GT(gen.flow(i).stats().bytes_acked, 100000u);
+  }
+}
+
+TEST(LongFlows, RefillKeepsBacklog) {
+  GenNet net;
+  LongFlowConfig cfg;
+  cfg.flows = 1;
+  LongFlowGenerator gen(net.sim, {net.src}, {net.dst}, cfg,
+                        net.sim.rng("lf"));
+  gen.start();
+  net.sim.run_until(Time::seconds(10));
+  EXPECT_GT(gen.flow(0).unsent_bytes(), 0u);
+}
+
+}  // namespace
+}  // namespace qoesim::trafficgen

@@ -1,0 +1,86 @@
+// core/heatmap grid assembly and formatting helper tests.
+#include "core/heatmap.hpp"
+
+#include <gtest/gtest.h>
+
+namespace qoesim::core {
+namespace {
+
+TEST(Heatmap, BufferColumns) {
+  const auto cols = buffer_columns({8, 64, 749});
+  ASSERT_EQ(cols.size(), 3u);
+  EXPECT_EQ(cols[0], "8");
+  EXPECT_EQ(cols[2], "749");
+}
+
+TEST(Heatmap, RowsWithBaseline) {
+  const auto access = rows_with_baseline(TestbedType::kAccess);
+  ASSERT_EQ(access.size(), 5u);
+  EXPECT_EQ(access.front(), WorkloadType::kNoBg);
+  const auto backbone = rows_with_baseline(TestbedType::kBackbone);
+  ASSERT_EQ(backbone.size(), 6u);
+  EXPECT_EQ(backbone.front(), WorkloadType::kNoBg);
+  EXPECT_EQ(backbone.back(), WorkloadType::kLong);
+}
+
+TEST(Heatmap, BuildGridVisitsEveryCell) {
+  int calls = 0;
+  auto table = build_grid(
+      "t", {WorkloadType::kNoBg, WorkloadType::kLongFew}, {8, 16, 32},
+      [&](WorkloadType, std::size_t) {
+        ++calls;
+        return stats::HeatCell{"x", stats::CellTone::kGood};
+      });
+  EXPECT_EQ(calls, 6);
+  const auto out = table.render(false);
+  EXPECT_NE(out.find("noBG"), std::string::npos);
+  EXPECT_NE(out.find("long-few"), std::string::npos);
+}
+
+TEST(Heatmap, AppendGridAddsGroups) {
+  stats::HeatmapTable table("two groups", buffer_columns({8}));
+  auto cell = [](WorkloadType, std::size_t) {
+    return stats::HeatCell{"1", stats::CellTone::kNeutral};
+  };
+  append_grid(table, "SD", {WorkloadType::kNoBg}, {8}, cell);
+  append_grid(table, "HD", {WorkloadType::kNoBg}, {8}, cell);
+  const auto out = table.render(false);
+  EXPECT_NE(out.find("-- SD --"), std::string::npos);
+  EXPECT_NE(out.find("-- HD --"), std::string::npos);
+}
+
+TEST(Heatmap, GridOrderIsRowMajor) {
+  std::vector<std::pair<WorkloadType, std::size_t>> order;
+  build_grid("t", {WorkloadType::kNoBg, WorkloadType::kLongFew}, {8, 16},
+             [&](WorkloadType w, std::size_t b) {
+               order.emplace_back(w, b);
+               return stats::HeatCell{};
+             });
+  ASSERT_EQ(order.size(), 4u);
+  EXPECT_EQ(order[0], std::make_pair(WorkloadType::kNoBg, std::size_t{8}));
+  EXPECT_EQ(order[1], std::make_pair(WorkloadType::kNoBg, std::size_t{16}));
+  EXPECT_EQ(order[2], std::make_pair(WorkloadType::kLongFew, std::size_t{8}));
+}
+
+TEST(HeatmapFormat, Mos) {
+  EXPECT_EQ(format_mos(4.35), "4.3");  // printf rounding (banker-free)
+  EXPECT_EQ(format_mos(1.0), "1.0");
+}
+
+TEST(HeatmapFormat, Ssim) {
+  EXPECT_EQ(format_ssim(0.472), "0.47");
+  EXPECT_EQ(format_ssim(1.0), "1.00");
+}
+
+TEST(HeatmapFormat, Plt) {
+  EXPECT_EQ(format_plt(0.56), "0.6s");
+  EXPECT_EQ(format_plt(20.49), "20.5s");
+}
+
+TEST(HeatmapFormat, Ms) {
+  EXPECT_EQ(format_ms(2.34), "2.3");
+  EXPECT_EQ(format_ms(154.7), "155");
+}
+
+}  // namespace
+}  // namespace qoesim::core

@@ -1,0 +1,117 @@
+// Unit tests for link serialization, propagation and buffering behaviour.
+#include "net/link.hpp"
+
+#include <gtest/gtest.h>
+
+#include "net/drop_tail.hpp"
+#include "sim/simulation.hpp"
+
+namespace qoesim::net {
+namespace {
+
+Packet make_packet(std::uint32_t size) {
+  Packet p;
+  p.uid = next_packet_uid();
+  p.size_bytes = size;
+  return p;
+}
+
+class LinkTest : public ::testing::Test {
+ protected:
+  Simulation sim;
+};
+
+TEST_F(LinkTest, SerializationTimeMatchesRate) {
+  Link link(sim, "l", 8e6 /*8 Mbit/s*/, Time::zero(),
+            std::make_unique<DropTailQueue>(10));
+  EXPECT_EQ(link.serialization_time(1000), Time::milliseconds(1));
+  EXPECT_EQ(link.serialization_time(1500), Time::microseconds(1500));
+}
+
+TEST_F(LinkTest, DeliversAfterSerializationPlusPropagation) {
+  Link link(sim, "l", 1e6, Time::milliseconds(10),
+            std::make_unique<DropTailQueue>(10));
+  Time delivered_at = Time::zero();
+  link.set_sink([&](Packet&&) { delivered_at = sim.now(); });
+  link.send(make_packet(1250));  // 10 ms serialization at 1 Mbit/s
+  sim.run();
+  EXPECT_EQ(delivered_at, Time::milliseconds(20));
+}
+
+TEST_F(LinkTest, BackToBackPacketsQueueBehindTransmitter) {
+  Link link(sim, "l", 1e6, Time::zero(),
+            std::make_unique<DropTailQueue>(10));
+  std::vector<Time> deliveries;
+  link.set_sink([&](Packet&&) { deliveries.push_back(sim.now()); });
+  for (int i = 0; i < 3; ++i) link.send(make_packet(1250));  // 10 ms each
+  sim.run();
+  ASSERT_EQ(deliveries.size(), 3u);
+  EXPECT_EQ(deliveries[0], Time::milliseconds(10));
+  EXPECT_EQ(deliveries[1], Time::milliseconds(20));
+  EXPECT_EQ(deliveries[2], Time::milliseconds(30));
+}
+
+TEST_F(LinkTest, BufferOverflowDropsExcess) {
+  // Capacity 2: one transmitting + two queued; the rest drop.
+  Link link(sim, "l", 1e6, Time::zero(), std::make_unique<DropTailQueue>(2));
+  int delivered = 0;
+  link.set_sink([&](Packet&&) { ++delivered; });
+  for (int i = 0; i < 10; ++i) link.send(make_packet(1250));
+  sim.run();
+  EXPECT_EQ(delivered, 3);  // 1 in service + 2 buffered
+  EXPECT_EQ(link.queue().stats().dropped, 7u);
+}
+
+TEST_F(LinkTest, QueueDelayMeasured) {
+  Link link(sim, "l", 1e6, Time::zero(), std::make_unique<DropTailQueue>(10));
+  link.set_sink([](Packet&&) {});
+  for (int i = 0; i < 3; ++i) link.send(make_packet(1250));
+  sim.run();
+  // First packet waits 0, second 10 ms, third 20 ms -> mean 10 ms.
+  EXPECT_NEAR(link.queue_delay().mean(), 0.010, 1e-9);
+  EXPECT_EQ(link.queue_delay().count(), 3u);
+}
+
+TEST_F(LinkTest, DeliveredCounters) {
+  Link link(sim, "l", 1e9, Time::zero(), std::make_unique<DropTailQueue>(10));
+  link.set_sink([](Packet&&) {});
+  link.send(make_packet(100));
+  link.send(make_packet(200));
+  sim.run();
+  EXPECT_EQ(link.delivered_packets(), 2u);
+  EXPECT_EQ(link.delivered_bytes(), 300u);
+}
+
+TEST_F(LinkTest, TxObserverSeesEveryTransmission) {
+  Link link(sim, "l", 1e9, Time::zero(), std::make_unique<DropTailQueue>(10));
+  link.set_sink([](Packet&&) {});
+  int observed = 0;
+  link.add_tx_observer([&](const Packet&, Time) { ++observed; });
+  for (int i = 0; i < 5; ++i) link.send(make_packet(100));
+  sim.run();
+  EXPECT_EQ(observed, 5);
+}
+
+TEST_F(LinkTest, InvalidConstructionThrows) {
+  EXPECT_THROW(Link(sim, "bad", 0.0, Time::zero(),
+                    std::make_unique<DropTailQueue>(1)),
+               std::invalid_argument);
+  EXPECT_THROW(Link(sim, "bad", 1e6, Time::zero(), nullptr),
+               std::invalid_argument);
+}
+
+TEST_F(LinkTest, Table2DelayFigures) {
+  // Table 2: a full 256-packet buffer at 1 Mbit/s uplink drains in ~3.1 s;
+  // 7490 packets at OC3 rate drain in ~0.6 s.
+  Link up(sim, "up", 1e6, Time::zero(), std::make_unique<DropTailQueue>(256));
+  const Time drain_up = up.serialization_time(kMtuBytes) * 256.0;
+  EXPECT_NEAR(drain_up.sec(), 3.07, 0.1);
+
+  Link oc3(sim, "oc3", 149.8e6, Time::zero(),
+           std::make_unique<DropTailQueue>(7490));
+  const Time drain_oc3 = oc3.serialization_time(kMtuBytes) * 7490.0;
+  EXPECT_NEAR(drain_oc3.sec(), 0.60, 0.02);
+}
+
+}  // namespace
+}  // namespace qoesim::net

@@ -1,0 +1,167 @@
+// Unit tests for node forwarding, demux, and topology route computation.
+#include <gtest/gtest.h>
+
+#include "net/node.hpp"
+#include "net/topology.hpp"
+#include "sim/simulation.hpp"
+
+namespace qoesim::net {
+namespace {
+
+Packet udp_packet(NodeId src, NodeId dst, std::uint32_t sport,
+                  std::uint32_t dport) {
+  Packet p;
+  p.uid = next_packet_uid();
+  p.src = src;
+  p.dst = dst;
+  p.proto = Protocol::kUdp;
+  p.size_bytes = 100;
+  p.udp.src_port = sport;
+  p.udp.dst_port = dport;
+  return p;
+}
+
+class TopoTest : public ::testing::Test {
+ protected:
+  Simulation sim;
+  Topology topo{sim};
+
+  LinkSpec fast() {
+    LinkSpec s;
+    s.rate_bps = 1e9;
+    s.delay = Time::microseconds(10);
+    s.buffer_packets = 100;
+    return s;
+  }
+};
+
+TEST_F(TopoTest, DirectDelivery) {
+  auto& a = topo.add_node("a");
+  auto& b = topo.add_node("b");
+  topo.connect(a, b, fast(), fast());
+  topo.compute_routes();
+
+  int received = 0;
+  b.bind_listener(Protocol::kUdp, 7, [&](Packet&&) { ++received; });
+  a.send(udp_packet(a.id(), b.id(), 1, 7));
+  sim.run();
+  EXPECT_EQ(received, 1);
+}
+
+TEST_F(TopoTest, MultiHopForwarding) {
+  auto& a = topo.add_node("a");
+  auto& r1 = topo.add_node("r1");
+  auto& r2 = topo.add_node("r2");
+  auto& b = topo.add_node("b");
+  topo.connect(a, r1, fast(), fast());
+  topo.connect(r1, r2, fast(), fast());
+  topo.connect(r2, b, fast(), fast());
+  topo.compute_routes();
+
+  int received = 0;
+  b.bind_listener(Protocol::kUdp, 7, [&](Packet&&) { ++received; });
+  a.send(udp_packet(a.id(), b.id(), 1, 7));
+  sim.run();
+  EXPECT_EQ(received, 1);
+}
+
+TEST_F(TopoTest, ShortestPathPreferred) {
+  // a - r1 - b  and a - r2 - r3 - b: traffic must use the 2-hop path.
+  auto& a = topo.add_node("a");
+  auto& r1 = topo.add_node("r1");
+  auto& r2 = topo.add_node("r2");
+  auto& r3 = topo.add_node("r3");
+  auto& b = topo.add_node("b");
+  auto short1 = topo.connect(a, r1, fast(), fast());
+  topo.connect(r1, b, fast(), fast());
+  topo.connect(a, r2, fast(), fast());
+  topo.connect(r2, r3, fast(), fast());
+  topo.connect(r3, b, fast(), fast());
+  topo.compute_routes();
+
+  b.bind_listener(Protocol::kUdp, 7, [](Packet&&) {});
+  a.send(udp_packet(a.id(), b.id(), 1, 7));
+  sim.run();
+  EXPECT_EQ(short1.forward->delivered_packets(), 1u);
+}
+
+TEST_F(TopoTest, UnroutableCounted) {
+  auto& a = topo.add_node("a");
+  auto& b = topo.add_node("b");
+  (void)b;
+  // No links at all.
+  a.send(udp_packet(a.id(), b.id(), 1, 7));
+  EXPECT_EQ(a.unrouted(), 1u);
+}
+
+TEST_F(TopoTest, UndeliveredCountedWhenNoHandler) {
+  auto& a = topo.add_node("a");
+  auto& b = topo.add_node("b");
+  topo.connect(a, b, fast(), fast());
+  topo.compute_routes();
+  a.send(udp_packet(a.id(), b.id(), 1, 7));
+  sim.run();
+  EXPECT_EQ(b.undelivered(), 1u);
+}
+
+TEST_F(TopoTest, ConnectionBindingBeatsListener) {
+  auto& a = topo.add_node("a");
+  auto& b = topo.add_node("b");
+  topo.connect(a, b, fast(), fast());
+  topo.compute_routes();
+
+  int conn_hits = 0, listener_hits = 0;
+  b.bind_listener(Protocol::kUdp, 7, [&](Packet&&) { ++listener_hits; });
+  b.bind_connection(Protocol::kUdp, 7, a.id(), 1,
+                    [&](Packet&&) { ++conn_hits; });
+  a.send(udp_packet(a.id(), b.id(), 1, 7));   // matches connection
+  a.send(udp_packet(a.id(), b.id(), 99, 7));  // falls back to listener
+  sim.run();
+  EXPECT_EQ(conn_hits, 1);
+  EXPECT_EQ(listener_hits, 1);
+}
+
+TEST_F(TopoTest, UnbindRestoresFallback) {
+  auto& a = topo.add_node("a");
+  auto& b = topo.add_node("b");
+  topo.connect(a, b, fast(), fast());
+  topo.compute_routes();
+
+  int listener_hits = 0;
+  b.bind_listener(Protocol::kUdp, 7, [&](Packet&&) { ++listener_hits; });
+  b.bind_connection(Protocol::kUdp, 7, a.id(), 1, [](Packet&&) {});
+  b.unbind_connection(Protocol::kUdp, 7, a.id(), 1);
+  a.send(udp_packet(a.id(), b.id(), 1, 7));
+  sim.run();
+  EXPECT_EQ(listener_hits, 1);
+}
+
+TEST_F(TopoTest, EphemeralPortsUnique) {
+  auto& a = topo.add_node("a");
+  const auto p1 = a.allocate_port();
+  const auto p2 = a.allocate_port();
+  EXPECT_NE(p1, p2);
+  EXPECT_GE(p1, 49152u);
+}
+
+TEST_F(TopoTest, HandlerMaySelfUnbind) {
+  // Destroying the handler's map entry while it executes must be safe
+  // (deliver_local copies the handler before invoking it).
+  auto& a = topo.add_node("a");
+  auto& b = topo.add_node("b");
+  topo.connect(a, b, fast(), fast());
+  topo.compute_routes();
+  int hits = 0;
+  b.bind_listener(Protocol::kUdp, 7, [&](Packet&&) {
+    ++hits;
+    b.unbind_listener(Protocol::kUdp, 7);
+  });
+  a.send(udp_packet(a.id(), b.id(), 1, 7));
+  a.send(udp_packet(a.id(), b.id(), 1, 7));
+  sim.run();
+  EXPECT_EQ(hits, 1);
+  EXPECT_EQ(b.undelivered(), 1u);
+}
+
+}  // namespace
+}  // namespace qoesim::net

@@ -1,0 +1,75 @@
+// Packet model tests.
+#include "net/packet.hpp"
+
+#include <gtest/gtest.h>
+
+namespace qoesim::net {
+namespace {
+
+TEST(Packet, HeaderConstantsMatchWireFormats) {
+  EXPECT_EQ(kIpHeaderBytes, 20u);
+  EXPECT_EQ(kTcpHeaderBytes, 40u);  // 20 TCP + 20 IP
+  EXPECT_EQ(kUdpHeaderBytes, 28u);  // 8 UDP + 20 IP
+  EXPECT_EQ(kRtpHeaderBytes, 12u);
+  EXPECT_EQ(kMtuBytes, 1500u);
+  EXPECT_EQ(kDefaultMss, 1460u);
+}
+
+TEST(Packet, UidsMonotone) {
+  const auto a = next_packet_uid();
+  const auto b = next_packet_uid();
+  EXPECT_LT(a, b);
+}
+
+TEST(Packet, DescribeTcp) {
+  Packet p;
+  p.uid = 7;
+  p.src = 1;
+  p.dst = 2;
+  p.proto = Protocol::kTcp;
+  p.size_bytes = 1500;
+  p.tcp.syn = true;
+  p.tcp.has_ack = true;
+  p.tcp.seq = 100;
+  p.tcp.ack = 200;
+  p.tcp.payload = 1460;
+  const auto s = p.describe();
+  EXPECT_NE(s.find("TCP"), std::string::npos);
+  EXPECT_NE(s.find("1->2"), std::string::npos);
+  EXPECT_NE(s.find("S"), std::string::npos);
+  EXPECT_NE(s.find("seq=100"), std::string::npos);
+  EXPECT_NE(s.find("ack=200"), std::string::npos);
+}
+
+TEST(Packet, DescribeUdp) {
+  Packet p;
+  p.proto = Protocol::kUdp;
+  p.udp.src_port = 5000;
+  p.udp.dst_port = 6000;
+  p.udp.payload = 160;
+  const auto s = p.describe();
+  EXPECT_NE(s.find("UDP"), std::string::npos);
+  EXPECT_NE(s.find("5000->6000"), std::string::npos);
+}
+
+TEST(Packet, DefaultsAreInert) {
+  Packet p;
+  EXPECT_EQ(p.src, kInvalidNode);
+  EXPECT_EQ(p.dst, kInvalidNode);
+  EXPECT_EQ(p.app.kind, AppKind::kNone);
+  EXPECT_EQ(p.tcp.sack_count, 0);
+}
+
+TEST(Packet, SackBlocksCarried) {
+  Packet p;
+  p.proto = Protocol::kTcp;
+  p.tcp.sack_count = 2;
+  p.tcp.sack[0] = SackBlock{100, 200};
+  p.tcp.sack[1] = SackBlock{300, 400};
+  Packet copy = p;  // value semantics preserve blocks
+  EXPECT_EQ(copy.tcp.sack[0].start, 100u);
+  EXPECT_EQ(copy.tcp.sack[1].end, 400u);
+}
+
+}  // namespace
+}  // namespace qoesim::net

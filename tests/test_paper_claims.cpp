@@ -1,0 +1,127 @@
+// Property sweeps for the paper's headline claims, parameterized over the
+// full Table-2 buffer catalog: (1) without congestion, buffer size does
+// not determine QoE (noBG rows are uniformly good -- observation 1 of
+// §1); (2) QoS improvements do not imply QoE improvements (§9.4/§10).
+#include <gtest/gtest.h>
+
+#include "apps/video_codec.hpp"
+#include "core/experiment.hpp"
+#include "qoe/g1030.hpp"
+#include "qoe/video_quality.hpp"
+
+namespace qoesim::core {
+namespace {
+
+ProbeBudget quick_budget() {
+  ProbeBudget b;
+  b.voip_calls = 2;
+  b.video_reps = 1;
+  b.web_loads = 4;
+  b.warmup = Time::seconds(5);  // no background -> no warmup needed
+  b.qos_duration = Time::seconds(8);
+  b.web_timeout = Time::seconds(20);
+  return b;
+}
+
+ScenarioConfig baseline(TestbedType testbed, std::size_t buffer) {
+  ScenarioConfig cfg;
+  cfg.testbed = testbed;
+  cfg.workload = WorkloadType::kNoBg;
+  cfg.buffer_packets = buffer;
+  cfg.tcp_cc = default_cc(testbed);
+  return cfg;
+}
+
+// ---- Claim 1: "any impairment is due to congestion and not due to the
+// buffer size configuration per se" (§7.2): the noBG baseline is good at
+// every buffer size, for every application, on both testbeds.
+
+class AccessBaseline : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(AccessBaseline, VoipExcellent) {
+  ExperimentRunner runner(quick_budget());
+  const auto cell = runner.run_voip(baseline(TestbedType::kAccess, GetParam()));
+  EXPECT_GT(cell.median_mos_talks(), 4.0) << GetParam();
+  EXPECT_GT(cell.median_mos_listens(), 4.0) << GetParam();
+}
+
+TEST_P(AccessBaseline, VideoTransparent) {
+  ExperimentRunner runner(quick_budget());
+  const auto cell = runner.run_video(baseline(TestbedType::kAccess, GetParam()),
+                                     apps::VideoCodecConfig::sd());
+  EXPECT_GT(cell.median_ssim(), 0.99) << GetParam();
+}
+
+TEST_P(AccessBaseline, WebAtLeastFair) {
+  // The paper's own caveat applies at 8 packets: retransmissions push the
+  // baseline PLT to ~1 s ("fair"), not worse.
+  ExperimentRunner runner(quick_budget());
+  const auto cell = runner.run_web(baseline(TestbedType::kAccess, GetParam()));
+  EXPECT_GT(cell.median_mos(), 3.0) << GetParam();
+  EXPECT_LT(cell.median_plt_s(), 1.5) << GetParam();
+}
+
+INSTANTIATE_TEST_SUITE_P(Table2Access, AccessBaseline,
+                         ::testing::Values(8, 16, 32, 64, 128, 256));
+
+class BackboneBaseline : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(BackboneBaseline, VoipExcellent) {
+  ExperimentRunner runner(quick_budget());
+  const auto cell =
+      runner.run_voip(baseline(TestbedType::kBackbone, GetParam()), false);
+  EXPECT_GT(cell.median_mos_listens(), 4.0) << GetParam();
+}
+
+TEST_P(BackboneBaseline, WebGood) {
+  ExperimentRunner runner(quick_budget());
+  const auto cell = runner.run_web(baseline(TestbedType::kBackbone, GetParam()));
+  EXPECT_GT(cell.median_mos(), 3.5) << GetParam();
+}
+
+INSTANTIATE_TEST_SUITE_P(Table2Backbone, BackboneBaseline,
+                         ::testing::Values(8, 28, 749, 7490));
+
+// ---- Claim 2: QoS != QoE (§9.4): a twofold PLT improvement within the
+// "bad" region does not move the MOS category.
+
+TEST(QosVsQoe, LargePltGainsDontMoveBadMos) {
+  const auto model = qoe::G1030::access_profile();
+  const double mos9 = model.mos(Time::seconds(9));
+  const double mos5 = model.mos(Time::seconds(5));
+  EXPECT_EQ(mos9, 1.0);
+  EXPECT_LT(mos5, 1.4);  // both "bad" despite a 2x QoS improvement
+  // ...while the same ratio in the operating region is a full category:
+  EXPECT_GT(model.mos(Time::seconds(1.0)) - model.mos(Time::seconds(2.0)),
+            0.9);
+}
+
+TEST(QosVsQoe, VideoLossRatioVsScore) {
+  // §8.2: "much higher loss rates (one order of magnitude bigger) can
+  // yield the same estimates" -- the SSIM surrogate saturates under
+  // sustained damage.
+  std::vector<qoe::FrameReception> light, heavy;
+  for (std::uint32_t i = 0; i < 200; ++i) {
+    qoe::FrameReception f;
+    f.index = i;
+    f.type = i % 25 == 0 ? qoe::FrameType::kIntra : qoe::FrameType::kPredicted;
+    f.slices_total = 32;
+    qoe::FrameReception g = f;
+    if (i % 5 == 0) f.lost_slices = {0, 1};              // sustained light
+    if (i % 5 == 0) g.lost_slices = {0, 1, 2, 3, 4, 5, 6, 7,
+                                     8, 9, 10, 11, 12, 13, 14, 15};
+    light.push_back(std::move(f));
+    heavy.push_back(std::move(g));
+  }
+  const double s_light =
+      qoe::VideoQuality::evaluate(light, qoe::VideoQualityParams::sd()).ssim;
+  const double s_heavy =
+      qoe::VideoQuality::evaluate(heavy, qoe::VideoQualityParams::sd()).ssim;
+  // 8x the slice loss, but both land in the same "bad" band.
+  EXPECT_LT(s_light, 0.75);
+  EXPECT_GT(s_heavy, 0.3);
+  EXPECT_LT(s_light - s_heavy, 0.35);
+}
+
+}  // namespace
+}  // namespace qoesim::core

@@ -1,0 +1,166 @@
+// Tests for the composed QoE models: PESQ surrogate, VoIP combiner, MOS
+// scales, G.1030 web model, G.114 delay classes.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "qoe/g1030.hpp"
+#include "qoe/g114.hpp"
+#include "qoe/mos.hpp"
+#include "qoe/pesq.hpp"
+#include "qoe/voip_qoe.hpp"
+
+namespace qoesim::qoe {
+namespace {
+
+VoipCallMetrics clean_call() {
+  VoipCallMetrics m;
+  m.packets_sent = 400;
+  m.packets_received = 400;
+  m.packets_played = 400;
+  m.mean_network_delay = Time::milliseconds(30);
+  m.mouth_to_ear_delay = Time::milliseconds(110);
+  return m;
+}
+
+TEST(Mos, ClampRange) {
+  EXPECT_EQ(clamp_mos(0.2), 1.0);
+  EXPECT_EQ(clamp_mos(7.0), 5.0);
+  EXPECT_EQ(clamp_mos(3.3), 3.3);
+}
+
+TEST(Mos, VoipRatingBands) {
+  EXPECT_EQ(voip_rating(4.4), VoipRating::kVerySatisfied);
+  EXPECT_EQ(voip_rating(4.1), VoipRating::kSatisfied);
+  EXPECT_EQ(voip_rating(3.7), VoipRating::kSomeSatisfied);
+  EXPECT_EQ(voip_rating(3.2), VoipRating::kManyDissatisfied);
+  EXPECT_EQ(voip_rating(2.7), VoipRating::kNearlyAllDissatisfied);
+  EXPECT_EQ(voip_rating(1.5), VoipRating::kNotRecommended);
+  EXPECT_EQ(to_string(VoipRating::kSatisfied), "Satisfied");
+}
+
+TEST(Mos, AcrBands) {
+  EXPECT_EQ(acr_rating(4.8), AcrRating::kExcellent);
+  EXPECT_EQ(acr_rating(4.0), AcrRating::kGood);
+  EXPECT_EQ(acr_rating(3.0), AcrRating::kFair);
+  EXPECT_EQ(acr_rating(2.0), AcrRating::kPoor);
+  EXPECT_EQ(acr_rating(1.2), AcrRating::kBad);
+}
+
+TEST(VoipMetrics, EffectiveLossCombinesNetworkAndLate) {
+  VoipCallMetrics m = clean_call();
+  m.packets_received = 390;  // 10 lost in the network
+  m.packets_played = 380;    // 10 more discarded late
+  m.packets_late = 10;
+  EXPECT_NEAR(m.effective_loss(), 20.0 / 400.0, 1e-12);
+  EXPECT_NEAR(m.network_loss(), 10.0 / 400.0, 1e-12);
+}
+
+TEST(Pesq, CleanCallNearMaximum) {
+  const double z1 = PesqSurrogate::listening_score(clean_call());
+  EXPECT_NEAR(z1, 93.2, 0.01);
+  EXPECT_GT(PesqSurrogate::listening_mos(clean_call()), 4.3);
+}
+
+TEST(Pesq, LossDegradesScore) {
+  VoipCallMetrics m = clean_call();
+  m.packets_played = 360;  // 10% effective loss
+  m.packets_received = 360;
+  const double z1 = PesqSurrogate::listening_score(m);
+  EXPECT_LT(z1, 40.0);
+  EXPECT_GT(z1, 10.0);
+}
+
+TEST(VoipQoe, CombinerMatchesPaperFormula) {
+  // z = max(0, z1 - z2).
+  VoipCallMetrics m = clean_call();
+  m.mouth_to_ear_delay = Time::milliseconds(600);
+  const auto s = VoipQoe::score(m);
+  EXPECT_NEAR(s.z, std::max(0.0, s.z1 - s.z2), 1e-12);
+  EXPECT_GT(s.z2, 0.0);
+  EXPECT_LT(s.mos, 4.2);
+}
+
+TEST(VoipQoe, DelayAloneDegradesConversation) {
+  VoipCallMetrics m = clean_call();  // zero loss
+  m.mouth_to_ear_delay = Time::seconds(3);
+  const auto s = VoipQoe::score(m);
+  // G.107's Idd saturates near 50, so pure delay bottoms out around MOS
+  // ~2.3; the paper's MOS-1 cells combine this with heavy loss.
+  EXPECT_LT(s.mos, 2.5);
+  EXPECT_EQ(s.rating, VoipRating::kNotRecommended);
+}
+
+TEST(VoipQoe, FloorAtZeroScore) {
+  VoipCallMetrics m = clean_call();
+  m.packets_played = 100;  // 75% loss
+  m.packets_received = 100;
+  m.mouth_to_ear_delay = Time::seconds(3);
+  const auto s = VoipQoe::score(m);
+  EXPECT_EQ(s.z, 0.0);
+  EXPECT_EQ(s.mos, 1.0);
+}
+
+TEST(G1030Test, EndpointsMapToScaleEnds) {
+  const auto model = G1030::access_profile();
+  EXPECT_NEAR(model.mos(Time::milliseconds(560)), 5.0, 1e-9);
+  EXPECT_NEAR(model.mos(Time::seconds(6)), 1.0, 1e-9);
+  EXPECT_EQ(model.mos(Time::milliseconds(100)), 5.0);  // clamp
+  EXPECT_EQ(model.mos(Time::seconds(30)), 1.0);        // clamp
+}
+
+TEST(G1030Test, LogarithmicMidpoint) {
+  const auto model = G1030::access_profile();
+  // Geometric mean of 0.56 and 6 maps to the middle of the scale.
+  const double mid_plt = std::sqrt(0.56 * 6.0);
+  EXPECT_NEAR(model.mos(Time::seconds(mid_plt)), 3.0, 0.01);
+}
+
+TEST(G1030Test, MonotoneDecreasing) {
+  const auto model = G1030::backbone_profile();
+  double prev = 6.0;
+  for (double plt = 0.1; plt < 10.0; plt += 0.1) {
+    const double mos = model.mos(Time::seconds(plt));
+    EXPECT_LE(mos, prev + 1e-12);
+    prev = mos;
+  }
+}
+
+TEST(G1030Test, PaperQosVsQoeExample) {
+  // §9.4: improving PLT from 9 s to 5 s is a large QoS gain but both map
+  // to "bad" QoE.
+  const auto model = G1030::access_profile();
+  EXPECT_EQ(model.mos(Time::seconds(9)), 1.0);
+  EXPECT_LT(model.mos(Time::seconds(5)), 1.4);
+}
+
+TEST(G1030Test, BackboneProfileLessStrict) {
+  // Same PLT scores slightly better on the backbone profile (higher
+  // baseline RTT -> higher plt_min).
+  const Time plt = Time::seconds(1.2);
+  EXPECT_GT(G1030::backbone_profile().mos(plt),
+            G1030::access_profile().mos(plt));
+}
+
+TEST(G1030Test, InvalidProfileThrows) {
+  EXPECT_THROW(G1030(Time::zero(), Time::seconds(6)), std::invalid_argument);
+  EXPECT_THROW(G1030(Time::seconds(6), Time::seconds(1)),
+               std::invalid_argument);
+}
+
+TEST(G114Test, Classes) {
+  EXPECT_EQ(g114_classify(Time::milliseconds(100)), G114Class::kAcceptable);
+  EXPECT_EQ(g114_classify(Time::milliseconds(150)), G114Class::kAcceptable);
+  EXPECT_EQ(g114_classify(Time::milliseconds(250)), G114Class::kProblematic);
+  EXPECT_EQ(g114_classify(Time::milliseconds(400)), G114Class::kProblematic);
+  EXPECT_EQ(g114_classify(Time::seconds(1)), G114Class::kUnacceptable);
+}
+
+TEST(G114Test, TonesMatchPaperColors) {
+  EXPECT_EQ(g114_tone(Time::milliseconds(50)), stats::CellTone::kGood);
+  EXPECT_EQ(g114_tone(Time::milliseconds(300)), stats::CellTone::kFair);
+  EXPECT_EQ(g114_tone(Time::seconds(3)), stats::CellTone::kBad);
+}
+
+}  // namespace
+}  // namespace qoesim::qoe

@@ -1,0 +1,137 @@
+// Unit tests for RandomStream: determinism and distribution sanity.
+#include "sim/random.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace qoesim {
+namespace {
+
+TEST(RandomStream, DeterministicForSameSeed) {
+  RandomStream a(7), b(7);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.uniform(), b.uniform());
+}
+
+TEST(RandomStream, DifferentSeedsDiffer) {
+  RandomStream a(1), b(2);
+  int equal = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a.uniform() == b.uniform()) ++equal;
+  }
+  EXPECT_LT(equal, 5);
+}
+
+TEST(RandomStream, DeriveMixesLabels) {
+  auto a = RandomStream::derive(1, "tcp");
+  auto b = RandomStream::derive(1, "udp");
+  auto a2 = RandomStream::derive(1, "tcp");
+  const double va = a.uniform();
+  EXPECT_NE(va, b.uniform());
+  EXPECT_EQ(va, a2.uniform());
+}
+
+TEST(RandomStream, UniformRange) {
+  RandomStream rng(3);
+  for (int i = 0; i < 1000; ++i) {
+    const double u = rng.uniform(2.0, 5.0);
+    EXPECT_GE(u, 2.0);
+    EXPECT_LT(u, 5.0);
+  }
+}
+
+TEST(RandomStream, UniformIntInclusive) {
+  RandomStream rng(4);
+  bool saw_lo = false, saw_hi = false;
+  for (int i = 0; i < 2000; ++i) {
+    const auto v = rng.uniform_int(1, 6);
+    EXPECT_GE(v, 1);
+    EXPECT_LE(v, 6);
+    saw_lo |= v == 1;
+    saw_hi |= v == 6;
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+TEST(RandomStream, BernoulliEdgeCases) {
+  RandomStream rng(5);
+  for (int i = 0; i < 50; ++i) {
+    EXPECT_FALSE(rng.bernoulli(0.0));
+    EXPECT_TRUE(rng.bernoulli(1.0));
+  }
+}
+
+TEST(RandomStream, BernoulliFrequency) {
+  RandomStream rng(6);
+  int hits = 0;
+  for (int i = 0; i < 10000; ++i) hits += rng.bernoulli(0.3) ? 1 : 0;
+  EXPECT_NEAR(hits / 10000.0, 0.3, 0.03);
+}
+
+TEST(RandomStream, ExponentialMean) {
+  RandomStream rng(8);
+  double sum = 0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) sum += rng.exponential(2.0);
+  EXPECT_NEAR(sum / n, 2.0, 0.1);
+}
+
+TEST(RandomStream, ExponentialRejectsBadMean) {
+  RandomStream rng(9);
+  EXPECT_THROW(rng.exponential(0.0), std::invalid_argument);
+  EXPECT_THROW(rng.exponential(-1.0), std::invalid_argument);
+}
+
+TEST(RandomStream, WeibullMeanMatchesGamma) {
+  RandomStream rng(10);
+  const double shape = 0.35, scale = 10039.0;
+  double sum = 0;
+  const int n = 200000;
+  for (int i = 0; i < n; ++i) sum += rng.weibull(shape, scale);
+  const double analytic = scale * std::tgamma(1.0 + 1.0 / shape);
+  // Heavy-tailed: generous tolerance.
+  EXPECT_NEAR(sum / n / analytic, 1.0, 0.15);
+}
+
+TEST(RandomStream, ParetoBoundedBelow) {
+  RandomStream rng(11);
+  for (int i = 0; i < 1000; ++i) EXPECT_GE(rng.pareto(1.5, 3.0), 3.0);
+}
+
+TEST(RandomStream, LognormalMedian) {
+  RandomStream rng(12);
+  int below = 0;
+  const double median = std::exp(1.0);
+  for (int i = 0; i < 10000; ++i) {
+    if (rng.lognormal(1.0, 0.8) < median) ++below;
+  }
+  EXPECT_NEAR(below / 10000.0, 0.5, 0.03);
+}
+
+TEST(RandomStream, NormalMoments) {
+  RandomStream rng(13);
+  double sum = 0, sq = 0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    const double x = rng.normal(5.0, 2.0);
+    sum += x;
+    sq += x * x;
+  }
+  const double mean = sum / n;
+  EXPECT_NEAR(mean, 5.0, 0.1);
+  EXPECT_NEAR(std::sqrt(sq / n - mean * mean), 2.0, 0.1);
+}
+
+TEST(RandomStream, DiscreteRespectsWeights) {
+  RandomStream rng(14);
+  std::vector<double> weights{0.7, 0.2, 0.1};
+  std::vector<int> counts(3, 0);
+  for (int i = 0; i < 10000; ++i) ++counts[rng.discrete(weights)];
+  EXPECT_NEAR(counts[0] / 10000.0, 0.7, 0.03);
+  EXPECT_NEAR(counts[1] / 10000.0, 0.2, 0.03);
+  EXPECT_NEAR(counts[2] / 10000.0, 0.1, 0.02);
+}
+
+}  // namespace
+}  // namespace qoesim

@@ -1,0 +1,89 @@
+// Unit tests for the RFC 6298 RTT estimator.
+#include "tcp/rtt_estimator.hpp"
+
+#include <gtest/gtest.h>
+
+namespace qoesim::tcp {
+namespace {
+
+TEST(RttEstimator, InitialRtoBeforeSamples) {
+  RttEstimator est;
+  EXPECT_FALSE(est.has_samples());
+  EXPECT_EQ(est.rto(), Time::seconds(1));
+}
+
+TEST(RttEstimator, FirstSampleInitializesSrttAndVar) {
+  RttEstimator est;
+  est.add_sample(Time::milliseconds(100));
+  EXPECT_EQ(est.srtt(), Time::milliseconds(100));
+  EXPECT_EQ(est.rttvar(), Time::milliseconds(50));
+  // RTO = srtt + 4*rttvar = 300 ms.
+  EXPECT_EQ(est.rto(), Time::milliseconds(300));
+}
+
+TEST(RttEstimator, ConstantSamplesConverge) {
+  RttEstimator est;
+  for (int i = 0; i < 100; ++i) est.add_sample(Time::milliseconds(80));
+  EXPECT_NEAR(est.srtt().ms(), 80.0, 0.5);
+  EXPECT_NEAR(est.rttvar().ms(), 0.0, 1.0);
+  // Min RTO floor applies (Linux: 200 ms).
+  EXPECT_EQ(est.rto(), Time::milliseconds(200));
+}
+
+TEST(RttEstimator, SmoothingFollowsIncrease) {
+  RttEstimator est;
+  est.add_sample(Time::milliseconds(50));
+  for (int i = 0; i < 50; ++i) est.add_sample(Time::milliseconds(200));
+  EXPECT_NEAR(est.srtt().ms(), 200.0, 2.0);
+  EXPECT_GT(est.rto(), Time::milliseconds(200));
+}
+
+TEST(RttEstimator, BackoffDoublesAndSampleResets) {
+  RttEstimator est;
+  est.add_sample(Time::milliseconds(100));
+  const Time base = est.rto();
+  est.backoff();
+  EXPECT_EQ(est.rto(), base * 2.0);
+  est.backoff();
+  EXPECT_EQ(est.rto(), base * 4.0);
+  est.add_sample(Time::milliseconds(100));
+  EXPECT_LE(est.rto(), base + Time::milliseconds(1));
+}
+
+TEST(RttEstimator, ResetBackoffClears) {
+  RttEstimator est;
+  est.add_sample(Time::milliseconds(100));
+  const Time base = est.rto();
+  est.backoff();
+  est.reset_backoff();
+  EXPECT_EQ(est.rto(), base);
+}
+
+TEST(RttEstimator, MaxRtoCap) {
+  RttEstimator est;
+  est.add_sample(Time::seconds(10));
+  for (int i = 0; i < 20; ++i) est.backoff();
+  EXPECT_EQ(est.rto(), Time::seconds(60));
+}
+
+TEST(RttEstimator, KernelStyleAggregates) {
+  RttEstimator est;
+  est.add_sample(Time::milliseconds(50));
+  est.add_sample(Time::milliseconds(150));
+  est.add_sample(Time::milliseconds(100));
+  EXPECT_EQ(est.samples(), 3u);
+  EXPECT_EQ(est.min_srtt(), Time::milliseconds(50));
+  // max sRTT is the smoothed max, <= raw max sample.
+  EXPECT_LE(est.max_srtt(), Time::milliseconds(150));
+  EXPECT_GT(est.max_srtt(), est.min_srtt());
+  EXPECT_GT(est.avg_srtt(), Time::zero());
+}
+
+TEST(RttEstimator, NegativeSampleClamped) {
+  RttEstimator est;
+  est.add_sample(Time::zero() - Time::milliseconds(5));
+  EXPECT_EQ(est.srtt(), Time::zero());
+}
+
+}  // namespace
+}  // namespace qoesim::tcp

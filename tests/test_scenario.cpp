@@ -1,0 +1,145 @@
+// Scenario catalog tests: Table 1 workloads and Table 2 buffer math.
+#include "core/scenario.hpp"
+
+#include <gtest/gtest.h>
+
+namespace qoesim::core {
+namespace {
+
+TEST(Scenario, BufferCatalogsMatchTable2) {
+  EXPECT_EQ(access_buffer_sizes(),
+            (std::vector<std::size_t>{8, 16, 32, 64, 128, 256}));
+  EXPECT_EQ(backbone_buffer_sizes(),
+            (std::vector<std::size_t>{8, 28, 749, 7490}));
+}
+
+TEST(Scenario, Table2UplinkDelays) {
+  // Table 2 uplink column (1 Mbit/s): 8 pkts ~ 98 ms ... 256 ~ 3167 ms.
+  const double uplink = 1e6;
+  EXPECT_NEAR(buffer_drain_delay(8, uplink).ms(), 98.0, 3.0);
+  EXPECT_NEAR(buffer_drain_delay(16, uplink).ms(), 198.0, 7.0);
+  EXPECT_NEAR(buffer_drain_delay(64, uplink).ms(), 788.0, 22.0);
+  EXPECT_NEAR(buffer_drain_delay(256, uplink).ms(), 3167.0, 100.0);
+}
+
+TEST(Scenario, Table2DownlinkDelays) {
+  const double downlink = 16e6;
+  EXPECT_NEAR(buffer_drain_delay(8, downlink).ms(), 6.0, 0.3);
+  EXPECT_NEAR(buffer_drain_delay(64, downlink).ms(), 49.0, 2.0);
+  EXPECT_NEAR(buffer_drain_delay(256, downlink).ms(), 195.0, 5.0);
+}
+
+TEST(Scenario, Table2BackboneDelays) {
+  const double oc3 = BackboneParams{}.bottleneck_bps;
+  EXPECT_NEAR(buffer_drain_delay(8, oc3).ms(), 0.6, 0.1);
+  EXPECT_NEAR(buffer_drain_delay(28, oc3).ms(), 2.2, 0.2);
+  EXPECT_NEAR(buffer_drain_delay(749, oc3).ms(), 58.0, 3.0);
+  EXPECT_NEAR(buffer_drain_delay(7490, oc3).ms(), 580.0, 25.0);
+}
+
+TEST(Scenario, BackboneBdpIs749Packets) {
+  // 749 full-sized packets == BDP at RTT 60 ms (Table 2).
+  const BackboneParams p;
+  const double bdp_bytes = p.bottleneck_bps * 0.060 / 8.0;
+  EXPECT_NEAR(bdp_bytes / 1500.0, 749.0, 2.0);
+}
+
+TEST(Scenario, AccessBdpApproximations) {
+  // Downlink BDP ~ 64 packets, uplink ~ 8 packets (Table 2 labels).
+  const AccessParams p;
+  const double rtt =
+      2.0 * (p.client_side_delay + p.server_side_delay).sec();
+  const double down_bdp = p.downlink_bps * rtt / 8.0 / 1500.0;
+  EXPECT_NEAR(down_bdp, 64.0, 10.0);
+  EXPECT_EQ(buffer_scheme_label(TestbedType::kAccess, 64, false), "~BDP");
+  EXPECT_EQ(buffer_scheme_label(TestbedType::kAccess, 8, true), "~BDP");
+  EXPECT_EQ(buffer_scheme_label(TestbedType::kBackbone, 28, false),
+            "Stanford");
+  EXPECT_EQ(buffer_scheme_label(TestbedType::kBackbone, 7490, false),
+            "10xBDP");
+}
+
+TEST(Scenario, WorkloadCatalogs) {
+  EXPECT_EQ(access_workloads().size(), 4u);
+  EXPECT_EQ(backbone_workloads().size(), 5u);
+}
+
+TEST(Scenario, AccessWorkloadSpecsMatchTable1) {
+  auto spec = workload_spec(TestbedType::kAccess, WorkloadType::kShortFew,
+                            CongestionDirection::kBidirectional);
+  EXPECT_TRUE(spec.harpoon);
+  EXPECT_EQ(spec.sessions_up, 1u);
+  EXPECT_EQ(spec.sessions_down, 8u);
+  EXPECT_DOUBLE_EQ(spec.interarrival_mean_s, 2.0);  // exp-a
+
+  spec = workload_spec(TestbedType::kAccess, WorkloadType::kShortMany,
+                       CongestionDirection::kDownstream);
+  EXPECT_EQ(spec.sessions_up, 0u);
+  EXPECT_EQ(spec.sessions_down, 16u);
+
+  spec = workload_spec(TestbedType::kAccess, WorkloadType::kLongMany,
+                       CongestionDirection::kBidirectional);
+  EXPECT_FALSE(spec.harpoon);
+  EXPECT_EQ(spec.flows_up, 8u);
+  EXPECT_EQ(spec.flows_down, 64u);
+
+  spec = workload_spec(TestbedType::kAccess, WorkloadType::kLongFew,
+                       CongestionDirection::kUpstream);
+  EXPECT_EQ(spec.flows_up, 1u);
+  EXPECT_EQ(spec.flows_down, 0u);
+}
+
+TEST(Scenario, BackboneWorkloadSpecsMatchTable1) {
+  auto spec = workload_spec(TestbedType::kBackbone, WorkloadType::kShortLow,
+                            CongestionDirection::kDownstream);
+  EXPECT_EQ(spec.sessions_down, 30u);  // 3 * 10
+  EXPECT_DOUBLE_EQ(spec.interarrival_mean_s, 1.0);  // exp-b
+
+  spec = workload_spec(TestbedType::kBackbone, WorkloadType::kShortOverload,
+                       CongestionDirection::kDownstream);
+  EXPECT_EQ(spec.sessions_down, 768u);  // 3 * 256
+
+  spec = workload_spec(TestbedType::kBackbone, WorkloadType::kLong,
+                       CongestionDirection::kDownstream);
+  EXPECT_EQ(spec.flows_down, 768u);
+  EXPECT_FALSE(spec.harpoon);
+}
+
+TEST(Scenario, NoBgIsEmpty) {
+  const auto spec = workload_spec(TestbedType::kAccess, WorkloadType::kNoBg,
+                                  CongestionDirection::kBidirectional);
+  EXPECT_FALSE(spec.harpoon);
+  EXPECT_EQ(spec.sessions_up + spec.sessions_down + spec.flows_up +
+                spec.flows_down,
+            0u);
+}
+
+TEST(Scenario, MismatchedWorkloadThrows) {
+  EXPECT_THROW(workload_spec(TestbedType::kAccess, WorkloadType::kShortLow,
+                             CongestionDirection::kDownstream),
+               std::invalid_argument);
+  EXPECT_THROW(workload_spec(TestbedType::kBackbone, WorkloadType::kLongFew,
+                             CongestionDirection::kDownstream),
+               std::invalid_argument);
+}
+
+TEST(Scenario, DefaultCcPerTestbed) {
+  EXPECT_EQ(default_cc(TestbedType::kAccess), tcp::CcKind::kCubic);
+  EXPECT_EQ(default_cc(TestbedType::kBackbone), tcp::CcKind::kReno);
+}
+
+TEST(Scenario, LabelIncludesComponents) {
+  ScenarioConfig cfg;
+  cfg.testbed = TestbedType::kAccess;
+  cfg.workload = WorkloadType::kLongFew;
+  cfg.direction = CongestionDirection::kUpstream;
+  cfg.buffer_packets = 128;
+  const auto label = cfg.label();
+  EXPECT_NE(label.find("access"), std::string::npos);
+  EXPECT_NE(label.find("long-few"), std::string::npos);
+  EXPECT_NE(label.find("upstream"), std::string::npos);
+  EXPECT_NE(label.find("128"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace qoesim::core

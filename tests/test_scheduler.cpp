@@ -1,0 +1,138 @@
+// Unit tests for the discrete-event scheduler.
+#include "sim/event.hpp"
+
+#include <gtest/gtest.h>
+
+#include "sim/simulation.hpp"
+
+#include <vector>
+
+namespace qoesim {
+namespace {
+
+TEST(Scheduler, FiresInTimeOrder) {
+  Scheduler sched;
+  std::vector<int> order;
+  sched.schedule_at(Time::seconds(3), [&] { order.push_back(3); });
+  sched.schedule_at(Time::seconds(1), [&] { order.push_back(1); });
+  sched.schedule_at(Time::seconds(2), [&] { order.push_back(2); });
+  sched.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(sched.now(), Time::seconds(3));
+}
+
+TEST(Scheduler, FifoAmongEqualTimestamps) {
+  Scheduler sched;
+  std::vector<int> order;
+  for (int i = 0; i < 10; ++i) {
+    sched.schedule_at(Time::seconds(1), [&order, i] { order.push_back(i); });
+  }
+  sched.run();
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(order[static_cast<size_t>(i)], i);
+}
+
+TEST(Scheduler, ScheduleInIsRelative) {
+  Scheduler sched;
+  Time fired;
+  sched.schedule_at(Time::seconds(5), [&] {
+    sched.schedule_in(Time::seconds(2), [&] { fired = sched.now(); });
+  });
+  sched.run();
+  EXPECT_EQ(fired, Time::seconds(7));
+}
+
+TEST(Scheduler, NegativeDelayClampsToNow) {
+  Scheduler sched;
+  bool fired = false;
+  sched.schedule_in(Time::zero() - Time::seconds(1), [&] { fired = true; });
+  sched.run();
+  EXPECT_TRUE(fired);
+  EXPECT_EQ(sched.now(), Time::zero());
+}
+
+TEST(Scheduler, PastSchedulingThrows) {
+  Scheduler sched;
+  sched.schedule_at(Time::seconds(1), [] {});
+  sched.run();
+  EXPECT_THROW(sched.schedule_at(Time::milliseconds(500), [] {}),
+               std::invalid_argument);
+}
+
+TEST(Scheduler, CancelPreventsExecution) {
+  Scheduler sched;
+  bool fired = false;
+  auto handle = sched.schedule_at(Time::seconds(1), [&] { fired = true; });
+  EXPECT_TRUE(handle.pending());
+  handle.cancel();
+  EXPECT_FALSE(handle.pending());
+  sched.run();
+  EXPECT_FALSE(fired);
+}
+
+TEST(Scheduler, CancelIsIdempotentAndSafeAfterFire) {
+  Scheduler sched;
+  int count = 0;
+  auto handle = sched.schedule_at(Time::seconds(1), [&] { ++count; });
+  sched.run();
+  EXPECT_EQ(count, 1);
+  EXPECT_FALSE(handle.pending());
+  handle.cancel();  // no-op
+  EXPECT_EQ(count, 1);
+}
+
+TEST(Scheduler, RunUntilStopsAtBoundaryAndAdvancesClock) {
+  Scheduler sched;
+  std::vector<int> order;
+  sched.schedule_at(Time::seconds(1), [&] { order.push_back(1); });
+  sched.schedule_at(Time::seconds(5), [&] { order.push_back(5); });
+  sched.run_until(Time::seconds(3));
+  EXPECT_EQ(order, (std::vector<int>{1}));
+  EXPECT_EQ(sched.now(), Time::seconds(3));
+  sched.run_until(Time::seconds(10));
+  EXPECT_EQ(order, (std::vector<int>{1, 5}));
+  EXPECT_EQ(sched.now(), Time::seconds(10));
+}
+
+TEST(Scheduler, RunUntilWithCancelledHeadDoesNotOvershoot) {
+  Scheduler sched;
+  bool late_fired = false;
+  auto head = sched.schedule_at(Time::seconds(1), [] {});
+  sched.schedule_at(Time::seconds(9), [&] { late_fired = true; });
+  head.cancel();
+  sched.run_until(Time::seconds(5));
+  EXPECT_FALSE(late_fired);
+  EXPECT_EQ(sched.now(), Time::seconds(5));
+}
+
+TEST(Scheduler, EventsScheduledDuringRunAreExecuted) {
+  Scheduler sched;
+  int depth = 0;
+  std::function<void()> recurse = [&] {
+    if (++depth < 100) sched.schedule_in(Time::milliseconds(1), recurse);
+  };
+  sched.schedule_in(Time::milliseconds(1), recurse);
+  sched.run();
+  EXPECT_EQ(depth, 100);
+  EXPECT_EQ(sched.fired_events(), 100u);
+}
+
+TEST(Scheduler, StepReturnsFalseWhenEmpty) {
+  Scheduler sched;
+  EXPECT_FALSE(sched.step());
+  sched.schedule_at(Time::seconds(1), [] {});
+  EXPECT_TRUE(sched.step());
+  EXPECT_FALSE(sched.step());
+}
+
+TEST(Simulation, DerivedRngsDifferByLabel) {
+  Simulation sim(42);
+  auto a = sim.rng("a");
+  auto b = sim.rng("b");
+  auto a2 = sim.rng("a");
+  const double va = a.uniform();
+  EXPECT_NE(va, b.uniform());
+  EXPECT_EQ(va, a2.uniform());  // deterministic per (seed, label)
+}
+
+}  // namespace
+}  // namespace qoesim

@@ -1,0 +1,193 @@
+// Unit tests for summaries, histograms and time series.
+#include <gtest/gtest.h>
+
+#include "stats/hist2d.hpp"
+#include "stats/histogram.hpp"
+#include "stats/summary.hpp"
+#include "stats/timeseries.hpp"
+
+namespace qoesim::stats {
+namespace {
+
+TEST(RunningStats, BasicMoments) {
+  RunningStats s;
+  for (double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) s.add(x);
+  EXPECT_EQ(s.count(), 8u);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  EXPECT_NEAR(s.stddev(), 2.138, 1e-3);  // sample sd
+  EXPECT_EQ(s.min(), 2.0);
+  EXPECT_EQ(s.max(), 9.0);
+  EXPECT_DOUBLE_EQ(s.sum(), 40.0);
+}
+
+TEST(RunningStats, EmptyIsSafe) {
+  RunningStats s;
+  EXPECT_TRUE(s.empty());
+  EXPECT_EQ(s.mean(), 0.0);
+  EXPECT_EQ(s.stddev(), 0.0);
+}
+
+TEST(RunningStats, SingleSampleVarianceZero) {
+  RunningStats s;
+  s.add(3.0);
+  EXPECT_EQ(s.variance(), 0.0);
+}
+
+TEST(RunningStats, MergeMatchesCombined) {
+  RunningStats a, b, all;
+  for (int i = 0; i < 50; ++i) {
+    const double x = i * 0.37;
+    (i % 2 ? a : b).add(x);
+    all.add(x);
+  }
+  a.merge(b);
+  EXPECT_EQ(a.count(), all.count());
+  EXPECT_NEAR(a.mean(), all.mean(), 1e-12);
+  EXPECT_NEAR(a.variance(), all.variance(), 1e-9);
+  EXPECT_EQ(a.min(), all.min());
+  EXPECT_EQ(a.max(), all.max());
+}
+
+TEST(Samples, PercentileInterpolates) {
+  Samples s;
+  for (double x : {1.0, 2.0, 3.0, 4.0, 5.0}) s.add(x);
+  EXPECT_DOUBLE_EQ(s.percentile(0), 1.0);
+  EXPECT_DOUBLE_EQ(s.percentile(100), 5.0);
+  EXPECT_DOUBLE_EQ(s.median(), 3.0);
+  EXPECT_DOUBLE_EQ(s.percentile(25), 2.0);
+  EXPECT_DOUBLE_EQ(s.percentile(12.5), 1.5);
+}
+
+TEST(Samples, PercentileOnEmptyThrows) {
+  Samples s;
+  EXPECT_THROW(s.percentile(50), std::logic_error);
+}
+
+TEST(Samples, AddAfterSortedQueryStillCorrect) {
+  Samples s;
+  s.add(5.0);
+  s.add(1.0);
+  EXPECT_DOUBLE_EQ(s.min(), 1.0);
+  s.add(0.5);  // invalidates cached sort
+  EXPECT_DOUBLE_EQ(s.min(), 0.5);
+  EXPECT_DOUBLE_EQ(s.max(), 5.0);
+}
+
+TEST(Samples, BoxplotQuartilesAndWhiskers) {
+  Samples s;
+  for (int i = 1; i <= 100; ++i) s.add(static_cast<double>(i));
+  s.add(1000.0);  // outlier beyond 1.5 IQR
+  const auto b = s.boxplot();
+  EXPECT_EQ(b.n, 101u);
+  EXPECT_NEAR(b.median, 51.0, 1.0);
+  EXPECT_NEAR(b.q1, 26.0, 1.0);
+  EXPECT_NEAR(b.q3, 76.0, 1.5);
+  EXPECT_EQ(b.maximum, 1000.0);
+  EXPECT_LT(b.whisker_high, 1000.0);  // outlier excluded from whisker
+  EXPECT_EQ(b.whisker_low, 1.0);
+}
+
+TEST(Histogram, CountsAndDensityNormalize) {
+  Histogram h(0.0, 10.0, 10);
+  for (int i = 0; i < 10; ++i) h.add(i + 0.5);
+  auto bins = h.to_bins();
+  ASSERT_EQ(bins.size(), 10u);
+  double integral = 0.0;
+  for (const auto& b : bins) {
+    EXPECT_EQ(b.count, 1u);
+    integral += b.density * (b.hi - b.lo);
+  }
+  EXPECT_NEAR(integral, 1.0, 1e-12);
+}
+
+TEST(Histogram, OutOfRangeClampsToEdges) {
+  Histogram h(0.0, 10.0, 10);
+  h.add(-5.0);
+  h.add(50.0);
+  EXPECT_EQ(h.bin_count(0), 1u);
+  EXPECT_EQ(h.bin_count(9), 1u);
+}
+
+TEST(Histogram, InvalidConstructionThrows) {
+  EXPECT_THROW(Histogram(0.0, 10.0, 0), std::invalid_argument);
+  EXPECT_THROW(Histogram(5.0, 5.0, 10), std::invalid_argument);
+}
+
+TEST(LogHistogram, BinGeometryIsLogarithmic) {
+  LogHistogram h(1.0, 1000.0, 10);
+  EXPECT_EQ(h.bins(), 30u);
+  auto bins = h.to_bins();
+  // Each bin's hi/lo ratio is constant in log space.
+  const double ratio = bins[0].hi / bins[0].lo;
+  for (const auto& b : bins) EXPECT_NEAR(b.hi / b.lo, ratio, 1e-9);
+}
+
+TEST(LogHistogram, DropsNonPositive) {
+  LogHistogram h(1.0, 1000.0, 5);
+  h.add(0.0);
+  h.add(-3.0);
+  h.add(10.0);
+  EXPECT_EQ(h.count(), 1u);
+  EXPECT_EQ(h.dropped(), 2u);
+}
+
+TEST(LogHistogram, DensityIntegratesToOneOverLogAxis) {
+  LogHistogram h(1.0, 10000.0, 8);
+  RunningStats unused;
+  for (int i = 1; i <= 1000; ++i) h.add(static_cast<double>(i));
+  double integral = 0.0;
+  for (const auto& b : h.to_bins()) {
+    integral += b.density * (1.0 / 8.0);  // log-width per bin
+  }
+  EXPECT_NEAR(integral, 1.0, 1e-9);
+}
+
+TEST(LogHist2D, DiagonalMass) {
+  LogHist2D h(1.0, 1000.0, 5);
+  for (int i = 1; i <= 100; ++i) {
+    h.add(static_cast<double>(i), static_cast<double>(i));
+  }
+  EXPECT_DOUBLE_EQ(h.diagonal_mass(0), 1.0);
+  h.add(1.0, 900.0);
+  EXPECT_LT(h.diagonal_mass(0), 1.0);
+}
+
+TEST(LogHist2D, CountsByCell) {
+  LogHist2D h(1.0, 100.0, 1);  // 2x2 decades
+  h.add(5.0, 5.0);
+  h.add(50.0, 5.0);
+  EXPECT_EQ(h.count(), 2u);
+  EXPECT_EQ(h.at(0, 0), 1u);
+  EXPECT_EQ(h.at(1, 0), 1u);
+}
+
+TEST(BinnedSeries, AccumulatesIntoBins) {
+  BinnedSeries s(qoesim::Time::seconds(1));
+  s.add(qoesim::Time::milliseconds(100), 10.0);
+  s.add(qoesim::Time::milliseconds(900), 5.0);
+  s.add(qoesim::Time::milliseconds(1500), 7.0);
+  EXPECT_EQ(s.bins(), 2u);
+  EXPECT_DOUBLE_EQ(s.bin_value(0), 15.0);
+  EXPECT_DOUBLE_EQ(s.bin_value(1), 7.0);
+  EXPECT_DOUBLE_EQ(s.total(), 22.0);
+}
+
+TEST(BinnedSeries, RangeQueryIncludesEmptyBins) {
+  BinnedSeries s(qoesim::Time::seconds(1));
+  s.add(qoesim::Time::seconds(0.5), 1.0);
+  auto bins = s.bin_values(qoesim::Time::zero(), qoesim::Time::seconds(5));
+  ASSERT_EQ(bins.size(), 5u);
+  EXPECT_DOUBLE_EQ(bins[0], 1.0);
+  for (size_t i = 1; i < 5; ++i) EXPECT_DOUBLE_EQ(bins[i], 0.0);
+}
+
+TEST(BinnedSeries, PartialBinsExcluded) {
+  BinnedSeries s(qoesim::Time::seconds(1));
+  s.add(qoesim::Time::seconds(0.5), 1.0);
+  auto bins =
+      s.bin_values(qoesim::Time::milliseconds(500), qoesim::Time::seconds(3));
+  EXPECT_EQ(bins.size(), 2u);  // bins [1,2) and [2,3); bin 0 straddles from
+}
+
+}  // namespace
+}  // namespace qoesim::stats

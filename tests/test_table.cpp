@@ -1,0 +1,94 @@
+// Unit tests for text table / heatmap rendering and CSV output.
+#include "stats/table.hpp"
+
+#include <gtest/gtest.h>
+
+namespace qoesim::stats {
+namespace {
+
+TEST(TextTable, RendersAlignedColumns) {
+  TextTable t;
+  t.set_header({"name", "value"});
+  t.add_row({"a", "1"});
+  t.add_row({"longer", "22"});
+  const std::string out = t.render();
+  EXPECT_NE(out.find("name"), std::string::npos);
+  EXPECT_NE(out.find("longer"), std::string::npos);
+  // Header separator line exists.
+  EXPECT_NE(out.find("----"), std::string::npos);
+}
+
+TEST(TextTable, EmptyRowThrows) {
+  TextTable t;
+  EXPECT_THROW(t.add_row({}), std::invalid_argument);
+}
+
+TEST(TextTable, CsvRoundTrip) {
+  TextTable t;
+  t.set_header({"a", "b"});
+  t.add_row({"x,y", "plain"});
+  const std::string csv = t.to_csv();
+  EXPECT_NE(csv.find("\"x,y\""), std::string::npos);
+  EXPECT_NE(csv.find("plain"), std::string::npos);
+}
+
+TEST(CsvEscape, QuotesSpecials) {
+  EXPECT_EQ(csv_escape("plain"), "plain");
+  EXPECT_EQ(csv_escape("a,b"), "\"a,b\"");
+  EXPECT_EQ(csv_escape("say \"hi\""), "\"say \"\"hi\"\"\"");
+}
+
+TEST(ToneFromMos, Thresholds) {
+  EXPECT_EQ(tone_from_mos(4.5), CellTone::kGood);
+  EXPECT_EQ(tone_from_mos(4.0), CellTone::kGood);
+  EXPECT_EQ(tone_from_mos(3.5), CellTone::kFair);
+  EXPECT_EQ(tone_from_mos(2.9), CellTone::kBad);
+  EXPECT_EQ(tone_from_mos(1.0), CellTone::kBad);
+}
+
+TEST(HeatmapTable, CellCountValidated) {
+  HeatmapTable h("t", {"8", "16"});
+  EXPECT_THROW(h.add_row("row", {HeatCell{"x", CellTone::kGood}}),
+               std::invalid_argument);
+}
+
+TEST(HeatmapTable, RendersTagsWithoutAnsi) {
+  HeatmapTable h("VoIP", {"8", "16"});
+  h.add_group("user talks");
+  h.add_row("noBG", {{"4.2", CellTone::kGood}, {"1.2", CellTone::kBad}});
+  const std::string out = h.render(/*ansi_colors=*/false);
+  EXPECT_NE(out.find("VoIP"), std::string::npos);
+  EXPECT_NE(out.find("user talks"), std::string::npos);
+  EXPECT_NE(out.find("4.2[G]"), std::string::npos);
+  EXPECT_NE(out.find("1.2[B]"), std::string::npos);
+  EXPECT_EQ(out.find("\x1b["), std::string::npos);
+}
+
+TEST(HeatmapTable, RendersAnsiColors) {
+  HeatmapTable h("x", {"8"});
+  h.add_row("r", {{"1.0", CellTone::kBad}});
+  const std::string out = h.render(/*ansi_colors=*/true);
+  EXPECT_NE(out.find("\x1b[41"), std::string::npos);
+  EXPECT_NE(out.find("\x1b[0m"), std::string::npos);
+}
+
+TEST(HeatmapTable, NeutralCellsUncolored) {
+  HeatmapTable h("x", {"8"});
+  h.add_row("r", {{"n/a", CellTone::kNeutral}});
+  const std::string out = h.render(true);
+  EXPECT_EQ(out.find("\x1b[4"), std::string::npos);
+}
+
+TEST(HeatmapTable, CsvIncludesGroups) {
+  HeatmapTable h("fig", {"8", "16"});
+  h.add_group("SD");
+  h.add_row("noBG", {{"1", CellTone::kGood}, {"0.5", CellTone::kBad}});
+  h.add_group("HD");
+  h.add_row("noBG", {{"1", CellTone::kGood}, {"0.6", CellTone::kBad}});
+  const std::string csv = h.to_csv();
+  EXPECT_NE(csv.find("SD,noBG,1,0.5"), std::string::npos);
+  EXPECT_NE(csv.find("HD,noBG,1,0.6"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace qoesim::stats

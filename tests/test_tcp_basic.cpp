@@ -1,0 +1,209 @@
+// TCP basics on a clean network: handshake, transfer, teardown, stats.
+#include <gtest/gtest.h>
+
+#include "tcp_test_util.hpp"
+
+namespace qoesim {
+namespace {
+
+using testutil::PairNet;
+using testutil::make_sink;
+
+TEST(TcpBasic, HandshakeEstablishesBothEnds) {
+  PairNet net;
+  std::shared_ptr<tcp::TcpSocket> server_sock;
+  tcp::TcpServer server(*net.b, 80, {},
+                        [&](std::shared_ptr<tcp::TcpSocket> s) {
+                          server_sock = std::move(s);
+                        });
+  bool connected = false;
+  auto client = tcp::TcpSocket::connect(
+      *net.a, net.b->id(), 80, {},
+      {.on_connected = [&] { connected = true; },
+       .on_data = {},
+       .on_remote_close = {},
+       .on_closed = {}});
+  net.sim.run_until(Time::seconds(1));
+  EXPECT_TRUE(connected);
+  EXPECT_TRUE(client->established());
+  ASSERT_TRUE(server_sock);
+  EXPECT_TRUE(server_sock->established());
+  // Connect time ~ 1 RTT (20 ms here).
+  EXPECT_NEAR(client->stats().connect_time.ms(), 20.0, 2.0);
+  EXPECT_EQ(server.accepted(), 1u);
+}
+
+TEST(TcpBasic, TransferDeliversExactByteCount) {
+  PairNet net;
+  std::uint64_t received = 0;
+  std::shared_ptr<tcp::TcpSocket> server_sock;
+  tcp::TcpServer server(*net.b, 80, {},
+                        [&](std::shared_ptr<tcp::TcpSocket> s) {
+                          server_sock = s;
+                          auto weak = std::weak_ptr(s);
+                          s->set_callbacks(
+                              {.on_connected = {},
+                               .on_data = [&](std::uint64_t b) { received += b; },
+                               .on_remote_close =
+                                   [weak] {
+                                     if (auto x = weak.lock()) x->close();
+                                   },
+                               .on_closed = {}});
+                        });
+  bool closed = false;
+  auto client = tcp::TcpSocket::connect(
+      *net.a, net.b->id(), 80, {},
+      {.on_connected = {},
+       .on_data = {},
+       .on_remote_close = {},
+       .on_closed = [&] { closed = true; }});
+  client->send(123456);
+  client->close();
+  net.sim.run_until(Time::seconds(10));
+  EXPECT_EQ(received, 123456u);
+  EXPECT_TRUE(closed);
+  EXPECT_TRUE(client->fully_closed());
+  EXPECT_EQ(client->stats().bytes_acked, 123456u);
+  EXPECT_EQ(client->stats().retransmits, 0u);
+  EXPECT_EQ(server_sock->stats().bytes_received, 123456u);
+}
+
+TEST(TcpBasic, SmallTransferSingleSegment) {
+  PairNet net;
+  std::uint64_t received = 0;
+  auto sink = make_sink(*net.b, 80);
+  auto client = tcp::TcpSocket::connect(*net.a, net.b->id(), 80, {}, {});
+  client->set_callbacks({});
+  client->send(1);
+  client->close();
+  (void)received;
+  net.sim.run_until(Time::seconds(5));
+  EXPECT_TRUE(client->fully_closed());
+  EXPECT_EQ(client->stats().bytes_acked, 1u);
+}
+
+TEST(TcpBasic, BidirectionalDataOnOneConnection) {
+  PairNet net;
+  std::uint64_t client_got = 0, server_got = 0;
+  std::shared_ptr<tcp::TcpSocket> server_sock;
+  tcp::TcpServer server(
+      *net.b, 80, {}, [&](std::shared_ptr<tcp::TcpSocket> s) {
+        server_sock = s;
+        auto weak = std::weak_ptr(s);
+        s->set_callbacks({.on_connected =
+                              [weak] {
+                                if (auto x = weak.lock()) x->send(50000);
+                              },
+                          .on_data = [&](std::uint64_t b) { server_got += b; },
+                          .on_remote_close =
+                              [weak] {
+                                if (auto x = weak.lock()) x->close();
+                              },
+                          .on_closed = {}});
+      });
+  auto client = tcp::TcpSocket::connect(
+      *net.a, net.b->id(), 80, {},
+      {.on_connected = {},
+       .on_data = [&](std::uint64_t b) { client_got += b; },
+       .on_remote_close = {},
+       .on_closed = {}});
+  client->send(30000);
+  net.sim.at(Time::seconds(3), [&] { client->close(); });
+  net.sim.run_until(Time::seconds(10));
+  EXPECT_EQ(server_got, 30000u);
+  EXPECT_EQ(client_got, 50000u);
+  EXPECT_TRUE(client->fully_closed());
+}
+
+TEST(TcpBasic, ServerInitiatedClose) {
+  PairNet net;
+  bool client_saw_close = false;
+  tcp::TcpServer server(*net.b, 80, {},
+                        [&](std::shared_ptr<tcp::TcpSocket> s) {
+                          auto weak = std::weak_ptr(s);
+                          s->set_callbacks({.on_connected =
+                                                [weak] {
+                                                  if (auto x = weak.lock()) {
+                                                    x->send(1000);
+                                                    x->close();
+                                                  }
+                                                },
+                                            .on_data = {},
+                                            .on_remote_close = {},
+                                            .on_closed = {}});
+                        });
+  auto client = tcp::TcpSocket::connect(
+      *net.a, net.b->id(), 80, {},
+      {.on_connected = {},
+       .on_data = {},
+       .on_remote_close =
+           [&] {
+             client_saw_close = true;
+           },
+       .on_closed = {}});
+  net.sim.at(Time::seconds(2), [&] { client->close(); });
+  net.sim.run_until(Time::seconds(10));
+  EXPECT_TRUE(client_saw_close);
+  EXPECT_TRUE(client->fully_closed());
+}
+
+TEST(TcpBasic, ConnectToNothingAbortsEventually) {
+  PairNet net;
+  bool closed = false;
+  auto client = tcp::TcpSocket::connect(
+      *net.a, net.b->id(), 81 /*nobody listens*/, {},
+      {.on_connected = {},
+       .on_data = {},
+       .on_remote_close = {},
+       .on_closed = [&] { closed = true; }});
+  net.sim.run_until(Time::seconds(300));
+  EXPECT_TRUE(closed);
+  EXPECT_TRUE(client->stats().aborted);
+  EXPECT_FALSE(client->stats().connected);
+}
+
+TEST(TcpBasic, AbortTearsDownImmediately) {
+  PairNet net;
+  auto sink = make_sink(*net.b, 80);
+  auto client = tcp::TcpSocket::connect(*net.a, net.b->id(), 80, {}, {});
+  client->send(1000000);
+  net.sim.run_until(Time::seconds(1));
+  client->abort();
+  EXPECT_TRUE(client->stats().aborted);
+  EXPECT_TRUE(client->stats().closed);
+  net.sim.run_until(Time::seconds(2));  // no crash from stray events
+}
+
+TEST(TcpBasic, SendAfterCloseIgnored) {
+  PairNet net;
+  auto sink = make_sink(*net.b, 80);
+  auto client = tcp::TcpSocket::connect(*net.a, net.b->id(), 80, {}, {});
+  client->send(1000);
+  client->close();
+  client->send(5000);  // ignored
+  net.sim.run_until(Time::seconds(5));
+  EXPECT_EQ(client->stats().bytes_acked, 1000u);
+}
+
+TEST(TcpBasic, RttEstimatorTracksPathRtt) {
+  PairNet net(10e6, Time::milliseconds(25), 100);  // RTT 50 ms
+  auto sink = make_sink(*net.b, 80);
+  auto client = tcp::TcpSocket::connect(*net.a, net.b->id(), 80, {}, {});
+  client->send(500000);
+  client->close();
+  net.sim.run_until(Time::seconds(10));
+  EXPECT_TRUE(client->fully_closed());
+  EXPECT_GT(client->rtt().samples(), 5u);
+  EXPECT_NEAR(client->rtt().min_srtt().ms(), 50.0, 10.0);
+}
+
+TEST(TcpBasic, DescribeMentionsCc) {
+  PairNet net;
+  tcp::TcpConfig cfg;
+  cfg.cc = tcp::CcKind::kBic;
+  auto client = tcp::TcpSocket::connect(*net.a, net.b->id(), 80, cfg, {});
+  EXPECT_NE(client->describe().find("bic"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace qoesim

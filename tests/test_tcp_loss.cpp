@@ -1,0 +1,221 @@
+// TCP loss recovery: fast retransmit, SACK holes, RTO, reliability under
+// random loss (property sweep).
+#include <gtest/gtest.h>
+
+#include "net/drop_tail.hpp"
+#include "sim/simulation.hpp"
+#include "tcp/tcp_server.hpp"
+#include "tcp/tcp_socket.hpp"
+
+namespace qoesim {
+namespace {
+
+/// Drop-tail queue that additionally drops selected packets: either by
+/// 1-based arrival index (deterministic) or i.i.d. with probability p.
+class LossyQueue final : public net::QueueDiscipline {
+ public:
+  LossyQueue(std::size_t capacity, std::vector<std::uint64_t> drop_indices,
+             double drop_prob = 0.0, std::uint64_t seed = 1)
+      : QueueDiscipline(capacity),
+        drop_indices_(std::move(drop_indices)),
+        drop_prob_(drop_prob),
+        rng_(seed) {}
+
+  std::size_t packet_count() const override { return q_.size(); }
+  std::size_t byte_count() const override { return bytes_; }
+  std::string name() const override { return "Lossy"; }
+
+ protected:
+  bool do_enqueue(net::Packet&& p, Time /*now*/) override {
+    ++arrivals_;
+    const bool listed =
+        std::find(drop_indices_.begin(), drop_indices_.end(), arrivals_) !=
+        drop_indices_.end();
+    if (listed || (drop_prob_ > 0 && rng_.bernoulli(drop_prob_)) ||
+        q_.size() >= capacity_) {
+      count_drop(p);
+      return false;
+    }
+    bytes_ += p.size_bytes;
+    q_.push_back(std::move(p));
+    return true;
+  }
+
+  std::optional<net::Packet> do_dequeue(Time /*now*/) override {
+    if (q_.empty()) return std::nullopt;
+    net::Packet p = std::move(q_.front());
+    q_.pop_front();
+    bytes_ -= p.size_bytes;
+    return p;
+  }
+
+ private:
+  std::deque<net::Packet> q_;
+  std::size_t bytes_ = 0;
+  std::uint64_t arrivals_ = 0;
+  std::vector<std::uint64_t> drop_indices_;
+  double drop_prob_;
+  RandomStream rng_;
+};
+
+/// Two nodes joined by a forward link with an injectable-loss queue and a
+/// clean reverse link.
+struct LossyNet {
+  LossyNet(std::vector<std::uint64_t> fwd_drops, double fwd_prob = 0.0,
+           std::uint64_t seed = 1)
+      : a(sim, 0, "a"),
+        b(sim, 1, "b"),
+        ab(sim, "ab", 10e6, Time::milliseconds(10),
+           std::make_unique<LossyQueue>(1000, std::move(fwd_drops), fwd_prob,
+                                        seed)),
+        ba(sim, "ba", 10e6, Time::milliseconds(10),
+           std::make_unique<net::DropTailQueue>(1000)) {
+    ab.set_sink([this](net::Packet&& p) { b.receive(std::move(p)); });
+    ba.set_sink([this](net::Packet&& p) { a.receive(std::move(p)); });
+    a.add_port(&ab);
+    a.set_default_route(0);
+    b.add_port(&ba);
+    b.set_default_route(0);
+  }
+
+  Simulation sim;
+  net::Node a;
+  net::Node b;
+  net::Link ab;
+  net::Link ba;
+};
+
+std::unique_ptr<tcp::TcpServer> sink(net::Node& node, std::uint32_t port) {
+  return std::make_unique<tcp::TcpServer>(
+      node, port, tcp::TcpConfig{},
+      [](std::shared_ptr<tcp::TcpSocket> s) {
+        auto weak = std::weak_ptr(s);
+        s->set_callbacks({.on_connected = {},
+                          .on_data = {},
+                          .on_remote_close =
+                              [weak] {
+                                if (auto x = weak.lock()) x->close();
+                              },
+                          .on_closed = {}});
+      });
+}
+
+TEST(TcpLoss, SingleDataLossRecoversByFastRetransmit) {
+  // Drop the 8th forward packet (a mid-window data segment).
+  LossyNet net({8});
+  auto server = sink(net.b, 80);
+  auto client = tcp::TcpSocket::connect(net.a, 1, 80, {}, {});
+  client->send(100 * 1460);
+  client->close();
+  net.sim.run_until(Time::seconds(10));
+  EXPECT_TRUE(client->fully_closed());
+  EXPECT_EQ(client->stats().bytes_acked, 100u * 1460u);
+  EXPECT_GE(client->stats().retransmits, 1u);
+  EXPECT_EQ(client->stats().timeouts, 0u);  // SACK/fast-rtx, no RTO
+}
+
+TEST(TcpLoss, BurstLossRecoversWithoutTimeout) {
+  // Drop four consecutive mid-window segments.
+  LossyNet net({10, 11, 12, 13});
+  auto server = sink(net.b, 80);
+  auto client = tcp::TcpSocket::connect(net.a, 1, 80, {}, {});
+  client->send(200 * 1460);
+  client->close();
+  net.sim.run_until(Time::seconds(20));
+  EXPECT_TRUE(client->fully_closed());
+  EXPECT_EQ(client->stats().bytes_acked, 200u * 1460u);
+  EXPECT_GE(client->stats().retransmits, 4u);
+}
+
+TEST(TcpLoss, SynLossRetriesHandshake) {
+  LossyNet net({1});  // first packet = SYN
+  auto server = sink(net.b, 80);
+  bool connected = false;
+  auto client = tcp::TcpSocket::connect(
+      net.a, 1, 80, {},
+      {.on_connected = [&] { connected = true; },
+       .on_data = {},
+       .on_remote_close = {},
+       .on_closed = {}});
+  net.sim.run_until(Time::seconds(5));
+  EXPECT_TRUE(connected);
+  EXPECT_GE(client->stats().timeouts, 1u);  // SYN timer fired
+}
+
+TEST(TcpLoss, TailLossNeedsRtoButCompletes) {
+  // 20 segments; drop the last data segment (packet 21: SYN + 20 data).
+  LossyNet net({21});
+  auto server = sink(net.b, 80);
+  auto client = tcp::TcpSocket::connect(net.a, 1, 80, {}, {});
+  client->send(20 * 1460);
+  client->close();
+  net.sim.run_until(Time::seconds(30));
+  EXPECT_TRUE(client->fully_closed());
+  EXPECT_EQ(client->stats().bytes_acked, 20u * 1460u);
+}
+
+TEST(TcpLoss, FinLossRecovered) {
+  LossyNet net({22});  // SYN + 20 data + FIN -> drop the FIN
+  auto server = sink(net.b, 80);
+  auto client = tcp::TcpSocket::connect(net.a, 1, 80, {}, {});
+  client->send(20 * 1460);
+  client->close();
+  net.sim.run_until(Time::seconds(30));
+  EXPECT_TRUE(client->fully_closed());
+}
+
+TEST(TcpLoss, ReverseAckLossHarmless) {
+  // Clean forward path; lossy reverse handled by cumulative ACKs. Here we
+  // emulate by dropping nothing forward and relying on delayed ACK merge.
+  LossyNet net({});
+  auto server = sink(net.b, 80);
+  auto client = tcp::TcpSocket::connect(net.a, 1, 80, {}, {});
+  client->send(50 * 1460);
+  client->close();
+  net.sim.run_until(Time::seconds(10));
+  EXPECT_TRUE(client->fully_closed());
+}
+
+// Property sweep: reliable in-order delivery of the exact byte count under
+// i.i.d. loss from 0% to 15%, for all congestion controls.
+class TcpReliability
+    : public ::testing::TestWithParam<std::tuple<double, tcp::CcKind>> {};
+
+TEST_P(TcpReliability, DeliversExactlyOnceUnderRandomLoss) {
+  const auto [loss, cc] = GetParam();
+  LossyNet net({}, loss, /*seed=*/42);
+  std::uint64_t received = 0;
+  std::shared_ptr<tcp::TcpSocket> server_sock;
+  tcp::TcpServer server(net.b, 80, {},
+                        [&](std::shared_ptr<tcp::TcpSocket> s) {
+                          server_sock = s;
+                          auto weak = std::weak_ptr(s);
+                          s->set_callbacks(
+                              {.on_connected = {},
+                               .on_data = [&](std::uint64_t b) { received += b; },
+                               .on_remote_close =
+                                   [weak] {
+                                     if (auto x = weak.lock()) x->close();
+                                   },
+                               .on_closed = {}});
+                        });
+  tcp::TcpConfig cfg;
+  cfg.cc = cc;
+  auto client = tcp::TcpSocket::connect(net.a, 1, 80, cfg, {});
+  const std::uint64_t kBytes = 300 * 1460;
+  client->send(kBytes);
+  client->close();
+  net.sim.run_until(Time::seconds(120));
+  EXPECT_EQ(received, kBytes) << "loss=" << loss;
+  EXPECT_EQ(client->stats().bytes_acked, kBytes);
+  EXPECT_TRUE(client->fully_closed());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    LossSweep, TcpReliability,
+    ::testing::Combine(::testing::Values(0.0, 0.01, 0.05, 0.10, 0.15),
+                       ::testing::Values(tcp::CcKind::kReno, tcp::CcKind::kBic,
+                                         tcp::CcKind::kCubic)));
+
+}  // namespace
+}  // namespace qoesim

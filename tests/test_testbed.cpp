@@ -1,0 +1,156 @@
+// Testbed construction tests + Table 2 queueing delays measured in vivo.
+#include "core/testbed.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/workloads.hpp"
+#include "tcp_test_util.hpp"
+#include "udp/udp_socket.hpp"
+
+namespace qoesim::core {
+namespace {
+
+ScenarioConfig access_config(std::size_t buffer = 64) {
+  ScenarioConfig cfg;
+  cfg.testbed = TestbedType::kAccess;
+  cfg.buffer_packets = buffer;
+  return cfg;
+}
+
+ScenarioConfig backbone_config(std::size_t buffer = 749) {
+  ScenarioConfig cfg;
+  cfg.testbed = TestbedType::kBackbone;
+  cfg.buffer_packets = buffer;
+  cfg.tcp_cc = tcp::CcKind::kReno;
+  return cfg;
+}
+
+TEST(Testbed, AccessShape) {
+  Testbed tb(access_config());
+  EXPECT_EQ(tb.servers().size(), 2u);
+  EXPECT_EQ(tb.clients().size(), 2u);
+  EXPECT_NEAR(tb.bottleneck_down().rate_bps(), 16e6, 1.0);
+  EXPECT_NEAR(tb.bottleneck_up().rate_bps(), 1e6, 1.0);
+  EXPECT_EQ(tb.bottleneck_down().queue().capacity_packets(), 64u);
+  EXPECT_EQ(tb.bottleneck_up().queue().capacity_packets(), 64u);
+  // Base RTT ~ 2 * (5 + 20) ms.
+  EXPECT_NEAR(tb.base_rtt().ms(), 50.0, 2.0);
+}
+
+TEST(Testbed, BackboneShape) {
+  Testbed tb(backbone_config());
+  EXPECT_EQ(tb.servers().size(), 4u);
+  EXPECT_EQ(tb.clients().size(), 4u);
+  EXPECT_NEAR(tb.bottleneck_down().rate_bps(), 149.8e6, 1.0);
+  EXPECT_NEAR(tb.base_rtt().ms(), 60.0, 2.0);
+}
+
+TEST(Testbed, AccessRttMeasuredByTcp) {
+  Testbed tb(access_config());
+  auto sink = testutil::make_sink(tb.probe_client(), 5555);
+  auto sock =
+      tcp::TcpSocket::connect(tb.probe_server(), tb.probe_client().id(), 5555,
+                              {}, {});
+  sock->send(100000);
+  sock->close();
+  tb.sim().run_until(Time::seconds(10));
+  ASSERT_TRUE(sock->fully_closed());
+  EXPECT_NEAR(sock->rtt().min_srtt().ms(), 51.0, 4.0);
+}
+
+TEST(Testbed, UplinkBufferDelayMatchesTable2) {
+  // Fill the 64-packet uplink buffer with a UDP blast and measure the
+  // drained delay: Table 2 says ~788 ms.
+  Testbed tb(access_config(64));
+  udp::UdpSocket blaster(tb.probe_client());
+  udp::UdpSocket sink_socket(tb.probe_server(), 4000);
+  Time max_owd;
+  sink_socket.set_receive([&](net::Packet&& p) {
+    max_owd = std::max(max_owd, tb.sim().now() - p.app.created);
+  });
+  for (int i = 0; i < 120; ++i) {
+    net::AppTag tag;
+    tag.created = tb.sim().now();
+    blaster.send_to(tb.probe_server().id(), 4000, 1472, tag, 0);
+  }
+  tb.sim().run_until(Time::seconds(5));
+  // Head of a full 64-packet queue waits ~63 * 12 ms plus path delay.
+  EXPECT_NEAR(max_owd.ms(), 788.0, 60.0);
+}
+
+TEST(Testbed, BackboneBufferDelayMatchesTable2) {
+  Testbed tb(backbone_config(749));
+  udp::UdpSocket blaster(tb.probe_server());
+  udp::UdpSocket sink_socket(tb.probe_client(), 4000);
+  Time max_owd;
+  sink_socket.set_receive([&](net::Packet&& p) {
+    max_owd = std::max(max_owd, tb.sim().now() - p.app.created);
+  });
+  for (int i = 0; i < 1000; ++i) {
+    net::AppTag tag;
+    tag.created = tb.sim().now();
+    blaster.send_to(tb.probe_client().id(), 4000, 1472, tag, 0);
+  }
+  tb.sim().run_until(Time::seconds(5));
+  // Table 2: 58 ms of queueing + 30 ms propagation (+ ~12 ms serialization
+  // of the 1000-packet blast on the 1 Gbit/s host link).
+  EXPECT_NEAR(max_owd.ms(), 100.0, 15.0);
+}
+
+TEST(Testbed, WorkloadNoBgIsQuiet) {
+  auto cfg = access_config();
+  cfg.workload = WorkloadType::kNoBg;
+  Testbed tb(cfg);
+  Workload wl(tb);
+  tb.sim().run_until(Time::seconds(5));
+  EXPECT_EQ(tb.down_monitor().tx_packets(), 0u);
+  EXPECT_EQ(wl.flows_started(), 0u);
+}
+
+TEST(Testbed, WorkloadLongFewStartsConfiguredFlows) {
+  auto cfg = access_config();
+  cfg.workload = WorkloadType::kLongFew;
+  cfg.direction = CongestionDirection::kBidirectional;
+  Testbed tb(cfg);
+  Workload wl(tb);
+  tb.sim().run_until(Time::seconds(10));
+  EXPECT_EQ(wl.flows_started(), 9u);  // 1 up + 8 down
+  EXPECT_NEAR(wl.mean_concurrent_flows(tb.sim().now()), 9.0, 0.5);
+  // Early window (5-10 s): the downlink is already carrying substantial
+  // load (steady state, reached later, is higher still).
+  EXPECT_GT(tb.down_monitor().mean_utilization(Time::seconds(5),
+                                               Time::seconds(10)),
+            0.35);
+}
+
+TEST(Testbed, WorkloadHarpoonGeneratesTraffic) {
+  auto cfg = backbone_config();
+  cfg.workload = WorkloadType::kShortLow;
+  Testbed tb(cfg);
+  Workload wl(tb);
+  tb.sim().run_until(Time::seconds(20));
+  EXPECT_GT(wl.flows_started(), 100u);
+  EXPECT_GT(wl.flows_completed(), 50u);
+  const double util = tb.down_monitor().mean_utilization(Time::seconds(5),
+                                                         Time::seconds(20));
+  // Table 1: short-low ~16.5% mean utilization.
+  EXPECT_NEAR(util, 0.165, 0.08);
+}
+
+TEST(Testbed, UpstreamDirectionOnlyLoadsUplink) {
+  auto cfg = access_config();
+  cfg.workload = WorkloadType::kShortFew;
+  cfg.direction = CongestionDirection::kUpstream;
+  Testbed tb(cfg);
+  Workload wl(tb);
+  tb.sim().run_until(Time::seconds(20));
+  const double up = tb.up_monitor().mean_utilization(Time::seconds(5),
+                                                     Time::seconds(20));
+  const double down = tb.down_monitor().mean_utilization(Time::seconds(5),
+                                                         Time::seconds(20));
+  EXPECT_GT(up, 0.3);
+  EXPECT_LT(down, 0.2);  // only ACK traffic
+}
+
+}  // namespace
+}  // namespace qoesim::core

@@ -1,0 +1,78 @@
+// Unit tests for qoesim::Time.
+#include "sim/time.hpp"
+
+#include <gtest/gtest.h>
+
+namespace qoesim {
+namespace {
+
+TEST(Time, DefaultIsZero) {
+  Time t;
+  EXPECT_TRUE(t.is_zero());
+  EXPECT_EQ(t.ns(), 0);
+}
+
+TEST(Time, UnitConstructors) {
+  EXPECT_EQ(Time::nanoseconds(5).ns(), 5);
+  EXPECT_EQ(Time::microseconds(2).ns(), 2000);
+  EXPECT_EQ(Time::milliseconds(3).ns(), 3'000'000);
+  EXPECT_EQ(Time::seconds(1.5).ns(), 1'500'000'000);
+}
+
+TEST(Time, FractionalRounding) {
+  EXPECT_EQ(Time::microseconds(0.0015).ns(), 2);  // 1.5ns rounds up
+  EXPECT_EQ(Time::microseconds(0.0014).ns(), 1);
+  EXPECT_EQ(Time::seconds(-1.0).ns(), -1'000'000'000);
+}
+
+TEST(Time, Accessors) {
+  const Time t = Time::milliseconds(1500);
+  EXPECT_DOUBLE_EQ(t.sec(), 1.5);
+  EXPECT_DOUBLE_EQ(t.ms(), 1500.0);
+  EXPECT_DOUBLE_EQ(t.us(), 1'500'000.0);
+}
+
+TEST(Time, Arithmetic) {
+  const Time a = Time::milliseconds(10);
+  const Time b = Time::milliseconds(4);
+  EXPECT_EQ((a + b).ms(), 14.0);
+  EXPECT_EQ((a - b).ms(), 6.0);
+  EXPECT_EQ((a * 2.5).ms(), 25.0);
+  EXPECT_EQ((2.5 * a).ms(), 25.0);
+  EXPECT_EQ((a / 2.0).ms(), 5.0);
+  EXPECT_DOUBLE_EQ(a / b, 2.5);
+}
+
+TEST(Time, CompoundAssignment) {
+  Time t = Time::seconds(1);
+  t += Time::seconds(2);
+  EXPECT_EQ(t.sec(), 3.0);
+  t -= Time::seconds(1.5);
+  EXPECT_EQ(t.sec(), 1.5);
+}
+
+TEST(Time, Comparisons) {
+  EXPECT_LT(Time::milliseconds(1), Time::milliseconds(2));
+  EXPECT_GT(Time::seconds(1), Time::milliseconds(999));
+  EXPECT_EQ(Time::seconds(1), Time::milliseconds(1000));
+  EXPECT_LE(Time::zero(), Time::zero());
+}
+
+TEST(Time, NegativeDetection) {
+  EXPECT_TRUE((Time::zero() - Time::nanoseconds(1)).is_negative());
+  EXPECT_FALSE(Time::zero().is_negative());
+}
+
+TEST(Time, MaxIsHuge) {
+  EXPECT_GT(Time::max(), Time::seconds(1e9));
+}
+
+TEST(Time, ToStringPicksUnits) {
+  EXPECT_EQ(Time::nanoseconds(12).to_string(), "12ns");
+  EXPECT_NE(Time::microseconds(15).to_string().find("us"), std::string::npos);
+  EXPECT_NE(Time::milliseconds(15).to_string().find("ms"), std::string::npos);
+  EXPECT_NE(Time::seconds(2).to_string().find("s"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace qoesim

@@ -1,0 +1,94 @@
+// UDP socket tests.
+#include "udp/udp_socket.hpp"
+
+#include <gtest/gtest.h>
+
+#include "net/topology.hpp"
+#include "sim/simulation.hpp"
+
+namespace qoesim {
+namespace {
+
+struct UdpNet {
+  UdpNet() : topo(sim) {
+    a = &topo.add_node("a");
+    b = &topo.add_node("b");
+    net::LinkSpec spec;
+    spec.rate_bps = 1e6;
+    spec.delay = Time::milliseconds(5);
+    spec.buffer_packets = 4;
+    topo.connect(*a, *b, spec, spec);
+    topo.compute_routes();
+  }
+  Simulation sim;
+  net::Topology topo;
+  net::Node* a;
+  net::Node* b;
+};
+
+TEST(Udp, DatagramDelivery) {
+  UdpNet net;
+  udp::UdpSocket tx(*net.a);
+  udp::UdpSocket rx(*net.b, 5004);
+  std::vector<std::uint32_t> seqs;
+  rx.set_receive([&](net::Packet&& p) { seqs.push_back(p.app.seq); });
+  for (std::uint32_t i = 0; i < 5; ++i) {
+    net::AppTag tag;
+    tag.kind = net::AppKind::kVoip;
+    tag.seq = i;
+    tag.created = net.sim.now();
+    tx.send_to(net.b->id(), 5004, 160, tag, net::kRtpHeaderBytes);
+  }
+  net.sim.run();
+  EXPECT_EQ(seqs, (std::vector<std::uint32_t>{0, 1, 2, 3, 4}));
+  EXPECT_EQ(tx.sent_packets(), 5u);
+  EXPECT_EQ(rx.received_packets(), 5u);
+}
+
+TEST(Udp, WireSizeIncludesAllHeaders) {
+  UdpNet net;
+  udp::UdpSocket tx(*net.a);
+  udp::UdpSocket rx(*net.b, 5004);
+  std::uint32_t wire_size = 0;
+  rx.set_receive([&](net::Packet&& p) { wire_size = p.size_bytes; });
+  tx.send_to(net.b->id(), 5004, 160, {}, net::kRtpHeaderBytes);
+  net.sim.run();
+  // 160 payload + 12 RTP + 8 UDP + 20 IP = 200 bytes (a classic G.711
+  // packet).
+  EXPECT_EQ(wire_size, 200u);
+}
+
+TEST(Udp, NoRetransmissionOnLoss) {
+  UdpNet net;  // buffer of 4 packets at 1 Mbit/s
+  udp::UdpSocket tx(*net.a);
+  udp::UdpSocket rx(*net.b, 5004);
+  int received = 0;
+  rx.set_receive([&](net::Packet&&) { ++received; });
+  for (int i = 0; i < 50; ++i) {
+    tx.send_to(net.b->id(), 5004, 1000, {}, 0);
+  }
+  net.sim.run();
+  EXPECT_LT(received, 50);  // overflow drops are final
+  EXPECT_GE(received, 5);
+}
+
+TEST(Udp, EphemeralPortAutoAssigned) {
+  UdpNet net;
+  udp::UdpSocket s1(*net.a);
+  udp::UdpSocket s2(*net.a);
+  EXPECT_NE(s1.port(), s2.port());
+}
+
+TEST(Udp, UnbindOnDestruction) {
+  UdpNet net;
+  {
+    udp::UdpSocket rx(*net.b, 6000);
+  }
+  udp::UdpSocket tx(*net.a);
+  tx.send_to(net.b->id(), 6000, 100, {}, 0);
+  net.sim.run();
+  EXPECT_EQ(net.b->undelivered(), 1u);
+}
+
+}  // namespace
+}  // namespace qoesim

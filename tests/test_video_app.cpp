@@ -1,0 +1,177 @@
+// Video codec model and streaming session tests.
+#include <gtest/gtest.h>
+
+#include "apps/video_codec.hpp"
+#include "apps/video_stream.hpp"
+#include "net/monitors.hpp"
+#include "net/topology.hpp"
+#include "sim/simulation.hpp"
+
+namespace qoesim::apps {
+namespace {
+
+TEST(VideoCodec, FrameCountMatchesDurationAndFps) {
+  RandomStream rng(1);
+  auto frames = encode_clip(VideoCodecConfig::sd(), rng);
+  EXPECT_EQ(frames.size(), 400u);  // 16 s * 25 fps
+  EXPECT_EQ(frames.front().type, qoe::FrameType::kIntra);
+}
+
+TEST(VideoCodec, GopStructure) {
+  RandomStream rng(2);
+  auto frames = encode_clip(VideoCodecConfig::sd(), rng);
+  for (const auto& f : frames) {
+    if (f.index % 25 == 0) {
+      EXPECT_EQ(f.type, qoe::FrameType::kIntra) << f.index;
+    } else {
+      EXPECT_EQ(f.type, qoe::FrameType::kPredicted) << f.index;
+    }
+  }
+}
+
+TEST(VideoCodec, BitrateApproximatelyNominal) {
+  RandomStream rng(3);
+  const auto cfg = VideoCodecConfig::sd();
+  auto frames = encode_clip(cfg, rng);
+  double total_bytes = 0;
+  for (const auto& f : frames) total_bytes += f.bytes;
+  const double rate = total_bytes * 8.0 / cfg.duration.sec();
+  EXPECT_NEAR(rate / cfg.bitrate_bps, 1.0, 0.15);
+}
+
+TEST(VideoCodec, HdIsTwiceSdRate) {
+  RandomStream rng1(4), rng2(4);
+  auto sd = encode_clip(VideoCodecConfig::sd(), rng1);
+  auto hd = encode_clip(VideoCodecConfig::hd(), rng2);
+  double sd_bytes = 0, hd_bytes = 0;
+  for (const auto& f : sd) sd_bytes += f.bytes;
+  for (const auto& f : hd) hd_bytes += f.bytes;
+  EXPECT_NEAR(hd_bytes / sd_bytes, 2.0, 0.3);
+}
+
+TEST(VideoCodec, IntraFramesLargerThanPredicted) {
+  RandomStream rng(5);
+  auto frames = encode_clip(VideoCodecConfig::sd(), rng);
+  double i_sum = 0, p_sum = 0;
+  int i_n = 0, p_n = 0;
+  for (const auto& f : frames) {
+    if (f.type == qoe::FrameType::kIntra) {
+      i_sum += f.bytes;
+      ++i_n;
+    } else {
+      p_sum += f.bytes;
+      ++p_n;
+    }
+  }
+  EXPECT_GT(i_sum / i_n, 2.5 * (p_sum / p_n));
+}
+
+TEST(VideoCodec, ClipProfilesDiffer) {
+  EXPECT_LT(VideoClipProfile::interview().motion_spread,
+            VideoClipProfile::soccer().motion_spread);
+  EXPECT_GT(VideoClipProfile::interview().intra_factor,
+            VideoClipProfile::soccer().intra_factor);
+}
+
+struct VideoNet {
+  explicit VideoNet(double rate = 16e6, std::size_t buffer = 64) : topo(sim) {
+    a = &topo.add_node("src");
+    b = &topo.add_node("dst");
+    net::LinkSpec spec;
+    spec.rate_bps = rate;
+    spec.delay = Time::milliseconds(10);
+    spec.buffer_packets = buffer;
+    links = topo.connect(*a, *b, spec, spec);
+    topo.compute_routes();
+  }
+  Simulation sim;
+  net::Topology topo;
+  net::Node* a;
+  net::Node* b;
+  net::Topology::LinkPair links;
+};
+
+VideoSessionConfig session_config(VideoCodecConfig codec) {
+  VideoSessionConfig cfg;
+  cfg.codec = std::move(codec);
+  return cfg;
+}
+
+TEST(VideoSession, CleanDeliveryIsLossless) {
+  VideoNet net;
+  auto rng = net.sim.rng("v");
+  VideoSession session(*net.a, *net.b, session_config(VideoCodecConfig::sd()),
+                       1, rng);
+  session.start(Time::seconds(1));
+  net.sim.run_until(session.end_time() + Time::seconds(1));
+  ASSERT_TRUE(session.finished());
+  EXPECT_GT(session.packets_sent(), 3000u);
+  EXPECT_EQ(session.packets_received(), session.packets_sent());
+  EXPECT_DOUBLE_EQ(session.packet_loss(), 0.0);
+  for (const auto& f : session.reception()) {
+    EXPECT_TRUE(f.lost_slices.empty());
+    EXPECT_FALSE(f.entirely_lost);
+  }
+}
+
+TEST(VideoSession, SmoothingKeepsRateNearNominal) {
+  // §8.1: VLC must be paced or frame bursts exceed the access capacity.
+  // Peak 100 ms window throughput must stay near the nominal bitrate.
+  VideoNet net(1e9, 10000);
+  net::LinkMonitor mon(*net.links.forward, Time::milliseconds(100));
+  auto rng = net.sim.rng("v");
+  VideoSession session(*net.a, *net.b, session_config(VideoCodecConfig::sd()),
+                       1, rng);
+  session.start(Time::zero());
+  net.sim.run_until(session.end_time());
+  auto bins = mon.utilization(Time::zero(), Time::seconds(16));
+  // At 1 Gbit/s, 4 Mbit/s nominal = 0.004 utilization; peak bin must not
+  // exceed ~2x nominal.
+  EXPECT_LT(bins.max(), 0.012);
+}
+
+TEST(VideoSession, FitsInsideAccessDownlink) {
+  // 4 Mbit/s SD stream over 16 Mbit/s with no background: no loss (the
+  // paper's noBG baseline row).
+  VideoNet net(16e6, 64);
+  auto rng = net.sim.rng("v");
+  VideoSession session(*net.a, *net.b, session_config(VideoCodecConfig::sd()),
+                       1, rng);
+  session.start(Time::zero());
+  net.sim.run_until(session.end_time() + Time::seconds(1));
+  EXPECT_DOUBLE_EQ(session.packet_loss(), 0.0);
+}
+
+TEST(VideoSession, OverloadedLinkDamagesSlices) {
+  // 8 Mbit/s HD into a 4 Mbit/s link: heavy loss, most frames damaged.
+  VideoNet net(4e6, 32);
+  auto rng = net.sim.rng("v");
+  VideoSession session(*net.a, *net.b, session_config(VideoCodecConfig::hd()),
+                       1, rng);
+  session.start(Time::zero());
+  net.sim.run_until(session.end_time() + Time::seconds(2));
+  EXPECT_GT(session.packet_loss(), 0.3);
+  std::size_t damaged = 0;
+  for (const auto& f : session.reception()) {
+    if (!f.lost_slices.empty() || f.entirely_lost) ++damaged;
+  }
+  EXPECT_GT(damaged, session.reception().size() / 2);
+}
+
+TEST(VideoSession, ReceptionIndexedByFrame) {
+  VideoNet net;
+  auto rng = net.sim.rng("v");
+  VideoSession session(*net.a, *net.b, session_config(VideoCodecConfig::sd()),
+                       1, rng);
+  session.start(Time::zero());
+  net.sim.run_until(session.end_time() + Time::seconds(1));
+  const auto frames = session.reception();
+  ASSERT_EQ(frames.size(), 400u);
+  for (std::size_t i = 0; i < frames.size(); ++i) {
+    EXPECT_EQ(frames[i].index, i);
+    EXPECT_EQ(frames[i].slices_total, 32);
+  }
+}
+
+}  // namespace
+}  // namespace qoesim::apps

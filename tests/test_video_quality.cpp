@@ -1,0 +1,127 @@
+// Video quality surrogate tests: decode/damage model and SSIM->MOS map.
+#include "qoe/video_quality.hpp"
+
+#include <gtest/gtest.h>
+
+namespace qoesim::qoe {
+namespace {
+
+std::vector<FrameReception> clean_clip(std::uint32_t frames = 100,
+                                       std::uint32_t gop = 25) {
+  std::vector<FrameReception> out;
+  for (std::uint32_t i = 0; i < frames; ++i) {
+    FrameReception f;
+    f.index = i;
+    f.type = i % gop == 0 ? FrameType::kIntra : FrameType::kPredicted;
+    f.slices_total = 32;
+    out.push_back(f);
+  }
+  return out;
+}
+
+TEST(VideoQuality, PerfectReceptionScoresPerfect) {
+  const auto score =
+      VideoQuality::evaluate(clean_clip(), VideoQualityParams::sd());
+  EXPECT_DOUBLE_EQ(score.ssim, 1.0);
+  EXPECT_DOUBLE_EQ(score.mos, 5.0);
+  EXPECT_EQ(score.frame_loss_fraction, 0.0);
+}
+
+TEST(VideoQuality, SingleSliceLossPropagatesUntilIFrame) {
+  auto frames = clean_clip(50, 25);
+  frames[5].lost_slices = {3};  // one slice in the first GoP
+  const auto score = VideoQuality::evaluate(frames, VideoQualityParams::sd());
+  EXPECT_LT(score.ssim, 1.0);
+  // Damage persists from frame 5 to the next I-frame at 25: 20 of 50.
+  EXPECT_NEAR(score.frame_loss_fraction, 20.0 / 50.0, 1e-9);
+}
+
+TEST(VideoQuality, IntraFrameRefreshClearsDamage) {
+  auto frames = clean_clip(50, 25);
+  frames[5].lost_slices = {3};
+  auto more_damage = frames;
+  more_damage[30].lost_slices = {7};  // second GoP also hit
+  const auto s1 = VideoQuality::evaluate(frames, VideoQualityParams::sd());
+  const auto s2 =
+      VideoQuality::evaluate(more_damage, VideoQualityParams::sd());
+  EXPECT_LT(s2.ssim, s1.ssim);
+  EXPECT_GT(s2.frame_loss_fraction, s1.frame_loss_fraction);
+}
+
+TEST(VideoQuality, MoreSliceLossLowerScore) {
+  auto few = clean_clip();
+  auto many = clean_clip();
+  few[10].lost_slices = {1};
+  many[10].lost_slices = {1, 2, 3, 4, 5, 6, 7, 8};
+  EXPECT_LT(VideoQuality::evaluate(many, VideoQualityParams::sd()).ssim,
+            VideoQuality::evaluate(few, VideoQualityParams::sd()).ssim);
+}
+
+TEST(VideoQuality, EntirelyLostFrameIsFullDamage) {
+  auto frames = clean_clip(30, 25);
+  frames[2].entirely_lost = true;
+  const auto score = VideoQuality::evaluate(frames, VideoQualityParams::sd());
+  EXPECT_LT(score.ssim, 0.7);
+}
+
+TEST(VideoQuality, HdMasksArtifactsBetterThanSd) {
+  // §8.2: HD yields better MOS than SD at comparable loss.
+  auto frames = clean_clip();
+  for (std::uint32_t i = 0; i < frames.size(); i += 7) {
+    frames[i].lost_slices = {0, 1};
+  }
+  const auto sd = VideoQuality::evaluate(frames, VideoQualityParams::sd());
+  const auto hd = VideoQuality::evaluate(frames, VideoQualityParams::hd());
+  EXPECT_GT(hd.ssim, sd.ssim);
+}
+
+TEST(VideoQuality, HighMotionSpreadsDamageFaster) {
+  auto frames = clean_clip();
+  frames[1].lost_slices = {0};
+  auto low_motion = VideoQualityParams::sd();
+  low_motion.motion_spread = 0.1;  // interview-like
+  auto high_motion = VideoQualityParams::sd();
+  high_motion.motion_spread = 0.45;  // soccer-like
+  EXPECT_GT(VideoQuality::evaluate(frames, low_motion).ssim,
+            VideoQuality::evaluate(frames, high_motion).ssim);
+}
+
+TEST(VideoQuality, SustainedLossSaturatesNearPaperRange) {
+  // §8.2/§8.4: sustained loss drives SSIM to ~0.4-0.6 regardless of the
+  // exact rate ("roughly binary behaviour").
+  auto frames = clean_clip(400, 25);
+  for (std::uint32_t i = 0; i < frames.size(); i += 4) {
+    frames[i].lost_slices = {static_cast<std::uint16_t>(i % 32)};
+  }
+  const auto score = VideoQuality::evaluate(frames, VideoQualityParams::sd());
+  EXPECT_LT(score.ssim, 0.70);
+  EXPECT_GT(score.ssim, 0.2);
+  EXPECT_LE(VideoQuality::ssim_to_mos(score.ssim), 2.0);
+}
+
+TEST(VideoQuality, EmptyInputSafe) {
+  const auto score = VideoQuality::evaluate({}, VideoQualityParams::sd());
+  EXPECT_DOUBLE_EQ(score.ssim, 1.0);
+}
+
+TEST(SsimToMos, AnchorsAndMonotonicity) {
+  EXPECT_DOUBLE_EQ(VideoQuality::ssim_to_mos(1.0), 5.0);
+  EXPECT_NEAR(VideoQuality::ssim_to_mos(0.95), 4.0, 0.01);
+  EXPECT_EQ(VideoQuality::ssim_to_mos(0.45), 1.0);
+  double prev = 1.0;
+  for (double s = 0.4; s <= 1.0; s += 0.01) {
+    const double mos = VideoQuality::ssim_to_mos(s);
+    EXPECT_GE(mos, prev - 1e-12);
+    prev = mos;
+  }
+}
+
+TEST(SsimToPsnr, ReasonableRange) {
+  EXPECT_NEAR(VideoQuality::ssim_to_psnr_db(1.0), 45.0, 0.1);
+  EXPECT_NEAR(VideoQuality::ssim_to_psnr_db(0.5), 25.0, 0.1);
+  EXPECT_GT(VideoQuality::ssim_to_psnr_db(0.9),
+            VideoQuality::ssim_to_psnr_db(0.6));
+}
+
+}  // namespace
+}  // namespace qoesim::qoe

@@ -1,0 +1,121 @@
+// VoIP application tests: streaming, jitter buffer, metrics.
+#include "apps/voip.hpp"
+
+#include <gtest/gtest.h>
+
+#include "net/topology.hpp"
+#include "sim/simulation.hpp"
+
+namespace qoesim::apps {
+namespace {
+
+struct VoipNet {
+  explicit VoipNet(double rate = 10e6, std::size_t buffer = 64) : topo(sim) {
+    a = &topo.add_node("a");
+    b = &topo.add_node("b");
+    net::LinkSpec spec;
+    spec.rate_bps = rate;
+    spec.delay = Time::milliseconds(15);
+    spec.buffer_packets = buffer;
+    topo.connect(*a, *b, spec, spec);
+    topo.compute_routes();
+  }
+  Simulation sim;
+  net::Topology topo;
+  net::Node* a;
+  net::Node* b;
+};
+
+TEST(VoipApp, PacketCountMatchesDuration) {
+  VoipNet net;
+  VoipCall call(*net.a, *net.b, {}, 1);
+  // 8 s at 50 pps.
+  EXPECT_EQ(call.total_packets(), 400u);
+}
+
+TEST(VoipApp, CleanNetworkPlaysEverything) {
+  VoipNet net;
+  VoipCall call(*net.a, *net.b, {}, 1);
+  call.start(Time::seconds(1));
+  net.sim.run_until(call.end_time() + Time::seconds(1));
+  ASSERT_TRUE(call.finished());
+  const auto m = call.metrics();
+  EXPECT_EQ(m.packets_sent, 400u);
+  EXPECT_EQ(m.packets_received, 400u);
+  EXPECT_EQ(m.packets_played, 400u);
+  EXPECT_EQ(m.packets_late, 0u);
+  EXPECT_DOUBLE_EQ(m.effective_loss(), 0.0);
+  // One-way: 15 ms propagation + serialization.
+  EXPECT_NEAR(m.mean_network_delay.ms(), 15.2, 1.0);
+  EXPECT_LT(m.jitter.ms(), 1.0);
+  // Mouth-to-ear = packetization (20) + network (~15) + jitter buffer (60).
+  EXPECT_NEAR(m.mouth_to_ear_delay.ms(), 95.0, 3.0);
+  EXPECT_EQ(m.burst_r, 1.0);
+}
+
+TEST(VoipApp, ShortCallConfig) {
+  VoipNet net;
+  VoipConfig cfg;
+  cfg.duration = Time::seconds(2);
+  VoipCall call(*net.a, *net.b, cfg, 1);
+  EXPECT_EQ(call.total_packets(), 100u);
+}
+
+TEST(VoipApp, CongestedLinkLosesPackets) {
+  VoipNet net(1e6, 8);  // tight link
+  // Saturate with competing UDP blast from another socket.
+  udp::UdpSocket blast(*net.a);
+  for (int i = 0; i < 4000; ++i) {
+    net.sim.at(Time::seconds(1) + Time::milliseconds(2 * i), [&blast, &net] {
+      blast.send_to(net.b->id(), 9999, 1200, {}, 0);
+    });
+  }
+  VoipCall call(*net.a, *net.b, {}, 1);
+  call.start(Time::seconds(1));
+  net.sim.run_until(call.end_time() + Time::seconds(2));
+  const auto m = call.metrics();
+  EXPECT_GT(m.effective_loss(), 0.05);
+  EXPECT_GT(m.mean_network_delay.ms(), 20.0);  // queueing visible
+}
+
+TEST(VoipApp, LatePacketsDiscardedByJitterBuffer) {
+  VoipNet net(1e6, 100);
+  VoipConfig cfg;
+  cfg.jitter_buffer = Time::milliseconds(5);  // very tight playout
+  // Competing traffic creates delay variation beyond 5 ms.
+  udp::UdpSocket blast(*net.a);
+  for (int i = 0; i < 2000; ++i) {
+    net.sim.at(Time::seconds(1) + Time::milliseconds(4 * i), [&blast, &net] {
+      blast.send_to(net.b->id(), 9999, 1200, {}, 0);
+    });
+  }
+  VoipCall call(*net.a, *net.b, cfg, 1);
+  call.start(Time::seconds(1));
+  net.sim.run_until(call.end_time() + Time::seconds(2));
+  const auto m = call.metrics();
+  EXPECT_GT(m.packets_late, 0u);
+  EXPECT_GT(m.effective_loss(), m.network_loss());
+}
+
+TEST(VoipApp, BurstRDetectsBurstiness) {
+  VoipNet net;
+  VoipCall call(*net.a, *net.b, {}, 7);
+  call.start(Time::zero());
+  net.sim.run_until(call.end_time() + Time::seconds(1));
+  // Clean call: burst_r stays at the random-loss floor.
+  EXPECT_DOUBLE_EQ(call.metrics().burst_r, 1.0);
+}
+
+TEST(VoipApp, TwoCallsDoNotCrossTalk) {
+  VoipNet net;
+  VoipCall c1(*net.a, *net.b, {}, 1);
+  VoipCall c2(*net.a, *net.b, {}, 2);
+  c1.start(Time::zero());
+  c2.start(Time::zero());
+  net.sim.run_until(c1.end_time() + Time::seconds(1));
+  EXPECT_EQ(c1.metrics().packets_played, 400u);
+  EXPECT_EQ(c2.metrics().packets_played, 400u);
+}
+
+}  // namespace
+}  // namespace qoesim::apps

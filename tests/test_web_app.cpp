@@ -1,0 +1,155 @@
+// Web application tests: page model, sequential fetch, PLT measurement.
+#include "apps/web.hpp"
+
+#include <gtest/gtest.h>
+
+#include "net/topology.hpp"
+#include "sim/simulation.hpp"
+
+namespace qoesim::apps {
+namespace {
+
+struct WebNet {
+  explicit WebNet(double rate = 16e6, Time delay = Time::milliseconds(25),
+                  std::size_t buffer = 64)
+      : topo(sim) {
+    client = &topo.add_node("client");
+    server = &topo.add_node("server");
+    net::LinkSpec spec;
+    spec.rate_bps = rate;
+    spec.delay = delay;
+    spec.buffer_packets = buffer;
+    topo.connect(*client, *server, spec, spec);
+    topo.compute_routes();
+  }
+  Simulation sim;
+  net::Topology topo;
+  net::Node* client;
+  net::Node* server;
+};
+
+TEST(WebPage, DefaultMatchesPaper) {
+  WebPageConfig page;
+  ASSERT_EQ(page.object_bytes.size(), 4u);  // html, css, 2 images
+  EXPECT_EQ(page.object_bytes[0], 15000u);
+  EXPECT_EQ(page.object_bytes[1], 5800u);
+  EXPECT_EQ(page.total_bytes(), 80800u);
+}
+
+TEST(WebApp, PageLoadsCompletely) {
+  WebNet net;
+  WebServer server(*net.server, {}, {});
+  bool done = false;
+  WebPageLoad load(*net.client, net.server->id(), {}, {},
+                   [&](const WebPageLoad& l) {
+                     done = true;
+                     EXPECT_FALSE(l.failed());
+                   });
+  load.start(Time::seconds(1));
+  net.sim.run_until(Time::seconds(30));
+  ASSERT_TRUE(done);
+  EXPECT_TRUE(load.done());
+  EXPECT_EQ(server.requests_served(), 4u);
+}
+
+TEST(WebApp, PltWithinPaperBaselineBallpark) {
+  // RTT 50 ms (as in the access testbed): the paper's baseline PLT is
+  // ~0.56 s; ours should land within a reasonable band around it.
+  WebNet net;
+  WebServer server(*net.server, {}, {});
+  WebPageLoad load(*net.client, net.server->id(), {}, {});
+  load.start(Time::zero());
+  net.sim.run_until(Time::seconds(30));
+  ASSERT_TRUE(load.done());
+  EXPECT_GT(load.page_load_time().sec(), 0.25);
+  EXPECT_LT(load.page_load_time().sec(), 1.0);
+  EXPECT_GT(load.time_to_first_byte().sec(), 0.05);
+  EXPECT_LT(load.time_to_first_byte(), load.page_load_time());
+}
+
+TEST(WebApp, PltScalesWithRtt) {
+  // The paper's PLTs are RTT-dominated for small pages (§9: ~14 RTTs).
+  WebNet fast(16e6, Time::milliseconds(10), 64);
+  WebNet slow(16e6, Time::milliseconds(50), 64);
+  WebServer s1(*fast.server, {}, {});
+  WebServer s2(*slow.server, {}, {});
+  WebPageLoad l1(*fast.client, fast.server->id(), {}, {});
+  WebPageLoad l2(*slow.client, slow.server->id(), {}, {});
+  l1.start(Time::zero());
+  l2.start(Time::zero());
+  fast.sim.run_until(Time::seconds(30));
+  slow.sim.run_until(Time::seconds(30));
+  ASSERT_TRUE(l1.done() && l2.done());
+  const double rtt_ratio = l2.page_load_time().sec() / l1.page_load_time().sec();
+  EXPECT_GT(rtt_ratio, 2.5);  // 5x RTT -> strongly RTT-bound
+  // Implied RTT-rounds count lands near the paper's ~11-14.
+  const double rounds = l2.page_load_time().sec() / 0.1;
+  EXPECT_GT(rounds, 7.0);
+  EXPECT_LT(rounds, 16.0);
+}
+
+TEST(WebApp, SequentialObjectsNoPipelining) {
+  // With sequential fetch, request count at any time <= completed + 1.
+  WebNet net;
+  WebServer server(*net.server, {}, {});
+  WebPageLoad load(*net.client, net.server->id(), {}, {});
+  load.start(Time::zero());
+  bool violated = false;
+  for (int i = 1; i < 100; ++i) {
+    net.sim.run_until(Time::milliseconds(10 * i));
+    if (server.requests_served() > 4) violated = true;
+  }
+  net.sim.run_until(Time::seconds(30));
+  EXPECT_FALSE(violated);
+  EXPECT_TRUE(load.done());
+}
+
+TEST(WebApp, CancelProducesFailedLoad) {
+  WebNet net(0.05e6);  // 50 kbit/s: the page takes ~13 s
+  WebServer server(*net.server, {}, {});
+  int calls = 0;
+  WebPageLoad load(*net.client, net.server->id(), {}, {},
+                   [&](const WebPageLoad& l) {
+                     ++calls;
+                     EXPECT_TRUE(l.failed());
+                   });
+  load.start(Time::zero());
+  net.sim.run_until(Time::seconds(2));
+  load.cancel();
+  net.sim.run_until(Time::seconds(4));
+  EXPECT_EQ(calls, 1);
+  EXPECT_TRUE(load.failed());
+}
+
+TEST(WebApp, RepeatedLoadsIndependent) {
+  WebNet net;
+  WebServer server(*net.server, {}, {});
+  std::vector<double> plts;
+  auto l1 = std::make_unique<WebPageLoad>(
+      *net.client, net.server->id(), WebPageConfig{}, tcp::TcpConfig{},
+      [&](const WebPageLoad& l) { plts.push_back(l.page_load_time().sec()); });
+  auto l2 = std::make_unique<WebPageLoad>(
+      *net.client, net.server->id(), WebPageConfig{}, tcp::TcpConfig{},
+      [&](const WebPageLoad& l) { plts.push_back(l.page_load_time().sec()); });
+  l1->start(Time::seconds(0));
+  l2->start(Time::seconds(10));
+  net.sim.run_until(Time::seconds(40));
+  ASSERT_EQ(plts.size(), 2u);
+  EXPECT_NEAR(plts[0], plts[1], 0.2);
+}
+
+TEST(WebApp, CustomPageShape) {
+  WebNet net;
+  WebPageConfig page;
+  page.object_bytes = {1000};
+  WebServer server(*net.server, page, {});
+  WebPageLoad load(*net.client, net.server->id(), page, {});
+  load.start(Time::zero());
+  net.sim.run_until(Time::seconds(10));
+  ASSERT_TRUE(load.done());
+  // Handshake + request + 1-segment response: ~2.5 RTTs.
+  EXPECT_LT(load.page_load_time().sec(), 0.3);
+}
+
+}  // namespace
+}  // namespace qoesim::apps
