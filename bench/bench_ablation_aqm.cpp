@@ -19,29 +19,26 @@ void run(const bench::BenchOptions& opt) {
                     "VoIP talks MOS", "VoIP listens MOS", "Web PLT(s)",
                     "Web MOS"});
 
-  for (auto kind : {net::QueueKind::kDropTail, net::QueueKind::kRed,
-                    net::QueueKind::kCoDel}) {
-    for (std::size_t buffer : {std::size_t{64}, std::size_t{256}}) {
-      auto cfg = bench::make_scenario(TestbedType::kAccess,
-                                      WorkloadType::kLongFew,
-                                      CongestionDirection::kUpstream, buffer,
-                                      opt.seed);
-      cfg.queue = kind;
-      const auto qos = runner.run_qos(cfg);
-      const auto voip = runner.run_voip(cfg, true);
-      const auto web = runner.run_web(cfg);
-      char delay[32], loss[32], t[16], l[16], plt[16], wm[16];
-      std::snprintf(delay, sizeof(delay), "%.0f", qos.mean_delay_up_ms);
-      std::snprintf(loss, sizeof(loss), "%.1f", qos.loss_up * 100);
-      std::snprintf(t, sizeof(t), "%.1f", voip.median_mos_talks());
-      std::snprintf(l, sizeof(l), "%.1f", voip.median_mos_listens());
-      std::snprintf(plt, sizeof(plt), "%.1f", web.median_plt_s());
-      std::snprintf(wm, sizeof(wm), "%.1f", web.median_mos());
-      table.add_row({net::to_string(kind), std::to_string(buffer), delay,
-                     loss, t, l, plt, wm});
-    }
-    table.add_separator();
-  }
+  bench::run_ablation_grid(
+      opt, runner,
+      {net::QueueKind::kDropTail, net::QueueKind::kRed,
+       net::QueueKind::kCoDel},
+      {std::size_t{64}, std::size_t{256}},
+      [](ScenarioConfig& cfg, net::QueueKind kind) { cfg.queue = kind; },
+      [&](net::QueueKind kind, std::size_t buffer,
+          const bench::AblationCell& cell) {
+        char delay[32], loss[32], t[16], l[16], plt[16], wm[16];
+        std::snprintf(delay, sizeof(delay), "%.0f",
+                      cell.qos.mean_delay_up_ms);
+        std::snprintf(loss, sizeof(loss), "%.1f", cell.qos.loss_up * 100);
+        std::snprintf(t, sizeof(t), "%.1f", cell.voip.median_mos_talks());
+        std::snprintf(l, sizeof(l), "%.1f", cell.voip.median_mos_listens());
+        std::snprintf(plt, sizeof(plt), "%.1f", cell.web.median_plt_s());
+        std::snprintf(wm, sizeof(wm), "%.1f", cell.web.median_mos());
+        table.add_row({net::to_string(kind), std::to_string(buffer), delay,
+                       loss, t, l, plt, wm});
+      },
+      [&] { table.add_separator(); });
 
   bench::emit(table, opt,
               "AQM ablation: bufferbloat scenario (long-few upload)"

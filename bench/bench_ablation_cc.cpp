@@ -22,27 +22,25 @@ void run(const bench::BenchOptions& opt) {
   table.set_header({"CC", "Buffer", "Uplink delay(ms)", "Uplink util%",
                     "VoIP talks MOS", "Web PLT(s)"});
 
-  for (auto cc : {tcp::CcKind::kReno, tcp::CcKind::kBic, tcp::CcKind::kCubic,
-                  tcp::CcKind::kVegas}) {
-    for (std::size_t buffer : {std::size_t{64}, std::size_t{256}}) {
-      auto cfg = bench::make_scenario(TestbedType::kAccess,
-                                      WorkloadType::kLongFew,
-                                      CongestionDirection::kUpstream, buffer,
-                                      opt.seed);
-      cfg.tcp_cc = cc;
-      const auto qos = runner.run_qos(cfg);
-      const auto voip = runner.run_voip(cfg, true);
-      const auto web = runner.run_web(cfg);
-      char delay[32], util[32], mos[16], plt[16];
-      std::snprintf(delay, sizeof(delay), "%.0f", qos.mean_delay_up_ms);
-      std::snprintf(util, sizeof(util), "%.0f", qos.util_up_mean * 100);
-      std::snprintf(mos, sizeof(mos), "%.1f", voip.median_mos_talks());
-      std::snprintf(plt, sizeof(plt), "%.1f", web.median_plt_s());
-      table.add_row({tcp::to_string(cc), std::to_string(buffer), delay, util,
-                     mos, plt});
-    }
-    table.add_separator();
-  }
+  bench::run_ablation_grid(
+      opt, runner,
+      {tcp::CcKind::kReno, tcp::CcKind::kBic, tcp::CcKind::kCubic,
+       tcp::CcKind::kVegas},
+      {std::size_t{64}, std::size_t{256}},
+      [](ScenarioConfig& cfg, tcp::CcKind cc) { cfg.tcp_cc = cc; },
+      [&](tcp::CcKind cc, std::size_t buffer,
+          const bench::AblationCell& cell) {
+        char delay[32], util[32], mos[16], plt[16];
+        std::snprintf(delay, sizeof(delay), "%.0f",
+                      cell.qos.mean_delay_up_ms);
+        std::snprintf(util, sizeof(util), "%.0f",
+                      cell.qos.util_up_mean * 100);
+        std::snprintf(mos, sizeof(mos), "%.1f", cell.voip.median_mos_talks());
+        std::snprintf(plt, sizeof(plt), "%.1f", cell.web.median_plt_s());
+        table.add_row({tcp::to_string(cc), std::to_string(buffer), delay,
+                       util, mos, plt});
+      },
+      [&] { table.add_separator(); });
 
   bench::emit(table, opt,
               "CC ablation: one upload flow vs the access uplink buffer");

@@ -3,18 +3,25 @@
 // Every bench accepts:
 //   --scale <f>   scale probe repetitions / measurement durations (default 1)
 //   --seed <n>    master seed (default 1)
+//   --jobs <n>    worker threads for grid sweeps (default 1; 0 = all cores)
 //   --csv         also emit CSV after the rendered table
 //   --no-color    render tone tags instead of ANSI colors
+//
+// Flags are validated: non-numeric or non-positive values and unknown
+// flags abort with a usage message instead of being silently ignored.
 #pragma once
 
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <initializer_list>
 #include <string>
+#include <vector>
 
 #include "core/experiment.hpp"
 #include "core/heatmap.hpp"
 #include "core/scenario.hpp"
+#include "core/sweep.hpp"
 #include "stats/table.hpp"
 
 namespace qoesim::bench {
@@ -22,25 +29,78 @@ namespace qoesim::bench {
 struct BenchOptions {
   double scale = 1.0;
   std::uint64_t seed = 1;
+  unsigned jobs = 1;  ///< sweep worker threads; 0 = hardware concurrency
   bool csv = false;
   bool color = true;
 
-  static BenchOptions parse(int argc, char** argv) {
+  /// Parse the shared flags. `extra_value_flags` names bench-specific
+  /// flags that take one value and are parsed elsewhere (e.g. fig9's
+  /// --clip); they are skipped here instead of rejected as unknown.
+  static BenchOptions parse(
+      int argc, char** argv,
+      std::initializer_list<const char*> extra_value_flags = {}) {
     BenchOptions opt;
+    auto usage = [&](std::FILE* out) {
+      std::fprintf(out,
+                   "usage: %s [--scale f] [--seed n] [--jobs n] [--csv]"
+                   " [--no-color]",
+                   argv[0]);
+      for (const char* flag : extra_value_flags)
+        std::fprintf(out, " [%s v]", flag);
+      std::fputs("\n", out);
+    };
+    auto fail = [&](const char* message, const char* arg) {
+      std::fprintf(stderr, "%s: %s: %s\n", argv[0], message, arg);
+      usage(stderr);
+      std::exit(2);
+    };
+    auto value_of = [&](int& i) -> const char* {
+      if (i + 1 >= argc) fail("missing value for flag", argv[i]);
+      return argv[++i];
+    };
+
     for (int i = 1; i < argc; ++i) {
-      if (std::strcmp(argv[i], "--scale") == 0 && i + 1 < argc) {
-        opt.scale = std::atof(argv[++i]);
-      } else if (std::strcmp(argv[i], "--seed") == 0 && i + 1 < argc) {
-        opt.seed = static_cast<std::uint64_t>(std::atoll(argv[++i]));
+      if (std::strcmp(argv[i], "--scale") == 0) {
+        const char* text = value_of(i);
+        char* end = nullptr;
+        opt.scale = std::strtod(text, &end);
+        if (end == text || *end != '\0')
+          fail("--scale expects a number", text);
+        // !(x > 0) also rejects NaN; the upper bound keeps the scaled
+        // repetition counts inside int range (same limit as QOESIM_SCALE).
+        if (!(opt.scale > 0.0) || opt.scale > 1e3)
+          fail("--scale must be in (0, 1000]", text);
+      } else if (std::strcmp(argv[i], "--seed") == 0) {
+        const char* text = value_of(i);
+        char* end = nullptr;
+        opt.seed = std::strtoull(text, &end, 10);
+        // strtoull silently wraps negative input, so reject it up front.
+        if (text[0] == '-' || end == text || *end != '\0')
+          fail("--seed expects a non-negative integer", text);
+      } else if (std::strcmp(argv[i], "--jobs") == 0) {
+        const char* text = value_of(i);
+        char* end = nullptr;
+        const unsigned long jobs = std::strtoul(text, &end, 10);
+        if (end == text || *end != '\0' || jobs > 4096)
+          fail("--jobs expects an integer in [0, 4096]", text);
+        opt.jobs = static_cast<unsigned>(jobs);
       } else if (std::strcmp(argv[i], "--csv") == 0) {
         opt.csv = true;
       } else if (std::strcmp(argv[i], "--no-color") == 0) {
         opt.color = false;
       } else if (std::strcmp(argv[i], "--help") == 0) {
-        std::printf(
-            "usage: %s [--scale f] [--seed n] [--csv] [--no-color]\n",
-            argv[0]);
+        usage(stdout);
         std::exit(0);
+      } else {
+        bool extra = false;
+        for (const char* flag : extra_value_flags) {
+          if (std::strcmp(argv[i], flag) == 0) {
+            (void)value_of(i);  // value consumed by the bench itself
+            extra = true;
+            break;
+          }
+        }
+        if (!extra) fail("unknown flag", argv[i]);
       }
     }
     return opt;
@@ -49,6 +109,9 @@ struct BenchOptions {
   core::ProbeBudget budget() const {
     return core::ProbeBudget::from_env().scaled(scale);
   }
+
+  /// Sweep pool for grid evaluation, sized by --jobs.
+  core::SweepRunner sweep() const { return core::SweepRunner(jobs); }
 };
 
 inline void emit(const stats::HeatmapTable& table, const BenchOptions& opt) {
@@ -82,13 +145,58 @@ inline core::ScenarioConfig make_scenario(core::TestbedType testbed,
   cfg.direction = direction;
   cfg.buffer_packets = buffer;
   cfg.tcp_cc = core::default_cc(testbed);
-  // Mix the cell coordinates into the seed so structurally identical cells
-  // (e.g. short-few vs short-many upstream-only) still see independent
-  // stochastic runs, as separate testbed runs would.
-  cfg.seed = seed ^ (static_cast<std::uint64_t>(workload) * 0x9e3779b9ull) ^
-             (static_cast<std::uint64_t>(direction) << 20) ^
-             (static_cast<std::uint64_t>(buffer) << 32);
+  // Deterministic per-cell seed (direction as salt): structurally identical
+  // cells (e.g. short-few vs short-many upstream-only) still see independent
+  // stochastic runs, and the value never depends on evaluation order.
+  cfg.seed = core::cell_seed(seed, workload, buffer,
+                             static_cast<std::uint64_t>(direction));
   return cfg;
+}
+
+/// Three-probe measurement of one ablation scenario: background QoS plus
+/// VoIP and web probes through the same bottleneck.
+struct AblationCell {
+  core::QosCell qos;
+  core::VoipCell voip;
+  core::WebCell web;
+};
+
+/// Shared harness for the ablation benches: sweep the (variant x buffer)
+/// grid of the paper's bufferbloat scenario (long-few upload congestion)
+/// in parallel, then emit rows in list order with a separator after each
+/// variant's buffers. `mutate(cfg, variant)` applies the ablated knob;
+/// `emit_row(variant, buffer, cell)` renders one table row.
+template <typename Variant, typename MutateFn, typename RowFn,
+          typename SeparatorFn>
+void run_ablation_grid(const BenchOptions& opt,
+                       const core::ExperimentRunner& runner,
+                       std::initializer_list<Variant> variants,
+                       std::initializer_list<std::size_t> buffers,
+                       MutateFn&& mutate, RowFn&& emit_row,
+                       SeparatorFn&& emit_separator) {
+  struct Case {
+    Variant variant;
+    std::size_t buffer;
+  };
+  std::vector<Case> cases;
+  for (Variant variant : variants)
+    for (std::size_t buffer : buffers) cases.push_back({variant, buffer});
+
+  const auto results = opt.sweep().map(cases.size(), [&](std::size_t i) {
+    auto cfg = make_scenario(core::TestbedType::kAccess,
+                             core::WorkloadType::kLongFew,
+                             core::CongestionDirection::kUpstream,
+                             cases[i].buffer, opt.seed);
+    mutate(cfg, cases[i].variant);
+    return AblationCell{runner.run_qos(cfg), runner.run_voip(cfg, true),
+                        runner.run_web(cfg)};
+  });
+
+  for (std::size_t i = 0; i < cases.size(); ++i) {
+    emit_row(cases[i].variant, cases[i].buffer, results[i]);
+    if (i + 1 == cases.size() || cases[i + 1].variant != cases[i].variant)
+      emit_separator();
+  }
 }
 
 }  // namespace qoesim::bench

@@ -4,8 +4,6 @@
 // used for VoIP are applied to an FPS-style bidirectional UDP session.
 // Gaming is the most delay-sensitive probe in the suite, so the uplink
 // buffer column should matter *more* than for any other application.
-#include <map>
-
 #include "apps/gaming.hpp"
 #include "bench_common.hpp"
 #include "core/testbed.hpp"
@@ -35,20 +33,17 @@ stats::HeatCell run_cell(const bench::BenchOptions& opt, WorkloadType workload,
 
 void run(const bench::BenchOptions& opt) {
   const auto buffers = access_buffer_sizes();
+  const auto sweep = opt.sweep();
   for (auto profile : {qoe::GameProfile::fps(), qoe::GameProfile::rts()}) {
-    stats::HeatmapTable table(
+    auto table = build_grid(
         std::string("Ext: gaming QoE (") + profile.name +
             "), access, upload activity (MOS)",
-        buffer_columns(buffers));
-    for (auto workload : rows_with_baseline(TestbedType::kAccess)) {
-      std::vector<stats::HeatCell> row;
-      for (auto buffer : buffers) {
-        row.push_back(run_cell(opt, workload,
-                               CongestionDirection::kUpstream, buffer,
-                               profile));
-      }
-      table.add_row(to_string(workload), std::move(row));
-    }
+        rows_with_baseline(TestbedType::kAccess), buffers,
+        [&](WorkloadType workload, std::size_t buffer) {
+          return run_cell(opt, workload, CongestionDirection::kUpstream,
+                          buffer, profile);
+        },
+        sweep);
     bench::emit(table, opt);
   }
   std::puts(

@@ -26,25 +26,29 @@ void run(const bench::BenchOptions& opt) {
       "Ext: HTTP adaptive streaming (median bitrate, Mbit/s; color = MOS)",
       buffer_columns(buffers));
 
-  for (auto workload : workloads) {
+  // One run per cell feeds both tables; cells sweep in parallel (--jobs).
+  const auto cells = opt.sweep().grid(
+      workloads, buffers, [&](WorkloadType workload, std::size_t buffer) {
+        auto cfg = bench::make_scenario(TestbedType::kAccess, workload,
+                                        CongestionDirection::kDownstream,
+                                        buffer, opt.seed);
+        return runner.run_http_video(cfg);
+      });
+
+  for (std::size_t wi = 0; wi < workloads.size(); ++wi) {
     std::vector<stats::HeatCell> mos_row;
     std::vector<stats::HeatCell> rate_row;
-    for (auto buffer : buffers) {
-      auto cfg = bench::make_scenario(TestbedType::kAccess, workload,
-                                      CongestionDirection::kDownstream,
-                                      buffer, opt.seed);
-      const auto cell = runner.run_http_video(cfg);
+    for (std::size_t bi = 0; bi < buffers.size(); ++bi) {
+      const auto& cell = cells.at(wi, bi);
       const double mos = cell.median_mos();
       mos_row.push_back({format_mos(mos), stats::tone_from_mos(mos)});
       char rate[16];
       std::snprintf(rate, sizeof(rate), "%.1f",
-                    cell.mean_bitrate_mbps.empty()
-                        ? 0.0
-                        : cell.mean_bitrate_mbps.median());
+                    cell.mean_bitrate_mbps.median_or(0.0));
       rate_row.push_back({rate, stats::tone_from_mos(mos)});
     }
-    mos_table.add_row(to_string(workload), std::move(mos_row));
-    rate_table.add_row(to_string(workload), std::move(rate_row));
+    mos_table.add_row(to_string(workloads[wi]), std::move(mos_row));
+    rate_table.add_row(to_string(workloads[wi]), std::move(rate_row));
   }
   bench::emit(mos_table, opt);
   bench::emit(rate_table, opt);

@@ -14,28 +14,36 @@ void run(const bench::BenchOptions& opt) {
   ExperimentRunner runner(opt.budget());
   const auto buffers = access_buffer_sizes();
 
+  const std::vector<WorkloadType> workloads{
+      WorkloadType::kLongFew, WorkloadType::kLongMany, WorkloadType::kShortMany};
+  const auto sweep = opt.sweep();
   for (auto queue : {net::QueueKind::kDropTail, net::QueueKind::kPriority}) {
-    stats::HeatmapTable table(
-        std::string("VoIP under upload congestion, ") + net::to_string(queue) +
-            " bottleneck (median MOS)",
-        buffer_columns(buffers));
-    for (const char* part : {"user talks", "user listens"}) {
-      table.add_group(part);
-      const bool talks = part[5] == 't';
-      for (auto workload : {WorkloadType::kLongFew, WorkloadType::kLongMany,
-                            WorkloadType::kShortMany}) {
-        std::vector<stats::HeatCell> row;
-        for (auto buffer : buffers) {
+    // One run per cell feeds both the talks and listens groups (the old
+    // serial code ran each cell twice); cells sweep in parallel (--jobs).
+    const auto cells = sweep.grid(
+        workloads, buffers, [&](WorkloadType workload, std::size_t buffer) {
           auto cfg = bench::make_scenario(TestbedType::kAccess, workload,
                                           CongestionDirection::kUpstream,
                                           buffer, opt.seed);
           cfg.queue = queue;
-          const auto cell = runner.run_voip(cfg, true);
+          return runner.run_voip(cfg, true);
+        });
+
+    stats::HeatmapTable table(
+        std::string("VoIP under upload congestion, ") + net::to_string(queue) +
+            " bottleneck (median MOS)",
+        buffer_columns(buffers));
+    for (const bool talks : {true, false}) {
+      table.add_group(talks ? "user talks" : "user listens");
+      for (std::size_t wi = 0; wi < workloads.size(); ++wi) {
+        std::vector<stats::HeatCell> row;
+        for (std::size_t bi = 0; bi < buffers.size(); ++bi) {
+          const auto& cell = cells.at(wi, bi);
           const double mos =
               talks ? cell.median_mos_talks() : cell.median_mos_listens();
           row.push_back({format_mos(mos), stats::tone_from_mos(mos)});
         }
-        table.add_row(to_string(workload), std::move(row));
+        table.add_row(to_string(workloads[wi]), std::move(row));
       }
     }
     bench::emit(table, opt);

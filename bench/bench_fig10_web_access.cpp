@@ -19,7 +19,8 @@ void run_direction(ExperimentRunner& runner, const bench::BenchOptions& opt,
         const auto cell = runner.run_web(cfg);
         return stats::HeatCell{format_plt(cell.median_plt_s()),
                                stats::tone_from_mos(cell.median_mos())};
-      });
+      },
+      opt.sweep());
   bench::emit(table, opt);
 }
 

@@ -19,7 +19,8 @@ void run(const bench::BenchOptions& opt) {
         const auto cell = runner.run_web(cfg);
         return stats::HeatCell{format_plt(cell.median_plt_s()),
                                stats::tone_from_mos(cell.median_mos())};
-      });
+      },
+      opt.sweep());
   bench::emit(table, opt);
   std::puts(
       "Paper shape: baseline ~0.8-0.9s. Low/medium load: larger buffers"

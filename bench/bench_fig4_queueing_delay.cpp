@@ -3,8 +3,6 @@
 // ((a) downstream-only, (b) bidirectional, (c) upstream-only), with each
 // heatmap showing the uplink and downlink buffers separately. Cells are
 // colored by ITU-T G.114 delay classes, as in the paper.
-#include <map>
-
 #include "bench_common.hpp"
 #include "qoe/g114.hpp"
 
@@ -15,6 +13,7 @@ using namespace core;
 
 void run(const bench::BenchOptions& opt) {
   ExperimentRunner runner(opt.budget());
+  const auto sweep = opt.sweep();
   const auto buffers = access_buffer_sizes();
   const auto workloads = access_workloads();
 
@@ -32,22 +31,22 @@ void run(const bench::BenchOptions& opt) {
   };
 
   for (const auto& c : cases) {
-    // Collect both directions from a single run per cell.
-    std::map<std::pair<int, std::size_t>, QosCell> cells;
-    for (std::size_t wi = 0; wi < workloads.size(); ++wi) {
-      for (auto buffer : buffers) {
-        auto cfg = bench::make_scenario(TestbedType::kAccess, workloads[wi],
-                                        c.dir, buffer, opt.seed);
-        cells[{static_cast<int>(wi), buffer}] = runner.run_qos(cfg);
-      }
-    }
+    // Collect both directions from a single run per cell; cells are
+    // independent, so the grid sweeps in parallel under --jobs.
+    const auto cells =
+        sweep.grid(workloads, buffers, [&](WorkloadType workload,
+                                           std::size_t buffer) {
+          auto cfg = bench::make_scenario(TestbedType::kAccess, workload,
+                                          c.dir, buffer, opt.seed);
+          return runner.run_qos(cfg);
+        });
 
     stats::HeatmapTable table(c.title, buffer_columns(buffers));
     table.add_group("uplink buffer");
     for (std::size_t wi = 0; wi < workloads.size(); ++wi) {
       std::vector<stats::HeatCell> row;
-      for (auto buffer : buffers) {
-        const double ms = cells[{static_cast<int>(wi), buffer}].mean_delay_up_ms;
+      for (std::size_t bi = 0; bi < buffers.size(); ++bi) {
+        const double ms = cells.at(wi, bi).mean_delay_up_ms;
         row.push_back({format_ms(ms), qoe::g114_tone(Time::milliseconds(ms))});
       }
       table.add_row(to_string(workloads[wi]), std::move(row));
@@ -55,9 +54,8 @@ void run(const bench::BenchOptions& opt) {
     table.add_group("downlink buffer");
     for (std::size_t wi = 0; wi < workloads.size(); ++wi) {
       std::vector<stats::HeatCell> row;
-      for (auto buffer : buffers) {
-        const double ms =
-            cells[{static_cast<int>(wi), buffer}].mean_delay_down_ms;
+      for (std::size_t bi = 0; bi < buffers.size(); ++bi) {
+        const double ms = cells.at(wi, bi).mean_delay_down_ms;
         row.push_back({format_ms(ms), qoe::g114_tone(Time::milliseconds(ms))});
       }
       table.add_row(to_string(workloads[wi]), std::move(row));

@@ -39,14 +39,23 @@ void run(const bench::BenchOptions& opt) {
   csv.set_header({"link", "buffer", "median", "q1", "q3", "whisk_lo",
                   "whisk_hi"});
 
+  // One run per buffer feeds both the downlink and uplink sections (the
+  // scenario is identical; only which bins are read differs), evaluated in
+  // parallel under --jobs.
+  const auto buffers = access_buffer_sizes();
+  const auto cells = opt.sweep().map(buffers.size(), [&](std::size_t i) {
+    auto cfg = bench::make_scenario(TestbedType::kAccess,
+                                    WorkloadType::kLongMany,
+                                    CongestionDirection::kBidirectional,
+                                    buffers[i], opt.seed);
+    return runner.run_qos(cfg);
+  });
+
   for (const bool downlink : {true, false}) {
     std::printf("--- %s ---\n", downlink ? "downlink" : "uplink");
-    for (auto buffer : access_buffer_sizes()) {
-      auto cfg = bench::make_scenario(TestbedType::kAccess,
-                                      WorkloadType::kLongMany,
-                                      CongestionDirection::kBidirectional,
-                                      buffer, opt.seed);
-      const auto cell = runner.run_qos(cfg);
+    for (std::size_t bi = 0; bi < buffers.size(); ++bi) {
+      const std::size_t buffer = buffers[bi];
+      const auto& cell = cells[bi];
       const auto& bins = downlink ? cell.util_down_bins : cell.util_up_bins;
       const auto box = bins.boxplot();
       char label[32];

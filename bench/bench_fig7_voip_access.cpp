@@ -2,8 +2,6 @@
 // over buffer size x workload, for (a) download-congestion and (b)
 // upload-congestion scenarios, split into "user talks" (client->server
 // leg) and "user listens" (server->client leg).
-#include <map>
-
 #include "bench_common.hpp"
 
 namespace qoesim {
@@ -16,23 +14,21 @@ void run_direction(ExperimentRunner& runner, const bench::BenchOptions& opt,
   const auto buffers = access_buffer_sizes();
   const auto workloads = rows_with_baseline(TestbedType::kAccess);
 
-  std::map<std::pair<int, std::size_t>, VoipCell> cells;
-  for (std::size_t wi = 0; wi < workloads.size(); ++wi) {
-    for (auto buffer : buffers) {
-      auto cfg = bench::make_scenario(TestbedType::kAccess, workloads[wi], dir,
-                                      buffer, opt.seed);
-      cells[{static_cast<int>(wi), buffer}] =
-          runner.run_voip(cfg, /*bidirectional=*/true);
-    }
-  }
+  // One run per cell feeds both the talks and listens groups; the grid
+  // sweeps in parallel under --jobs.
+  const auto cells = opt.sweep().grid(
+      workloads, buffers, [&](WorkloadType workload, std::size_t buffer) {
+        auto cfg = bench::make_scenario(TestbedType::kAccess, workload, dir,
+                                        buffer, opt.seed);
+        return runner.run_voip(cfg, /*bidirectional=*/true);
+      });
 
   stats::HeatmapTable table(title, buffer_columns(buffers));
   table.add_group("user talks");
   for (std::size_t wi = 0; wi < workloads.size(); ++wi) {
     std::vector<stats::HeatCell> row;
-    for (auto buffer : buffers) {
-      const double mos =
-          cells[{static_cast<int>(wi), buffer}].median_mos_talks();
+    for (std::size_t bi = 0; bi < buffers.size(); ++bi) {
+      const double mos = cells.at(wi, bi).median_mos_talks();
       row.push_back({format_mos(mos), stats::tone_from_mos(mos)});
     }
     table.add_row(to_string(workloads[wi]), std::move(row));
@@ -40,9 +36,8 @@ void run_direction(ExperimentRunner& runner, const bench::BenchOptions& opt,
   table.add_group("user listens");
   for (std::size_t wi = 0; wi < workloads.size(); ++wi) {
     std::vector<stats::HeatCell> row;
-    for (auto buffer : buffers) {
-      const double mos =
-          cells[{static_cast<int>(wi), buffer}].median_mos_listens();
+    for (std::size_t bi = 0; bi < buffers.size(); ++bi) {
+      const double mos = cells.at(wi, bi).median_mos_listens();
       row.push_back({format_mos(mos), stats::tone_from_mos(mos)});
     }
     table.add_row(to_string(workloads[wi]), std::move(row));

@@ -22,7 +22,8 @@ void run(const bench::BenchOptions& opt) {
         const auto cell = runner.run_voip(cfg, /*bidirectional=*/false);
         const double mos = cell.median_mos_listens();
         return stats::HeatCell{format_mos(mos), stats::tone_from_mos(mos)};
-      });
+      },
+      opt.sweep());
   bench::emit(table, opt);
   std::puts(
       "Paper reference (Fig 8 medians): noBG 4.4 everywhere; short-low 4.4;"

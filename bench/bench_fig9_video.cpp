@@ -3,7 +3,6 @@
 // (a) the access testbed with download congestion and (b) the backbone.
 // As in the paper, the default clip is C ("movie"); pass --clip to sweep.
 #include <cstring>
-#include <map>
 
 #include "apps/video_codec.hpp"
 #include "bench_common.hpp"
@@ -33,22 +32,21 @@ void run_testbed(ExperimentRunner& runner, const bench::BenchOptions& opt,
   const auto workloads = rows_with_baseline(testbed);
 
   stats::HeatmapTable table(title, buffer_columns(buffers));
+  const auto sweep = opt.sweep();
   for (const bool hd : {false, true}) {
-    table.add_group(hd ? "HD (8 Mbit/s)" : "SD (4 Mbit/s)");
     const auto codec = hd ? apps::VideoCodecConfig::hd(clip)
                           : apps::VideoCodecConfig::sd(clip);
-    for (auto workload : workloads) {
-      std::vector<stats::HeatCell> row;
-      for (auto buffer : buffers) {
-        auto cfg = bench::make_scenario(testbed, workload,
-                                        CongestionDirection::kDownstream,
-                                        buffer, opt.seed);
-        const auto cell = runner.run_video(cfg, codec);
-        row.push_back({format_ssim(cell.median_ssim()),
-                       stats::tone_from_mos(cell.median_mos())});
-      }
-      table.add_row(to_string(workload), std::move(row));
-    }
+    append_grid(
+        table, hd ? "HD (8 Mbit/s)" : "SD (4 Mbit/s)", workloads, buffers,
+        [&](WorkloadType workload, std::size_t buffer) {
+          auto cfg = bench::make_scenario(testbed, workload,
+                                          CongestionDirection::kDownstream,
+                                          buffer, opt.seed);
+          const auto cell = runner.run_video(cfg, codec);
+          return stats::HeatCell{format_ssim(cell.median_ssim()),
+                                 stats::tone_from_mos(cell.median_mos())};
+        },
+        sweep);
   }
   bench::emit(table, opt);
 }
@@ -75,7 +73,7 @@ void run(const bench::BenchOptions& opt,
 }  // namespace qoesim
 
 int main(int argc, char** argv) {
-  const auto opt = qoesim::bench::BenchOptions::parse(argc, argv);
+  const auto opt = qoesim::bench::BenchOptions::parse(argc, argv, {"--clip"});
   qoesim::run(opt, qoesim::pick_clip(argc, argv));
   return 0;
 }

@@ -34,45 +34,62 @@ void run(const BenchOptions& opt) {
                     "Loss Up%", "Loss Dn%"});
 
   // Access: each workload in the three congestion directions (§5.2: 12
-  // scenarios), BDP buffer = 64 packets.
-  struct Dir {
-    CongestionDirection d;
-    const char* name;
+  // scenarios, BDP buffer = 64 packets); backbone: downstream-only by
+  // construction, BDP buffer = 749 packets. Flattened into one work list
+  // so all measurement runs sweep in parallel under --jobs.
+  struct Entry {
+    TestbedType testbed;
+    WorkloadType workload;
+    CongestionDirection dir;
+    const char* dir_name;
+    std::size_t buffer;
   };
-  const Dir dirs[] = {{CongestionDirection::kUpstream, "Upstream"},
-                      {CongestionDirection::kBidirectional, "Bidirectional"},
-                      {CongestionDirection::kDownstream, "Downstream"}};
+  std::vector<Entry> entries;
   for (auto workload : access_workloads()) {
-    for (const auto& dir : dirs) {
-      const auto spec = workload_spec(TestbedType::kAccess, workload, dir.d);
-      auto cfg = bench::make_scenario(TestbedType::kAccess, workload, dir.d,
-                                      64, opt.seed);
-      const auto cell = runner.run_qos(cfg);
-      table.add_row({"Access", to_string(workload), dir.name,
+    entries.push_back({TestbedType::kAccess, workload,
+                       CongestionDirection::kUpstream, "Upstream", 64});
+    entries.push_back({TestbedType::kAccess, workload,
+                       CongestionDirection::kBidirectional, "Bidirectional",
+                       64});
+    entries.push_back({TestbedType::kAccess, workload,
+                       CongestionDirection::kDownstream, "Downstream", 64});
+  }
+  for (auto workload : backbone_workloads())
+    entries.push_back({TestbedType::kBackbone, workload,
+                       CongestionDirection::kDownstream, "Downstream", 749});
+
+  const auto cells = opt.sweep().map(entries.size(), [&](std::size_t i) {
+    const Entry& e = entries[i];
+    auto cfg =
+        bench::make_scenario(e.testbed, e.workload, e.dir, e.buffer, opt.seed);
+    return runner.run_qos(cfg);
+  });
+
+  for (std::size_t i = 0; i < entries.size(); ++i) {
+    const Entry& e = entries[i];
+    const auto& cell = cells[i];
+    const auto spec = workload_spec(e.testbed, e.workload, e.dir);
+    if (e.testbed == TestbedType::kAccess) {
+      table.add_row({"Access", to_string(e.workload), e.dir_name,
                      std::to_string(spec.sessions_up + spec.flows_up),
                      std::to_string(spec.sessions_down + spec.flows_down),
                      num(cell.concurrent_flows, "%.0f"),
                      pct(cell.util_up_mean), pct(cell.util_down_mean),
                      pct(cell.util_up_sd), pct(cell.util_down_sd),
                      pct(cell.loss_up), pct(cell.loss_down)});
+      // Separator after each access workload's three directions.
+      if (i + 1 == entries.size() ||
+          entries[i + 1].workload != e.workload) {
+        table.add_separator();
+      }
+    } else {
+      table.add_row({"Backbone", to_string(e.workload), "Downstream",
+                     std::to_string(spec.sessions_up + spec.flows_up),
+                     std::to_string(spec.sessions_down + spec.flows_down),
+                     num(cell.concurrent_flows, "%.0f"), "-",
+                     pct(cell.util_down_mean), "-", pct(cell.util_down_sd),
+                     "-", pct(cell.loss_down)});
     }
-    table.add_separator();
-  }
-
-  // Backbone: downstream-only by construction, BDP buffer = 749 packets.
-  for (auto workload : backbone_workloads()) {
-    const auto spec = workload_spec(TestbedType::kBackbone, workload,
-                                    CongestionDirection::kDownstream);
-    auto cfg = bench::make_scenario(TestbedType::kBackbone, workload,
-                                    CongestionDirection::kDownstream, 749,
-                                    opt.seed);
-    const auto cell = runner.run_qos(cfg);
-    table.add_row({"Backbone", to_string(workload), "Downstream",
-                   std::to_string(spec.sessions_up + spec.flows_up),
-                   std::to_string(spec.sessions_down + spec.flows_down),
-                   num(cell.concurrent_flows, "%.0f"), "-",
-                   pct(cell.util_down_mean), "-", pct(cell.util_down_sd), "-",
-                   pct(cell.loss_down)});
   }
 
   bench::emit(table, opt, "Table 1: workload configurations (measured)");

@@ -3,6 +3,8 @@
 // time) and measured in the simulated testbeds via a UDP blast that fills
 // the buffer.
 #include <cstdio>
+#include <string_view>
+#include <vector>
 
 #include "bench_common.hpp"
 #include "core/testbed.hpp"
@@ -49,30 +51,42 @@ void run(const bench::BenchOptions& opt) {
   table.set_header({"Testbed", "Link", "Buffer(pkts)", "Scheme",
                     "Drain delay(ms)", "Measured max(ms)"});
 
+  // All three sections flattened into one work list so the measured-delay
+  // runs sweep in parallel under --jobs; rows are emitted in list order.
+  struct Entry {
+    const char* section;
+    const char* link;
+    TestbedType testbed;
+    std::size_t buffer;
+    bool uplink;
+    double drain_rate_bps;
+  };
   const AccessParams access;
-  for (auto buffer : access_buffer_sizes()) {
-    table.add_row({"Access", "Uplink 1Mbit/s", std::to_string(buffer),
-                   buffer_scheme_label(TestbedType::kAccess, buffer, true),
-                   ms(buffer_drain_delay(buffer, access.uplink_bps)),
-                   ms(measured_max_delay(TestbedType::kAccess, buffer, true,
-                                         opt.seed))});
-  }
-  table.add_separator();
-  for (auto buffer : access_buffer_sizes()) {
-    table.add_row({"Access", "Downlink 16Mbit/s", std::to_string(buffer),
-                   buffer_scheme_label(TestbedType::kAccess, buffer, false),
-                   ms(buffer_drain_delay(buffer, access.downlink_bps)),
-                   ms(measured_max_delay(TestbedType::kAccess, buffer, false,
-                                         opt.seed))});
-  }
-  table.add_separator();
   const BackboneParams backbone;
-  for (auto buffer : backbone_buffer_sizes()) {
-    table.add_row({"Backbone", "OC3 149.8Mbit/s", std::to_string(buffer),
-                   buffer_scheme_label(TestbedType::kBackbone, buffer, false),
-                   ms(buffer_drain_delay(buffer, backbone.bottleneck_bps)),
-                   ms(measured_max_delay(TestbedType::kBackbone, buffer, false,
-                                         opt.seed))});
+  std::vector<Entry> entries;
+  for (auto buffer : access_buffer_sizes())
+    entries.push_back({"Access", "Uplink 1Mbit/s", TestbedType::kAccess,
+                       buffer, true, access.uplink_bps});
+  for (auto buffer : access_buffer_sizes())
+    entries.push_back({"Access", "Downlink 16Mbit/s", TestbedType::kAccess,
+                       buffer, false, access.downlink_bps});
+  for (auto buffer : backbone_buffer_sizes())
+    entries.push_back({"Backbone", "OC3 149.8Mbit/s", TestbedType::kBackbone,
+                       buffer, false, backbone.bottleneck_bps});
+
+  const auto measured = opt.sweep().map(entries.size(), [&](std::size_t i) {
+    const Entry& e = entries[i];
+    return measured_max_delay(e.testbed, e.buffer, e.uplink, opt.seed);
+  });
+
+  for (std::size_t i = 0; i < entries.size(); ++i) {
+    const Entry& e = entries[i];
+    if (i > 0 && std::string_view(entries[i - 1].link) != e.link)
+      table.add_separator();
+    table.add_row({e.section, e.link, std::to_string(e.buffer),
+                   buffer_scheme_label(e.testbed, e.buffer, e.uplink),
+                   ms(buffer_drain_delay(e.buffer, e.drain_rate_bps)),
+                   ms(measured[i])});
   }
 
   bench::emit(table, opt, "Table 2: buffer sizes and max queueing delays");

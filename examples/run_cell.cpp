@@ -130,19 +130,16 @@ int main(int argc, char** argv) {
   if (all || app == "web") {
     const auto c = runner.run_web(cfg);
     std::printf("[web]   PLT %.2fs  MOS %.1f  (rtx med %.0f, timeouts %d)\n",
-                c.median_plt_s(), c.median_mos(), c.retransmits.median(),
-                c.timeouts);
+                c.median_plt_s(), c.median_mos(),
+                c.retransmits.median_or(0.0), c.timeouts);
   }
   if (all || app == "has") {
     const auto c = runner.run_http_video(cfg);
     std::printf("[has]   MOS %.1f  bitrate %.1f Mbit/s  stalls %.1fs  "
                 "startup %.1fs  abandoned %d\n",
-                c.median_mos(),
-                c.mean_bitrate_mbps.empty() ? 0.0
-                                            : c.mean_bitrate_mbps.median(),
-                c.stall_seconds.empty() ? 0.0 : c.stall_seconds.median(),
-                c.startup_seconds.empty() ? 0.0 : c.startup_seconds.median(),
-                c.abandoned);
+                c.median_mos(), c.mean_bitrate_mbps.median_or(0.0),
+                c.stall_seconds.median_or(0.0),
+                c.startup_seconds.median_or(0.0), c.abandoned);
   }
   return 0;
 }

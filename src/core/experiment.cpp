@@ -1,6 +1,7 @@
 #include "core/experiment.hpp"
 
 #include <algorithm>
+#include <cstdio>
 #include <cstdlib>
 #include <memory>
 #include <vector>
@@ -18,12 +19,33 @@
 namespace qoesim::core {
 
 ProbeBudget ProbeBudget::from_env() {
+  // Factors outside this range are almost certainly typos (e.g. a stray
+  // exponent); the paper's two-hour cells correspond to roughly 100x.
+  constexpr double kMinScale = 1e-3;
+  constexpr double kMaxScale = 1e3;
+
   ProbeBudget b;
-  if (const char* scale_env = std::getenv("QOESIM_SCALE")) {
-    const double f = std::atof(scale_env);
-    if (f > 0.0) b = b.scaled(f);
+  const char* scale_env = std::getenv("QOESIM_SCALE");
+  if (!scale_env || *scale_env == '\0') return b;
+
+  char* end = nullptr;
+  double f = std::strtod(scale_env, &end);
+  if (end == scale_env || *end != '\0' || f <= 0.0) {
+    std::fprintf(stderr,
+                 "qoesim: ignoring QOESIM_SCALE=\"%s\" (expected a positive"
+                 " number)\n",
+                 scale_env);
+    return b;
   }
-  return b;
+  if (f < kMinScale || f > kMaxScale) {
+    const double clamped = std::clamp(f, kMinScale, kMaxScale);
+    std::fprintf(stderr,
+                 "qoesim: clamping QOESIM_SCALE=%g to %g (allowed range"
+                 " [%g, %g])\n",
+                 f, clamped, kMinScale, kMaxScale);
+    f = clamped;
+  }
+  return b.scaled(f);
 }
 
 ProbeBudget ProbeBudget::scaled(double factor) const {
@@ -35,20 +57,14 @@ ProbeBudget ProbeBudget::scaled(double factor) const {
   return b;
 }
 
-double VoipCell::median_mos_talks() const {
-  return mos_talks.empty() ? 1.0 : mos_talks.median();
-}
+double VoipCell::median_mos_talks() const { return mos_talks.median_or(1.0); }
 double VoipCell::median_mos_listens() const {
-  return mos_listens.empty() ? 1.0 : mos_listens.median();
+  return mos_listens.median_or(1.0);
 }
-double VideoCell::median_ssim() const {
-  return ssim.empty() ? 0.0 : ssim.median();
-}
-double VideoCell::median_mos() const { return mos.empty() ? 1.0 : mos.median(); }
-double WebCell::median_plt_s() const {
-  return plt_s.empty() ? 0.0 : plt_s.median();
-}
-double WebCell::median_mos() const { return mos.empty() ? 1.0 : mos.median(); }
+double VideoCell::median_ssim() const { return ssim.median_or(0.0); }
+double VideoCell::median_mos() const { return mos.median_or(1.0); }
+double WebCell::median_plt_s() const { return plt_s.median_or(0.0); }
+double WebCell::median_mos() const { return mos.median_or(1.0); }
 
 QosCell ExperimentRunner::run_qos(const ScenarioConfig& config) const {
   Testbed testbed(config);

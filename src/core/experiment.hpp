@@ -79,7 +79,7 @@ struct HttpVideoCell {
   stats::Samples stall_seconds;
   stats::Samples startup_seconds;
   int abandoned = 0;
-  double median_mos() const { return mos.empty() ? 1.0 : mos.median(); }
+  double median_mos() const { return mos.median_or(1.0); }
 };
 
 /// Web cell (Fig. 10/11).

@@ -21,22 +21,25 @@ std::vector<WorkloadType> rows_with_baseline(TestbedType testbed) {
 
 void append_grid(stats::HeatmapTable& table, const std::string& group_label,
                  const std::vector<WorkloadType>& workloads,
-                 const std::vector<std::size_t>& buffers, const CellFn& fn) {
+                 const std::vector<std::size_t>& buffers, const CellFn& fn,
+                 const SweepRunner& runner) {
   if (!group_label.empty()) table.add_group(group_label);
-  for (auto workload : workloads) {
-    std::vector<stats::HeatCell> cells;
-    cells.reserve(buffers.size());
-    for (auto buffer : buffers) cells.push_back(fn(workload, buffer));
-    table.add_row(to_string(workload), std::move(cells));
+  auto grid = runner.grid(workloads, buffers, fn);
+  for (std::size_t wi = 0; wi < workloads.size(); ++wi) {
+    std::vector<stats::HeatCell> row;
+    row.reserve(buffers.size());
+    for (std::size_t bi = 0; bi < buffers.size(); ++bi)
+      row.push_back(std::move(grid.at(wi, bi)));
+    table.add_row(to_string(workloads[wi]), std::move(row));
   }
 }
 
 stats::HeatmapTable build_grid(const std::string& title,
                                const std::vector<WorkloadType>& workloads,
                                const std::vector<std::size_t>& buffers,
-                               const CellFn& fn) {
+                               const CellFn& fn, const SweepRunner& runner) {
   stats::HeatmapTable table(title, buffer_columns(buffers));
-  append_grid(table, "", workloads, buffers, fn);
+  append_grid(table, "", workloads, buffers, fn, runner);
   return table;
 }
 

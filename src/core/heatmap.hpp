@@ -11,6 +11,7 @@
 #include <vector>
 
 #include "core/scenario.hpp"
+#include "core/sweep.hpp"
 #include "stats/table.hpp"
 
 namespace qoesim::core {
@@ -24,18 +25,22 @@ std::vector<WorkloadType> rows_with_baseline(TestbedType testbed);
 using CellFn =
     std::function<stats::HeatCell(WorkloadType workload, std::size_t buffer)>;
 
-/// Evaluate `fn` over workloads x buffers and assemble the table. When
-/// `group_label` is non-empty a group header row is inserted first (used
-/// to stack two grids into one figure, e.g. SD over HD).
+/// Evaluate `fn` over workloads x buffers via `runner` and assemble the
+/// table. When `group_label` is non-empty a group header row is inserted
+/// first (used to stack two grids into one figure, e.g. SD over HD). Rows
+/// are always emitted in workload order, whatever the execution order, so
+/// the rendered table is identical for any job count.
 void append_grid(stats::HeatmapTable& table, const std::string& group_label,
                  const std::vector<WorkloadType>& workloads,
-                 const std::vector<std::size_t>& buffers, const CellFn& fn);
+                 const std::vector<std::size_t>& buffers, const CellFn& fn,
+                 const SweepRunner& runner = SweepRunner(1));
 
 /// Convenience: single-group figure.
 stats::HeatmapTable build_grid(const std::string& title,
                                const std::vector<WorkloadType>& workloads,
                                const std::vector<std::size_t>& buffers,
-                               const CellFn& fn);
+                               const CellFn& fn,
+                               const SweepRunner& runner = SweepRunner(1));
 
 /// Format helpers used across the benches.
 std::string format_mos(double mos);

@@ -1,0 +1,75 @@
+#include "core/sweep.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <exception>
+#include <mutex>
+#include <system_error>
+#include <thread>
+
+namespace qoesim::core {
+
+std::uint64_t cell_seed(std::uint64_t master_seed, WorkloadType workload,
+                        std::size_t buffer, std::uint64_t salt) {
+  // The exact mix previously hand-rolled in bench::make_scenario, kept
+  // bit-compatible so figure outputs are unchanged by the sweep refactor.
+  return master_seed ^
+         (static_cast<std::uint64_t>(workload) * 0x9e3779b9ull) ^
+         (salt << 20) ^ (static_cast<std::uint64_t>(buffer) << 32);
+}
+
+SweepRunner::SweepRunner(unsigned jobs)
+    : jobs_(jobs ? jobs : std::max(1u, std::thread::hardware_concurrency())) {}
+
+void SweepRunner::for_each(std::size_t count,
+                           const std::function<void(std::size_t)>& fn) const {
+  if (count == 0) return;
+  const std::size_t workers =
+      std::min<std::size_t>(jobs_, count);
+  if (workers <= 1) {
+    for (std::size_t i = 0; i < count; ++i) fn(i);
+    return;
+  }
+
+  std::atomic<std::size_t> next{0};
+  std::mutex error_mutex;
+  std::size_t error_index = count;
+  std::exception_ptr error;
+
+  auto work = [&] {
+    for (;;) {
+      const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
+      if (i >= count) return;
+      {
+        std::lock_guard<std::mutex> lock(error_mutex);
+        if (error) return;  // abandon remaining items after a failure
+      }
+      try {
+        fn(i);
+      } catch (...) {
+        std::lock_guard<std::mutex> lock(error_mutex);
+        // Keep the lowest-indexed failure so the rethrown exception does
+        // not depend on which worker hit its error first.
+        if (i < error_index) {
+          error_index = i;
+          error = std::current_exception();
+        }
+      }
+    }
+  };
+
+  std::vector<std::thread> threads;
+  threads.reserve(workers - 1);
+  try {
+    for (std::size_t t = 0; t + 1 < workers; ++t) threads.emplace_back(work);
+  } catch (const std::system_error&) {
+    // Thread limit hit (RLIMIT_NPROC, cgroup pids cap): proceed with the
+    // smaller pool; joining below instead of unwinding past joinable
+    // threads, which would std::terminate.
+  }
+  work();
+  for (auto& thread : threads) thread.join();
+  if (error) std::rethrow_exception(error);
+}
+
+}  // namespace qoesim::core

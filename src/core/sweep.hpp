@@ -1,0 +1,86 @@
+// qoesim -- parallel sweep engine for heatmap grids.
+//
+// Every figure of the paper is a workloads x buffer-sizes grid whose cells
+// each build an independent Testbed and run to completion -- an
+// embarrassingly parallel sweep. SweepRunner executes such sweeps across a
+// std::thread pool. Results are written into a pre-sized vector indexed by
+// work item, and every cell derives its stochastic state from a
+// deterministic per-cell seed (see cell_seed), so output is bit-identical
+// regardless of thread count or scheduling order.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <utility>
+#include <vector>
+
+#include "core/scenario.hpp"
+
+namespace qoesim::core {
+
+/// Deterministic per-cell seed derived from (master_seed, workload, buffer)
+/// plus an optional salt (e.g. the congestion direction). Structurally
+/// identical cells still see independent stochastic runs, and the value
+/// depends only on the cell coordinates -- never on execution order.
+std::uint64_t cell_seed(std::uint64_t master_seed, WorkloadType workload,
+                        std::size_t buffer, std::uint64_t salt = 0);
+
+/// Row-major sweep result: the layout contract lives here, not in every
+/// consumer -- index through at(row, column).
+template <typename T>
+struct Grid {
+  std::vector<T> cells;     ///< row-major: row * columns + column
+  std::size_t columns = 0;
+  const T& at(std::size_t row, std::size_t column) const {
+    return cells[row * columns + column];
+  }
+  T& at(std::size_t row, std::size_t column) {
+    return cells[row * columns + column];
+  }
+};
+
+class SweepRunner {
+ public:
+  /// `jobs` worker threads; 0 means one per hardware thread.
+  explicit SweepRunner(unsigned jobs = 1);
+
+  unsigned jobs() const { return jobs_; }
+
+  /// Run fn(i) for every i in [0, count), spread over the pool (the
+  /// calling thread participates as one worker). If any invocation
+  /// throws, unclaimed items are abandoned once the in-flight ones finish
+  /// and the lowest-indexed failure that actually ran is rethrown on the
+  /// calling thread.
+  void for_each(std::size_t count,
+                const std::function<void(std::size_t)>& fn) const;
+
+  /// Map [0, count) through `fn`; results in index order. The result type
+  /// must be default-constructible (all cell structs are).
+  template <typename Fn>
+  auto map(std::size_t count, Fn&& fn) const
+      -> std::vector<decltype(fn(std::size_t{}))> {
+    std::vector<decltype(fn(std::size_t{}))> out(count);
+    for_each(count, [&](std::size_t i) { out[i] = fn(i); });
+    return out;
+  }
+
+  /// Evaluate fn(workload, buffer) over the grid; one row per workload,
+  /// one column per buffer.
+  template <typename Fn>
+  auto grid(const std::vector<WorkloadType>& workloads,
+            const std::vector<std::size_t>& buffers, Fn&& fn) const
+      -> Grid<decltype(fn(WorkloadType{}, std::size_t{}))> {
+    Grid<decltype(fn(WorkloadType{}, std::size_t{}))> out;
+    out.columns = buffers.size();
+    out.cells = map(workloads.size() * buffers.size(), [&](std::size_t i) {
+      return fn(workloads[i / buffers.size()], buffers[i % buffers.size()]);
+    });
+    return out;
+  }
+
+ private:
+  unsigned jobs_;
+};
+
+}  // namespace qoesim::core

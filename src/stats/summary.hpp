@@ -59,9 +59,20 @@ class Samples {
   double min() const;
   double max() const;
 
-  /// Linear-interpolation percentile, p in [0, 100].
+  /// Linear-interpolation percentile, p in [0, 100]. Throws
+  /// std::logic_error when there are no samples; callers whose cells may
+  /// legitimately be empty should use percentile_or instead.
   double percentile(double p) const;
   double median() const { return percentile(50.0); }
+
+  /// percentile(p) when samples exist, otherwise `fallback`; never throws
+  /// on an empty container.
+  double percentile_or(double p, double fallback) const {
+    return data_.empty() ? fallback : percentile(p);
+  }
+  double median_or(double fallback) const {
+    return percentile_or(50.0, fallback);
+  }
 
   BoxplotStats boxplot() const;
 

@@ -63,6 +63,20 @@ TEST(Samples, PercentileOnEmptyThrows) {
   EXPECT_THROW(s.percentile(50), std::logic_error);
 }
 
+TEST(Samples, PercentileOrFallsBackOnlyWhenEmpty) {
+  Samples s;
+  EXPECT_DOUBLE_EQ(s.percentile_or(50, 1.0), 1.0);
+  EXPECT_DOUBLE_EQ(s.median_or(-2.5), -2.5);
+  EXPECT_NO_THROW(s.percentile_or(0, 0.0));
+  EXPECT_NO_THROW(s.percentile_or(100, 0.0));
+  s.add(3.0);
+  EXPECT_DOUBLE_EQ(s.percentile_or(50, 1.0), 3.0);
+  EXPECT_DOUBLE_EQ(s.median_or(1.0), 3.0);
+  s.add(5.0);
+  // Matches percentile exactly once samples exist, fallback ignored.
+  EXPECT_DOUBLE_EQ(s.percentile_or(25, 99.0), s.percentile(25));
+}
+
 TEST(Samples, AddAfterSortedQueryStillCorrect) {
   Samples s;
   s.add(5.0);
