@@ -11,6 +11,7 @@
 // flags abort with a usage message instead of being silently ignored.
 #pragma once
 
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -22,9 +23,42 @@
 #include "core/heatmap.hpp"
 #include "core/scenario.hpp"
 #include "core/sweep.hpp"
+#include "sim/event.hpp"
 #include "stats/table.hpp"
 
 namespace qoesim::bench {
+
+/// Wall-clock anchor for the events/sec rate; BenchOptions::parse touches
+/// it so the measured interval starts before any simulation work.
+inline std::chrono::steady_clock::time_point& bench_start_time() {
+  static auto start = std::chrono::steady_clock::now();
+  return start;
+}
+
+/// Print the aggregated scheduler counters of every Simulation the bench
+/// ran. The counters (sums / max over cells) go to stdout and are
+/// byte-identical for a fixed seed regardless of --jobs; the wall-clock
+/// events/sec rate goes to stderr so stdout stays diff-stable for the
+/// sweep determinism checks. BenchOptions::parse registers this via
+/// atexit, so every bench reports it without an explicit call.
+inline void emit_scheduler_summary() {
+  const Scheduler::Stats stats = Scheduler::global_stats();
+  std::printf(
+      "[scheduler] fired=%llu scheduled=%llu cancelled=%llu"
+      " rescheduled=%llu peak_depth=%llu\n",
+      static_cast<unsigned long long>(stats.fired),
+      static_cast<unsigned long long>(stats.scheduled),
+      static_cast<unsigned long long>(stats.cancelled),
+      static_cast<unsigned long long>(stats.rescheduled),
+      static_cast<unsigned long long>(stats.peak_queue_depth));
+  const double secs = std::chrono::duration<double>(
+                          std::chrono::steady_clock::now() - bench_start_time())
+                          .count();
+  if (secs > 0.0) {
+    std::fprintf(stderr, "[scheduler] %.2f M events/s (%.2fs wall)\n",
+                 static_cast<double>(stats.fired) / secs / 1e6, secs);
+  }
+}
 
 struct BenchOptions {
   double scale = 1.0;
@@ -39,6 +73,7 @@ struct BenchOptions {
   static BenchOptions parse(
       int argc, char** argv,
       std::initializer_list<const char*> extra_value_flags = {}) {
+    bench_start_time();  // anchor the events/sec wall clock
     BenchOptions opt;
     auto usage = [&](std::FILE* out) {
       std::fprintf(out,
@@ -103,6 +138,9 @@ struct BenchOptions {
         if (!extra) fail("unknown flag", argv[i]);
       }
     }
+    // Registered only on a successful parse (after the --help/error
+    // exits), so usage output is never followed by a stats line.
+    std::atexit([] { emit_scheduler_summary(); });
     return opt;
   }
 

@@ -1,0 +1,162 @@
+// Raw scheduler throughput bench: schedule/fire, cancel, and reschedule
+// rates of the event-arena core, independent of any network simulation.
+// This is the micro-counterpart of the figure benches' events/sec column;
+// regressions here show up in every other bench.
+//
+// Patterns measured (all single-threaded, as in one sweep cell):
+//   steady fire   -- bounded queue (depth 512), each firing schedules its
+//                    successor: the inner loop of every simulation.
+//   bulk fire     -- schedule a full batch, then drain it (startup shape).
+//   cancel        -- schedule a batch, cancel every event (timer teardown).
+//   reschedule    -- one pending timer moved repeatedly (TCP RTO re-arm
+//                    fast path).
+//   rearm         -- cancel + fresh schedule per move (the pre-reschedule
+//                    idiom, kept for comparison).
+//
+// Accepts the shared bench flags plus --quick (CI smoke: ~10x fewer ops).
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "sim/event.hpp"
+#include "stats/table.hpp"
+
+namespace qoesim {
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double seconds_since(Clock::time_point t0) {
+  return std::chrono::duration<double>(Clock::now() - t0).count();
+}
+
+std::string mops(double ops_per_sec) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.2f", ops_per_sec / 1e6);
+  return buf;
+}
+
+// Self-perpetuating timer: the real call-site shape (small capturing
+// callable, stored inline in the event arena).
+struct Ticker {
+  Scheduler* sched;
+  long* fired;
+  long limit;
+  int depth;
+  void operator()() const {
+    if (++*fired + depth <= limit) {
+      sched->schedule_in(Time::microseconds(depth), *this);
+    }
+  }
+};
+
+double steady_fire(long fires, int depth) {
+  Scheduler sched;
+  long fired = 0;
+  for (int i = 0; i < depth; ++i) {
+    sched.schedule_at(Time::microseconds(i), Ticker{&sched, &fired, fires, depth});
+  }
+  const auto t0 = Clock::now();
+  sched.run();
+  return static_cast<double>(fired) / seconds_since(t0);
+}
+
+double bulk_fire(long total, int batch) {
+  long fired = 0;
+  const auto t0 = Clock::now();
+  for (long done = 0; done < total; done += batch) {
+    Scheduler sched;
+    for (int i = 0; i < batch; ++i) {
+      sched.schedule_at(Time::microseconds(i), [&fired] { ++fired; });
+    }
+    sched.run();
+  }
+  return static_cast<double>(fired) / seconds_since(t0);
+}
+
+double cancel_all(long total, int batch) {
+  std::vector<EventHandle> handles;
+  handles.reserve(static_cast<std::size_t>(batch));
+  const auto t0 = Clock::now();
+  for (long done = 0; done < total; done += batch) {
+    Scheduler sched;
+    handles.clear();
+    for (int i = 0; i < batch; ++i) {
+      handles.push_back(sched.schedule_at(Time::microseconds(i), [] {}));
+    }
+    for (auto& h : handles) h.cancel();
+    sched.run();
+  }
+  return static_cast<double>(total) / seconds_since(t0);
+}
+
+double reschedule_one(long moves) {
+  Scheduler sched;
+  // A far-out timer plus queue background, like an RTO behind data events.
+  for (int i = 0; i < 64; ++i) sched.schedule_at(Time::seconds(2), [] {});
+  EventHandle timer = sched.schedule_at(Time::seconds(1), [] {});
+  const auto t0 = Clock::now();
+  for (long i = 0; i < moves; ++i) {
+    timer.reschedule(Time::seconds(1) + Time::nanoseconds(i));
+  }
+  const double secs = seconds_since(t0);
+  sched.run();
+  return static_cast<double>(moves) / secs;
+}
+
+double rearm_one(long moves) {
+  Scheduler sched;
+  for (int i = 0; i < 64; ++i) sched.schedule_at(Time::seconds(2), [] {});
+  EventHandle timer;
+  const auto t0 = Clock::now();
+  for (long i = 0; i < moves; ++i) {
+    timer.cancel();
+    timer = sched.schedule_at(Time::seconds(1) + Time::nanoseconds(i), [] {});
+  }
+  const double secs = seconds_since(t0);
+  sched.run();
+  return static_cast<double>(moves) / secs;
+}
+
+void run(const bench::BenchOptions& opt, bool quick) {
+  const long base =
+      static_cast<long>((quick ? 400000.0 : 4000000.0) * opt.scale);
+
+  stats::TextTable table;
+  table.set_header({"pattern", "ops", "M ops/s"});
+  table.add_row({"steady schedule+fire (depth 512)", std::to_string(base),
+                 mops(steady_fire(base, 512))});
+  table.add_row({"bulk schedule+fire (batch 8192)", std::to_string(base),
+                 mops(bulk_fire(base, 8192))});
+  table.add_row({"schedule+cancel (batch 8192)", std::to_string(base),
+                 mops(cancel_all(base, 8192))});
+  table.add_row({"reschedule pending timer", std::to_string(base),
+                 mops(reschedule_one(base))});
+  table.add_row({"cancel+schedule rearm", std::to_string(base),
+                 mops(rearm_one(base))});
+  bench::emit(table, opt, "Scheduler throughput");
+}
+
+}  // namespace
+}  // namespace qoesim
+
+int main(int argc, char** argv) {
+  // --quick is a boolean flag; strip it before the shared parser (which
+  // only understands value flags) sees it.
+  bool quick = false;
+  std::vector<char*> args;
+  args.reserve(static_cast<std::size_t>(argc));
+  for (int i = 0; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--quick") == 0) {
+      quick = true;
+    } else {
+      args.push_back(argv[i]);
+    }
+  }
+  const auto opt = qoesim::bench::BenchOptions::parse(
+      static_cast<int>(args.size()), args.data());
+  qoesim::run(opt, quick);
+  return 0;
+}

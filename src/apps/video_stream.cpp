@@ -60,6 +60,10 @@ void VideoSession::send_next() {
   const Time frame_ready = start_time_ + pp.earliest;
   const Time release = std::max(pace_next_ - config_.pacing_slack, frame_ready);
   if (release > sim_.now()) {
+    // Scheduled from inside the previous release event, so the arena
+    // reuses its just-freed slot: pacing is allocation-free.
+    // EventHandle::reschedule does not apply here -- a release time never
+    // moves while its timer is pending.
     sim_.at(release, [this] { send_next(); });
     return;
   }

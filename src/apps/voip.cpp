@@ -42,6 +42,10 @@ void VoipCall::send_next() {
                net::kRtpHeaderBytes);
   ++next_seq_;
   if (next_seq_ < total_packets_) {
+    // Scheduled from inside the previous frame event, so the arena reuses
+    // its just-freed slot: the periodic timer is allocation-free.
+    // EventHandle::reschedule does not apply here -- a frame deadline
+    // never moves while its timer is pending.
     sim_.after(config_.frame_interval, [this] { send_next(); });
   }
 }

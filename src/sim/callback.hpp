@@ -1,0 +1,132 @@
+// qoesim -- small-buffer callback.
+//
+// SmallCallback is a move-only replacement for std::function<void()> used by
+// the event scheduler. Callables whose captures fit in the inline buffer
+// (48 bytes, enough for a handful of pointers or a weak_ptr plus a deadline)
+// are stored in place, so scheduling an event performs no heap allocation.
+// Larger callables transparently fall back to a single heap allocation.
+#pragma once
+
+#include <cstddef>
+#include <new>
+#include <type_traits>
+#include <utility>
+
+namespace qoesim {
+
+class SmallCallback {
+ public:
+  /// Captures up to this many bytes are stored inline (no allocation).
+  static constexpr std::size_t kInlineCapacity = 48;
+
+  SmallCallback() = default;
+
+  template <typename F,
+            typename = std::enable_if_t<
+                !std::is_same_v<std::decay_t<F>, SmallCallback> &&
+                std::is_invocable_r_v<void, std::decay_t<F>&>>>
+  SmallCallback(F&& f) {  // NOLINT(google-explicit-constructor)
+    using Fn = std::decay_t<F>;
+    if constexpr (fits_inline<Fn>()) {
+      ::new (static_cast<void*>(storage_)) Fn(std::forward<F>(f));
+      ops_ = inline_ops<Fn>();
+    } else {
+      // Placement-new the Fn* itself so a pointer object formally lives
+      // in the buffer (plain reinterpret_cast stores would be UB under
+      // the C++ object-lifetime rules).
+      ::new (static_cast<void*>(storage_)) Fn*(new Fn(std::forward<F>(f)));
+      ops_ = heap_ops<Fn>();
+    }
+  }
+
+  SmallCallback(SmallCallback&& other) noexcept { move_from(other); }
+  SmallCallback& operator=(SmallCallback&& other) noexcept {
+    if (this != &other) {
+      reset();
+      move_from(other);
+    }
+    return *this;
+  }
+  SmallCallback(const SmallCallback&) = delete;
+  SmallCallback& operator=(const SmallCallback&) = delete;
+  ~SmallCallback() { reset(); }
+
+  /// Destroy the held callable (and free its heap storage, if any).
+  void reset() {
+    if (ops_) {
+      ops_->destroy(storage_);
+      ops_ = nullptr;
+    }
+  }
+
+  explicit operator bool() const { return ops_ != nullptr; }
+
+  /// Invoke. Precondition: holds a callable (like std::function, calling an
+  /// empty SmallCallback is undefined; the scheduler never does).
+  void operator()() { ops_->invoke(storage_); }
+
+ private:
+  struct Ops {
+    void (*invoke)(void* storage);
+    void (*move)(void* dst, void* src);  // relocate; src left destroyed
+    void (*destroy)(void* storage);
+  };
+
+  template <typename Fn>
+  static constexpr bool fits_inline() {
+    return sizeof(Fn) <= kInlineCapacity &&
+           alignof(Fn) <= alignof(std::max_align_t) &&
+           std::is_nothrow_move_constructible_v<Fn>;
+  }
+
+  // launder: an object placement-newed into a char buffer is not
+  // pointer-interconvertible with it, so every access goes through these.
+  template <typename Fn>
+  static Fn* inline_ptr(void* s) {
+    return std::launder(reinterpret_cast<Fn*>(s));
+  }
+
+  template <typename Fn>
+  static const Ops* inline_ops() {
+    static constexpr Ops ops = {
+        [](void* s) { (*inline_ptr<Fn>(s))(); },
+        [](void* dst, void* src) {
+          Fn* from = inline_ptr<Fn>(src);
+          ::new (dst) Fn(std::move(*from));
+          from->~Fn();
+        },
+        [](void* s) { inline_ptr<Fn>(s)->~Fn(); },
+    };
+    return &ops;
+  }
+
+  template <typename Fn>
+  static Fn* heap_ptr(void* s) {
+    return *std::launder(reinterpret_cast<Fn**>(s));  // see inline_ptr
+  }
+
+  template <typename Fn>
+  static const Ops* heap_ops() {
+    static constexpr Ops ops = {
+        [](void* s) { (*heap_ptr<Fn>(s))(); },
+        [](void* dst, void* src) {
+          ::new (dst) Fn*(heap_ptr<Fn>(src));
+        },
+        [](void* s) { delete heap_ptr<Fn>(s); },
+    };
+    return &ops;
+  }
+
+  void move_from(SmallCallback& other) {
+    ops_ = other.ops_;
+    if (ops_) {
+      ops_->move(storage_, other.storage_);
+      other.ops_ = nullptr;
+    }
+  }
+
+  alignas(std::max_align_t) unsigned char storage_[kInlineCapacity];
+  const Ops* ops_ = nullptr;
+};
+
+}  // namespace qoesim

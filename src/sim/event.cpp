@@ -1,40 +1,207 @@
 #include "sim/event.hpp"
 
+#include <algorithm>
 #include <stdexcept>
+#include <utility>
 
 namespace qoesim {
+
+namespace {
+
+// Process-wide aggregate, folded in by ~Scheduler. Sweeps destroy one
+// Scheduler per cell from worker threads, hence the atomics.
+struct GlobalStats {
+  std::atomic<std::uint64_t> scheduled{0};
+  std::atomic<std::uint64_t> fired{0};
+  std::atomic<std::uint64_t> cancelled{0};
+  std::atomic<std::uint64_t> rescheduled{0};
+  std::atomic<std::uint64_t> peak_queue_depth{0};
+};
+
+GlobalStats& global() {
+  static GlobalStats stats;
+  return stats;
+}
+
+}  // namespace
+
+Scheduler::~Scheduler() {
+  GlobalStats& g = global();
+  g.scheduled.fetch_add(stats_.scheduled, std::memory_order_relaxed);
+  g.fired.fetch_add(stats_.fired, std::memory_order_relaxed);
+  g.cancelled.fetch_add(stats_.cancelled, std::memory_order_relaxed);
+  g.rescheduled.fetch_add(stats_.rescheduled, std::memory_order_relaxed);
+  std::uint64_t peak = g.peak_queue_depth.load(std::memory_order_relaxed);
+  while (peak < stats_.peak_queue_depth &&
+         !g.peak_queue_depth.compare_exchange_weak(
+             peak, stats_.peak_queue_depth, std::memory_order_relaxed)) {
+  }
+}
+
+Scheduler::Stats Scheduler::global_stats() {
+  const GlobalStats& g = global();
+  Stats s;
+  s.scheduled = g.scheduled.load(std::memory_order_relaxed);
+  s.fired = g.fired.load(std::memory_order_relaxed);
+  s.cancelled = g.cancelled.load(std::memory_order_relaxed);
+  s.rescheduled = g.rescheduled.load(std::memory_order_relaxed);
+  s.peak_queue_depth = g.peak_queue_depth.load(std::memory_order_relaxed);
+  return s;
+}
+
+std::uint32_t Scheduler::acquire_slot() {
+  if (free_head_ != kNilIndex) {
+    const std::uint32_t slot = free_head_;
+    free_head_ = slots_[slot].next_free;
+    slots_[slot].next_free = kNilIndex;
+    return slot;
+  }
+  if (slots_.size() > kSlotMask) {
+    throw std::length_error(
+        "Scheduler: more than 2^24 simultaneously pending events");
+  }
+  slots_.emplace_back();
+  return static_cast<std::uint32_t>(slots_.size() - 1);
+}
+
+std::uint64_t Scheduler::next_seq() {
+  if (next_seq_ >> (64 - kSlotBits)) {
+    throw std::overflow_error("Scheduler: event sequence space exhausted");
+  }
+  return next_seq_++;
+}
+
+void Scheduler::release_slot(std::uint32_t slot) {
+  Slot& s = slots_[slot];
+  ++s.generation;  // invalidates all outstanding handles to this event
+  s.heap_index = kNilIndex;
+  s.next_free = free_head_;
+  free_head_ = slot;
+  // Destroy the callback last, through a local and with no reference into
+  // the arena held: dropping captures (weak_ptrs, RAII objects, ...) runs
+  // arbitrary destructors that may reenter the scheduler and reallocate
+  // slots_. The slot bookkeeping above is already consistent, so a
+  // reentrant schedule_at may even recycle this very slot safely.
+  Callback doomed = std::move(slots_[slot].cb);
+  static_cast<void>(doomed);
+}
+
+void Scheduler::heap_push(HeapEntry entry) {
+  heap_.push_back(entry);
+  slots_[entry.slot()].heap_index =
+      static_cast<std::uint32_t>(heap_.size() - 1);
+  heap_sift_up(heap_.size() - 1);
+  if (heap_.size() > stats_.peak_queue_depth)
+    stats_.peak_queue_depth = heap_.size();
+}
+
+void Scheduler::heap_remove(std::size_t pos) {
+  const HeapEntry last = heap_.back();
+  heap_.pop_back();
+  if (pos == heap_.size()) return;  // removed the tail
+  heap_place(pos, last);
+  // The replacement may be out of order in either direction.
+  if (pos > 0 && heap_less(last, heap_[(pos - 1) / 4])) {
+    heap_sift_up(pos);
+  } else {
+    heap_sift_down(pos);
+  }
+}
+
+void Scheduler::heap_sift_up(std::size_t pos) {
+  const HeapEntry entry = heap_[pos];
+  while (pos > 0) {
+    const std::size_t parent = (pos - 1) / 4;
+    if (!heap_less(entry, heap_[parent])) break;
+    heap_place(pos, heap_[parent]);
+    pos = parent;
+  }
+  heap_place(pos, entry);
+}
+
+void Scheduler::heap_sift_down(std::size_t pos) {
+  const HeapEntry entry = heap_[pos];
+  const std::size_t size = heap_.size();
+  for (;;) {
+    const std::size_t first_child = pos * 4 + 1;
+    if (first_child >= size) break;
+    const std::size_t end_child = std::min(first_child + 4, size);
+    std::size_t best = first_child;
+    for (std::size_t c = first_child + 1; c < end_child; ++c) {
+      if (heap_less(heap_[c], heap_[best])) best = c;
+    }
+    if (!heap_less(heap_[best], entry)) break;
+    heap_place(pos, heap_[best]);
+    pos = best;
+  }
+  heap_place(pos, entry);
+}
 
 EventHandle Scheduler::schedule_at(Time when, Callback cb) {
   if (when < now_) {
     throw std::invalid_argument("Scheduler::schedule_at: time in the past");
   }
-  auto state = std::make_shared<EventHandle::State>();
-  queue_.push(Entry{when, next_seq_++, std::move(cb), state});
-  return EventHandle{std::move(state)};
+  // Everything that can throw happens before the slot is acquired, so a
+  // failure never orphans a slot holding the moved-in callback: the
+  // sequence check first, then any heap growth (geometric, so push_back
+  // below never reallocates).
+  const std::uint64_t seq = next_seq();
+  if (heap_.size() == heap_.capacity()) {
+    heap_.reserve(heap_.capacity() == 0 ? 64 : heap_.capacity() * 2);
+  }
+  const std::uint32_t slot = acquire_slot();
+  slots_[slot].cb = std::move(cb);
+  heap_push(HeapEntry{when, seq << kSlotBits | slot});
+  ++stats_.scheduled;
+  return EventHandle{this, slot, slots_[slot].generation};
+}
+
+void Scheduler::handle_cancel(std::uint32_t slot, std::uint64_t generation) {
+  if (!handle_pending(slot, generation)) return;  // fired or already cancelled
+  heap_remove(slots_[slot].heap_index);
+  release_slot(slot);
+  ++stats_.cancelled;
+}
+
+bool Scheduler::handle_reschedule(std::uint32_t slot, std::uint64_t generation,
+                                  Time when) {
+  if (!handle_pending(slot, generation)) return false;
+  // Take the sequence first: if it throws, the entry's key is untouched
+  // and the heap invariant still holds.
+  const std::uint64_t seq = next_seq();
+  const std::size_t pos = slots_[slot].heap_index;
+  HeapEntry& entry = heap_[pos];
+  entry.when = when < now_ ? now_ : when;  // past deadlines clamp to now
+  // FIFO-wise, a rescheduled event behaves as if freshly scheduled.
+  entry.seq_slot = seq << kSlotBits | slot;
+  if (pos > 0 && heap_less(entry, heap_[(pos - 1) / 4])) {
+    heap_sift_up(pos);
+  } else {
+    heap_sift_down(pos);
+  }
+  ++stats_.rescheduled;
+  return true;
 }
 
 bool Scheduler::step() {
-  while (!queue_.empty()) {
-    // priority_queue::top() is const; we need to move the callback out.
-    Entry entry = std::move(const_cast<Entry&>(queue_.top()));
-    queue_.pop();
-    if (entry.state->done) continue;  // cancelled
-    entry.state->done = true;
-    now_ = entry.when;
-    ++fired_;
-    entry.cb();
-    return true;
-  }
-  return false;
+  if (heap_.empty()) return false;
+  const HeapEntry head = heap_[0];
+  heap_remove(0);
+  now_ = head.when;
+  // Move the callback out before invoking: the callback may schedule new
+  // events, which can grow (reallocate) the slot arena. Releasing the slot
+  // first also makes the event non-pending during its own execution and
+  // lets the firing callback's slot be recycled immediately.
+  const std::uint32_t slot = head.slot();
+  Callback cb = std::move(slots_[slot].cb);
+  release_slot(slot);
+  ++stats_.fired;
+  cb();
+  return true;
 }
 
 void Scheduler::run_until(Time until) {
-  for (;;) {
-    // Purge cancelled entries so the head timestamp is a live event.
-    while (!queue_.empty() && queue_.top().state->done) queue_.pop();
-    if (queue_.empty() || queue_.top().when > until) break;
-    step();
-  }
+  while (!heap_.empty() && heap_[0].when <= until) step();
   if (now_ < until) now_ = until;
 }
 

@@ -1,52 +1,86 @@
 // qoesim -- discrete-event scheduler.
 //
-// The Scheduler owns a priority queue of timestamped callbacks. Events that
-// share a timestamp fire in scheduling order (FIFO), which keeps simulations
-// deterministic. Events can be cancelled or rescheduled through EventHandle,
-// which is how protocol timers (TCP RTO, playout deadlines, ...) are built.
+// The Scheduler owns a slab-allocated arena of pending events driving an
+// indexed 4-ary min-heap. Slots are recycled through a free list, so the
+// steady-state schedule/fire/cancel cycle performs no heap allocation
+// (callbacks with captures up to SmallCallback::kInlineCapacity bytes are
+// stored inline; see sim/callback.hpp). Events that share a timestamp fire
+// in scheduling order (FIFO, via a monotonic sequence number), which keeps
+// simulations deterministic. Events can be cancelled or rescheduled through
+// EventHandle, which is how protocol timers (TCP RTO, playout deadlines,
+// ...) are built; cancellation removes the entry from the heap immediately
+// instead of leaving a tombstone to purge later.
+//
+// EventHandle is a cheap {slot, generation} reference into the arena:
+// copies share liveness (cancelling through one copy is visible to all),
+// and a handle whose event has fired or been cancelled is inert (pending()
+// is false, cancel()/reschedule() are no-ops). Handles must not be used
+// after their Scheduler has been destroyed.
 #pragma once
 
+#include <atomic>
+#include <cstddef>
 #include <cstdint>
-#include <functional>
-#include <memory>
-#include <queue>
 #include <vector>
 
+#include "sim/callback.hpp"
 #include "sim/time.hpp"
 
 namespace qoesim {
 
-/// Handle to a scheduled event; allows cancellation. Handles are cheap to
-/// copy (shared state) and safe to destroy before or after the event fires.
+class Scheduler;
+
+/// Handle to a scheduled event; allows cancellation and rescheduling.
+/// Cheap to copy (24 bytes, no ownership); safe to destroy before or after
+/// the event fires.
 class EventHandle {
  public:
   EventHandle() = default;
 
   /// True if the event is still pending (not fired, not cancelled).
-  bool pending() const { return state_ && !state_->done; }
+  bool pending() const;
 
-  /// Cancel the event if still pending. Idempotent.
-  void cancel() {
-    if (state_) state_->done = true;
-  }
+  /// Cancel the event if still pending (removes it from the queue and
+  /// destroys its callback immediately). Idempotent.
+  void cancel();
+
+  /// Move a still-pending event to fire at `when` instead, keeping its
+  /// callback. Times in the past clamp to now(). The moved event behaves
+  /// as if freshly scheduled at `when` for FIFO tie-breaking. Returns
+  /// false (and does nothing) if the event already fired or was
+  /// cancelled -- the caller must schedule a new event in that case.
+  bool reschedule(Time when);
 
  private:
   friend class Scheduler;
-  struct State {
-    bool done = false;
-  };
-  explicit EventHandle(std::shared_ptr<State> s) : state_(std::move(s)) {}
-  std::shared_ptr<State> state_;
+  EventHandle(Scheduler* sched, std::uint32_t slot, std::uint64_t generation)
+      : sched_(sched), slot_(slot), generation_(generation) {}
+
+  Scheduler* sched_ = nullptr;
+  std::uint32_t slot_ = 0;
+  std::uint64_t generation_ = 0;
 };
 
 /// Deterministic discrete-event scheduler.
 class Scheduler {
  public:
-  using Callback = std::function<void()>;
+  using Callback = SmallCallback;
+
+  /// Lifetime counters, kept per scheduler and folded into a process-wide
+  /// aggregate on destruction (see global_stats()) so benches can report
+  /// events/sec across the many short-lived Simulations of a sweep.
+  struct Stats {
+    std::uint64_t scheduled = 0;    ///< schedule_at/schedule_in calls
+    std::uint64_t fired = 0;        ///< callbacks invoked
+    std::uint64_t cancelled = 0;    ///< pending events removed via cancel()
+    std::uint64_t rescheduled = 0;  ///< EventHandle::reschedule fast paths
+    std::uint64_t peak_queue_depth = 0;  ///< max simultaneous pending events
+  };
 
   Scheduler() = default;
   Scheduler(const Scheduler&) = delete;
   Scheduler& operator=(const Scheduler&) = delete;
+  ~Scheduler();
 
   /// Current simulated time.
   Time now() const { return now_; }
@@ -70,30 +104,103 @@ class Scheduler {
   /// Fire at most one event; returns false when the queue is empty.
   bool step();
 
-  /// Number of events waiting (including cancelled ones not yet popped).
-  std::size_t pending_events() const { return queue_.size(); }
+  /// Number of live pending events. Cancelled events are removed from the
+  /// queue eagerly, so they are never counted (unlike the old tombstone
+  /// implementation, which reported them until they were popped).
+  std::size_t pending_events() const { return heap_.size(); }
 
   /// Total number of events fired so far (for perf accounting).
-  std::uint64_t fired_events() const { return fired_; }
+  std::uint64_t fired_events() const { return stats_.fired; }
+
+  /// Lifetime counters for this scheduler instance.
+  const Stats& stats() const { return stats_; }
+
+  /// Process-wide aggregate of the Stats of every Scheduler destroyed so
+  /// far (peak_queue_depth aggregates as a max, the rest as sums). Sums of
+  /// per-cell counters are independent of sweep thread count / completion
+  /// order, so the snapshot is deterministic for a fixed seed.
+  static Stats global_stats();
 
  private:
-  struct Entry {
+  friend class EventHandle;
+
+  static constexpr std::uint32_t kNilIndex = 0xffffffffu;
+
+  // The (when, seq) sort key lives in the heap entry, not the slot, so
+  // sift comparisons stay within the contiguous heap array instead of
+  // chasing pointers into the arena. seq and slot share one word (40-bit
+  // monotonic sequence, 24-bit slot id), keeping entries at 16 bytes so a
+  // 4-ary node's children span a single cache line. Both widths have
+  // explicit overflow guards in the .cpp (2^40 events per scheduler, 2^24
+  // simultaneously pending events).
+  static constexpr unsigned kSlotBits = 24;
+  static constexpr std::uint64_t kSlotMask = (1ull << kSlotBits) - 1;
+  struct HeapEntry {
     Time when;
-    std::uint64_t seq;  // tiebreaker: FIFO among equal timestamps
-    Callback cb;
-    std::shared_ptr<EventHandle::State> state;
-  };
-  struct Later {
-    bool operator()(const Entry& a, const Entry& b) const {
-      if (a.when != b.when) return a.when > b.when;
-      return a.seq > b.seq;
+    std::uint64_t seq_slot;  // (seq << kSlotBits) | slot
+    std::uint32_t slot() const {
+      return static_cast<std::uint32_t>(seq_slot & kSlotMask);
     }
   };
 
+  // The generation is 64-bit so it can never wrap within the 2^40-event
+  // sequence budget: a stale handle stays inert for the scheduler's whole
+  // lifetime (no ABA on recycled slots). It widens Slot into existing
+  // padding, so the arena layout is unchanged.
+  struct Slot {
+    std::uint64_t generation = 0;
+    std::uint32_t heap_index = kNilIndex;
+    std::uint32_t next_free = kNilIndex;
+    Callback cb;
+  };
+
+  bool handle_pending(std::uint32_t slot, std::uint64_t generation) const {
+    return slot < slots_.size() && slots_[slot].generation == generation;
+  }
+  void handle_cancel(std::uint32_t slot, std::uint64_t generation);
+  bool handle_reschedule(std::uint32_t slot, std::uint64_t generation,
+                         Time when);
+
+  std::uint32_t acquire_slot();
+  void release_slot(std::uint32_t slot);
+  std::uint64_t next_seq();
+
+  // Indexed 4-ary min-heap keyed by (when, seq). Comparing the combined
+  // seq_slot word is equivalent to comparing seq: among equal timestamps
+  // the (strictly monotonic) sequence occupies the high bits and two
+  // entries never share one.
+  static bool heap_less(const HeapEntry& a, const HeapEntry& b) {
+    if (a.when != b.when) return a.when < b.when;
+    return a.seq_slot < b.seq_slot;
+  }
+  void heap_place(std::size_t pos, const HeapEntry& entry) {
+    heap_[pos] = entry;
+    slots_[entry.slot()].heap_index = static_cast<std::uint32_t>(pos);
+  }
+  void heap_push(HeapEntry entry);
+  void heap_remove(std::size_t pos);
+  void heap_sift_up(std::size_t pos);
+  void heap_sift_down(std::size_t pos);
+
   Time now_;
   std::uint64_t next_seq_ = 0;
-  std::uint64_t fired_ = 0;
-  std::priority_queue<Entry, std::vector<Entry>, Later> queue_;
+  Stats stats_;
+  std::vector<Slot> slots_;
+  std::vector<HeapEntry> heap_;
+  std::uint32_t free_head_ = kNilIndex;
 };
+
+inline bool EventHandle::pending() const {
+  return sched_ != nullptr && sched_->handle_pending(slot_, generation_);
+}
+
+inline void EventHandle::cancel() {
+  if (sched_ != nullptr) sched_->handle_cancel(slot_, generation_);
+}
+
+inline bool EventHandle::reschedule(Time when) {
+  return sched_ != nullptr &&
+         sched_->handle_reschedule(slot_, generation_, when);
+}
 
 }  // namespace qoesim

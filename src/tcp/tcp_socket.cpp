@@ -668,11 +668,16 @@ void TcpSocket::deliver_in_order() {
 }
 
 void TcpSocket::arm_rto() {
-  cancel_rto();
-  auto weak = weak_from_this();
-  rto_timer_ = sim_.after(rtt_.rto(), [weak] {
-    if (auto self = weak.lock()) self->on_rto();
-  });
+  // Re-arming a pending timer moves it in place (scheduler fast path, no
+  // slot churn); the callback is only rebuilt when the timer has fired or
+  // was cancelled.
+  const Time deadline = sim_.now() + rtt_.rto();
+  if (!rto_timer_.reschedule(deadline)) {
+    auto weak = weak_from_this();
+    rto_timer_ = sim_.at(deadline, [weak] {
+      if (auto self = weak.lock()) self->on_rto();
+    });
+  }
   arm_tlp();
 }
 
@@ -682,17 +687,25 @@ void TcpSocket::cancel_rto() {
 }
 
 void TcpSocket::arm_tlp() {
-  tlp_timer_.cancel();
-  if (!config_.enable_tlp || !tlp_allowed_ || !rtt_.has_samples()) return;
-  if (state_ != State::kEstablished && state_ != State::kFinWait) return;
+  if (!config_.enable_tlp || !tlp_allowed_ || !rtt_.has_samples() ||
+      (state_ != State::kEstablished && state_ != State::kFinWait)) {
+    tlp_timer_.cancel();
+    return;
+  }
   // PTO = 2 * sRTT, kept comfortably below the RTO so the probe fires
   // first; skip if the RTO would win anyway.
   const Time pto = std::max(rtt_.srtt() * 2.0, Time::milliseconds(10));
-  if (pto >= rtt_.rto()) return;
-  auto weak = weak_from_this();
-  tlp_timer_ = sim_.after(pto, [weak] {
-    if (auto self = weak.lock()) self->on_tlp();
-  });
+  if (pto >= rtt_.rto()) {
+    tlp_timer_.cancel();
+    return;
+  }
+  const Time deadline = sim_.now() + pto;
+  if (!tlp_timer_.reschedule(deadline)) {
+    auto weak = weak_from_this();
+    tlp_timer_ = sim_.at(deadline, [weak] {
+      if (auto self = weak.lock()) self->on_tlp();
+    });
+  }
 }
 
 void TcpSocket::on_tlp() {

@@ -1,0 +1,89 @@
+// Determinism regression tests: one representative heatmap cell per
+// application (VoIP, video, web), run twice at a fixed seed, must produce
+// bit-identical QoE metrics. Guards the scheduler's FIFO-among-equal-
+// timestamps contract end-to-end -- any hidden ordering dependence (hash
+// ordering, pointer comparisons, uninitialized reads) shows up here as a
+// flaky mismatch.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "apps/video_codec.hpp"
+#include "core/experiment.hpp"
+#include "core/scenario.hpp"
+#include "core/sweep.hpp"
+#include "stats/summary.hpp"
+
+namespace qoesim::core {
+namespace {
+
+// The paper's bufferbloat cell: access link, few long upstream flows,
+// moderately oversized buffer.
+ScenarioConfig bufferbloat_cell() {
+  ScenarioConfig cfg;
+  cfg.testbed = TestbedType::kAccess;
+  cfg.workload = WorkloadType::kLongFew;
+  cfg.direction = CongestionDirection::kUpstream;
+  cfg.buffer_packets = 64;
+  cfg.tcp_cc = default_cc(TestbedType::kAccess);
+  cfg.seed = cell_seed(7, cfg.workload, cfg.buffer_packets);
+  return cfg;
+}
+
+// Small probe budget so each cell stays test-sized; determinism does not
+// depend on the budget.
+ProbeBudget tiny_budget() {
+  ProbeBudget b;
+  b.voip_calls = 1;
+  b.video_reps = 1;
+  b.web_loads = 2;
+  b.warmup = Time::seconds(5);
+  b.qos_duration = Time::seconds(5);
+  b.probe_gap = Time::milliseconds(500);
+  b.web_timeout = Time::seconds(30);
+  return b;
+}
+
+void expect_identical(const stats::Samples& a, const stats::Samples& b,
+                      const char* label) {
+  EXPECT_EQ(a.values(), b.values()) << label;
+}
+
+TEST(Determinism, VoipCellIsBitIdenticalAcrossRuns) {
+  const ExperimentRunner runner(tiny_budget());
+  const auto cfg = bufferbloat_cell();
+  const VoipCell a = runner.run_voip(cfg, /*bidirectional=*/true);
+  const VoipCell b = runner.run_voip(cfg, /*bidirectional=*/true);
+  expect_identical(a.mos_talks, b.mos_talks, "mos_talks");
+  expect_identical(a.mos_listens, b.mos_listens, "mos_listens");
+  expect_identical(a.loss_talks, b.loss_talks, "loss_talks");
+  expect_identical(a.loss_listens, b.loss_listens, "loss_listens");
+  expect_identical(a.delay_talks_ms, b.delay_talks_ms, "delay_talks_ms");
+  expect_identical(a.delay_listens_ms, b.delay_listens_ms,
+                   "delay_listens_ms");
+}
+
+TEST(Determinism, VideoCellIsBitIdenticalAcrossRuns) {
+  const ExperimentRunner runner(tiny_budget());
+  const auto cfg = bufferbloat_cell();
+  const auto codec = apps::VideoCodecConfig::sd();
+  const VideoCell a = runner.run_video(cfg, codec);
+  const VideoCell b = runner.run_video(cfg, codec);
+  expect_identical(a.ssim, b.ssim, "ssim");
+  expect_identical(a.mos, b.mos, "mos");
+  expect_identical(a.packet_loss, b.packet_loss, "packet_loss");
+}
+
+TEST(Determinism, WebCellIsBitIdenticalAcrossRuns) {
+  const ExperimentRunner runner(tiny_budget());
+  const auto cfg = bufferbloat_cell();
+  const WebCell a = runner.run_web(cfg);
+  const WebCell b = runner.run_web(cfg);
+  expect_identical(a.plt_s, b.plt_s, "plt_s");
+  expect_identical(a.mos, b.mos, "mos");
+  expect_identical(a.retransmits, b.retransmits, "retransmits");
+  EXPECT_EQ(a.timeouts, b.timeouts);
+}
+
+}  // namespace
+}  // namespace qoesim::core

@@ -5,6 +5,7 @@
 
 #include "sim/simulation.hpp"
 
+#include <memory>
 #include <vector>
 
 namespace qoesim {
@@ -122,6 +123,168 @@ TEST(Scheduler, StepReturnsFalseWhenEmpty) {
   sched.schedule_at(Time::seconds(1), [] {});
   EXPECT_TRUE(sched.step());
   EXPECT_FALSE(sched.step());
+}
+
+TEST(Scheduler, PendingEventsExcludesCancelled) {
+  // Cancellation removes the entry from the queue eagerly, so a cancelled
+  // event is never reported (the old tombstone implementation counted it
+  // until the queue happened to pop it).
+  Scheduler sched;
+  auto a = sched.schedule_at(Time::seconds(1), [] {});
+  auto b = sched.schedule_at(Time::seconds(2), [] {});
+  auto c = sched.schedule_at(Time::seconds(3), [] {});
+  EXPECT_EQ(sched.pending_events(), 3u);
+  b.cancel();
+  EXPECT_EQ(sched.pending_events(), 2u);
+  a.cancel();  // cancel at head
+  EXPECT_EQ(sched.pending_events(), 1u);
+  a.cancel();  // idempotent: no double-count
+  EXPECT_EQ(sched.pending_events(), 1u);
+  sched.run();
+  EXPECT_EQ(sched.pending_events(), 0u);
+  EXPECT_EQ(sched.fired_events(), 1u);
+  EXPECT_TRUE(c.pending() == false);
+}
+
+TEST(Scheduler, FiringEventSchedulingAtSameTimestampPreservesFifo) {
+  // A fires at t=1 and schedules B also at t=1. C was scheduled (after A,
+  // before B existed) at t=1, so the FIFO order among equals is A, C, B.
+  Scheduler sched;
+  std::vector<char> order;
+  sched.schedule_at(Time::seconds(1), [&] {
+    order.push_back('A');
+    sched.schedule_at(Time::seconds(1), [&] { order.push_back('B'); });
+  });
+  sched.schedule_at(Time::seconds(1), [&] { order.push_back('C'); });
+  sched.run();
+  EXPECT_EQ(order, (std::vector<char>{'A', 'C', 'B'}));
+  EXPECT_EQ(sched.now(), Time::seconds(1));
+}
+
+TEST(Scheduler, RescheduleMovesPendingEvent) {
+  Scheduler sched;
+  std::vector<int> order;
+  auto moved = sched.schedule_at(Time::seconds(1), [&] { order.push_back(1); });
+  sched.schedule_at(Time::seconds(2), [&] { order.push_back(2); });
+  EXPECT_TRUE(moved.reschedule(Time::seconds(3)));  // move later
+  EXPECT_TRUE(moved.pending());
+  sched.run();
+  EXPECT_EQ(order, (std::vector<int>{2, 1}));
+  EXPECT_EQ(sched.now(), Time::seconds(3));
+}
+
+TEST(Scheduler, RescheduleEarlierAndToPastClamp) {
+  Scheduler sched;
+  std::vector<int> order;
+  sched.schedule_at(Time::seconds(1), [&] { order.push_back(1); });
+  auto h = sched.schedule_at(Time::seconds(5), [&] { order.push_back(5); });
+  EXPECT_TRUE(h.reschedule(Time::milliseconds(500)));  // move to the head
+  sched.step();
+  EXPECT_EQ(order, (std::vector<int>{5}));
+  EXPECT_EQ(sched.now(), Time::milliseconds(500));
+  // Rescheduling into the past clamps to now() instead of throwing.
+  auto past = sched.schedule_at(Time::seconds(9), [&] { order.push_back(9); });
+  EXPECT_TRUE(past.reschedule(Time::zero()));
+  sched.step();
+  EXPECT_EQ(order, (std::vector<int>{5, 9}));
+  EXPECT_EQ(sched.now(), Time::milliseconds(500));  // clamped, no time travel
+}
+
+TEST(Scheduler, RescheduleBehavesAsFreshlyScheduledForFifo) {
+  // Rescheduling onto an occupied timestamp queues BEHIND the events
+  // already there, exactly as if the event had been cancelled and
+  // re-scheduled.
+  Scheduler sched;
+  std::vector<char> order;
+  auto a = sched.schedule_at(Time::seconds(1), [&] { order.push_back('a'); });
+  sched.schedule_at(Time::seconds(2), [&] { order.push_back('b'); });
+  EXPECT_TRUE(a.reschedule(Time::seconds(2)));
+  sched.run();
+  EXPECT_EQ(order, (std::vector<char>{'b', 'a'}));
+}
+
+TEST(Scheduler, RescheduleAfterFireOrCancelReturnsFalse) {
+  Scheduler sched;
+  int count = 0;
+  auto fired = sched.schedule_at(Time::seconds(1), [&] { ++count; });
+  sched.run();
+  EXPECT_FALSE(fired.reschedule(Time::seconds(2)));  // already fired
+  EXPECT_EQ(sched.pending_events(), 0u);
+
+  auto cancelled = sched.schedule_at(Time::seconds(2), [&] { ++count; });
+  cancelled.cancel();
+  EXPECT_FALSE(cancelled.reschedule(Time::seconds(3)));
+  EXPECT_EQ(sched.pending_events(), 0u);
+  sched.run();
+  EXPECT_EQ(count, 1);
+  EXPECT_FALSE(EventHandle{}.reschedule(Time::seconds(1)));  // default handle
+}
+
+TEST(Scheduler, HandleCopiesShareLiveness) {
+  Scheduler sched;
+  bool fired = false;
+  auto a = sched.schedule_at(Time::seconds(1), [&] { fired = true; });
+  EventHandle b = a;
+  b.cancel();
+  EXPECT_FALSE(a.pending());
+  EXPECT_FALSE(b.pending());
+  sched.run();
+  EXPECT_FALSE(fired);
+}
+
+TEST(Scheduler, StaleHandleDoesNotAffectRecycledSlot) {
+  // After an event fires, its arena slot is recycled for new events; the
+  // old handle's generation no longer matches, so cancelling it must not
+  // touch the slot's new occupant.
+  Scheduler sched;
+  int fired = 0;
+  auto old_handle = sched.schedule_at(Time::seconds(1), [&] { ++fired; });
+  sched.run();
+  EXPECT_EQ(fired, 1);
+  auto fresh = sched.schedule_at(Time::seconds(2), [&] { ++fired; });
+  old_handle.cancel();  // stale: must be a no-op
+  EXPECT_TRUE(fresh.pending());
+  EXPECT_FALSE(old_handle.reschedule(Time::seconds(9)));
+  sched.run();
+  EXPECT_EQ(fired, 2);
+}
+
+TEST(Scheduler, LargeCapturesFallBackToHeapStorage) {
+  // Captures beyond SmallCallback::kInlineCapacity take the heap path;
+  // behavior (and destruction of the capture) must be identical.
+  Scheduler sched;
+  struct Big {
+    char payload[96];
+    std::shared_ptr<int> witness;
+  };
+  auto witness = std::make_shared<int>(0);
+  Big big{{}, witness};
+  big.payload[0] = 42;
+  sched.schedule_at(Time::seconds(1), [big] { ++*big.witness; });
+  auto cancelled = sched.schedule_at(Time::seconds(2), [big] { ++*big.witness; });
+  EXPECT_EQ(witness.use_count(), 4);  // witness + big + two scheduled copies
+  cancelled.cancel();
+  EXPECT_EQ(witness.use_count(), 3);  // cancel destroys the capture eagerly
+  sched.run();
+  EXPECT_EQ(*witness, 1);
+  EXPECT_EQ(witness.use_count(), 2);  // only witness + big remain
+}
+
+TEST(Scheduler, StatsCountersTrackOperations) {
+  Scheduler sched;
+  auto a = sched.schedule_at(Time::seconds(1), [] {});
+  auto b = sched.schedule_at(Time::seconds(2), [] {});
+  sched.schedule_at(Time::seconds(3), [] {});
+  a.reschedule(Time::seconds(4));
+  b.cancel();
+  sched.run();
+  const Scheduler::Stats& s = sched.stats();
+  EXPECT_EQ(s.scheduled, 3u);
+  EXPECT_EQ(s.rescheduled, 1u);
+  EXPECT_EQ(s.cancelled, 1u);
+  EXPECT_EQ(s.fired, 2u);
+  EXPECT_EQ(s.peak_queue_depth, 3u);
+  EXPECT_EQ(sched.fired_events(), s.fired);
 }
 
 TEST(Simulation, DerivedRngsDifferByLabel) {

@@ -1,0 +1,194 @@
+// Randomized model test for the arena scheduler: thousands of interleaved
+// schedule/cancel/reschedule/step operations are mirrored against a naive
+// sorted-vector reference implementation, asserting identical firing order
+// and timestamps. Exercises FIFO tie-breaks (timestamps are quantized so
+// collisions are common), cancel-at-head, reschedule-to-past clamping, and
+// slot/generation reuse (fired and cancelled slots recycle constantly).
+#include "sim/event.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <random>
+#include <unordered_map>
+#include <vector>
+
+namespace qoesim {
+namespace {
+
+// Naive reference: an unsorted vector of pending events; firing scans for
+// the (when, seq) minimum. Mirrors the documented Scheduler semantics
+// exactly, in the most obviously-correct way possible.
+class ReferenceScheduler {
+ public:
+  void schedule(std::int64_t when_ns, int id) {
+    pending_.push_back({when_ns, next_seq_++, id});
+  }
+
+  bool cancel(int id) {
+    const auto it = find(id);
+    if (it == pending_.end()) return false;
+    pending_.erase(it);
+    return true;
+  }
+
+  bool reschedule(int id, std::int64_t when_ns) {
+    const auto it = find(id);
+    if (it == pending_.end()) return false;
+    it->when_ns = std::max(when_ns, now_ns_);  // past deadlines clamp to now
+    it->seq = next_seq_++;  // FIFO-wise, behaves as if freshly scheduled
+    return true;
+  }
+
+  /// Fire the earliest event; returns its id, or -1 when empty.
+  int step() {
+    if (pending_.empty()) return -1;
+    auto min = pending_.begin();
+    for (auto it = pending_.begin() + 1; it != pending_.end(); ++it) {
+      if (it->when_ns < min->when_ns ||
+          (it->when_ns == min->when_ns && it->seq < min->seq)) {
+        min = it;
+      }
+    }
+    const int id = min->id;
+    now_ns_ = min->when_ns;
+    pending_.erase(min);
+    return id;
+  }
+
+  bool is_pending(int id) const {
+    return const_cast<ReferenceScheduler*>(this)->find(id) != pending_.end();
+  }
+  std::int64_t now_ns() const { return now_ns_; }
+  std::size_t size() const { return pending_.size(); }
+  int head_id() const {
+    std::size_t best = 0;
+    for (std::size_t i = 1; i < pending_.size(); ++i) {
+      const auto& a = pending_[i];
+      const auto& b = pending_[best];
+      if (a.when_ns < b.when_ns ||
+          (a.when_ns == b.when_ns && a.seq < b.seq)) {
+        best = i;
+      }
+    }
+    return pending_[best].id;
+  }
+  int random_id(std::mt19937_64& rng) const {
+    return pending_[rng() % pending_.size()].id;
+  }
+
+ private:
+  struct Event {
+    std::int64_t when_ns;
+    std::uint64_t seq;
+    int id;
+  };
+  std::vector<Event>::iterator find(int id) {
+    return std::find_if(pending_.begin(), pending_.end(),
+                        [id](const Event& e) { return e.id == id; });
+  }
+  std::int64_t now_ns_ = 0;
+  std::uint64_t next_seq_ = 0;
+  std::vector<Event> pending_;
+};
+
+// One randomized interleaving: ~ops operations against both schedulers,
+// with every firing and timestamp compared.
+void run_interleaving(std::uint64_t seed, int ops) {
+  std::mt19937_64 rng(seed);
+  Scheduler sched;
+  ReferenceScheduler ref;
+  std::unordered_map<int, EventHandle> handles;
+  std::vector<int> fired;      // firing order observed from Scheduler
+  std::vector<int> ref_fired;  // firing order predicted by the reference
+  int next_id = 0;
+
+  // Timestamps are quantized to a few hundred ns so distinct events collide
+  // on the same timestamp all the time, stressing the FIFO tie-break.
+  const auto random_delay_ns = [&] {
+    return static_cast<std::int64_t>(rng() % 8) * 100;
+  };
+
+  for (int op = 0; op < ops; ++op) {
+    switch (rng() % 8) {
+      case 0:
+      case 1:
+      case 2: {  // schedule a new event
+        const int id = next_id++;
+        const Time when =
+            Time::nanoseconds(ref.now_ns() + random_delay_ns());
+        handles[id] = sched.schedule_at(when, [&fired, id] {
+          fired.push_back(id);
+        });
+        ref.schedule(when.ns(), id);
+        break;
+      }
+      case 3: {  // cancel a random live event (sometimes the head)
+        if (ref.size() == 0) break;
+        const int id =
+            rng() % 4 == 0 ? ref.head_id() : ref.random_id(rng);
+        handles[id].cancel();
+        ASSERT_TRUE(ref.cancel(id));
+        ASSERT_FALSE(handles[id].pending());
+        break;
+      }
+      case 4: {  // reschedule a random live event (sometimes into the past)
+        if (ref.size() == 0) break;
+        const int id =
+            rng() % 4 == 0 ? ref.head_id() : ref.random_id(rng);
+        std::int64_t when_ns = ref.now_ns() + random_delay_ns();
+        if (rng() % 4 == 0) when_ns = ref.now_ns() - 500;  // clamps to now
+        ASSERT_TRUE(handles[id].reschedule(Time::nanoseconds(when_ns)));
+        ASSERT_TRUE(ref.reschedule(id, when_ns));
+        break;
+      }
+      case 5: {  // operations on dead handles are inert no-ops
+        if (next_id == 0) break;
+        const int id =
+            static_cast<int>(rng() % static_cast<std::uint64_t>(next_id));
+        if (ref.is_pending(id)) break;
+        EXPECT_FALSE(handles[id].pending());
+        EXPECT_FALSE(handles[id].reschedule(Time::seconds(1e6)));
+        handles[id].cancel();  // must not disturb anything
+        break;
+      }
+      default: {  // fire one event
+        const int expect = ref.step();
+        if (expect == -1) {
+          EXPECT_FALSE(sched.step());
+        } else {
+          ref_fired.push_back(expect);
+          ASSERT_TRUE(sched.step());
+          ASSERT_EQ(fired.size(), ref_fired.size());
+          ASSERT_EQ(fired.back(), expect) << "seed " << seed << " op " << op;
+          ASSERT_EQ(sched.now().ns(), ref.now_ns());
+        }
+        break;
+      }
+    }
+    ASSERT_EQ(sched.pending_events(), ref.size());
+  }
+
+  // Drain both completely and compare the tails.
+  for (int id = ref.step(); id != -1; id = ref.step()) ref_fired.push_back(id);
+  sched.run();
+  EXPECT_EQ(fired, ref_fired) << "seed " << seed;
+  EXPECT_EQ(sched.now().ns(), ref.now_ns()) << "seed " << seed;
+  EXPECT_EQ(sched.pending_events(), 0u);
+}
+
+TEST(SchedulerModel, MatchesReferenceAcross1200RandomInterleavings) {
+  for (std::uint64_t seed = 1; seed <= 1200; ++seed) {
+    run_interleaving(seed, 120);
+    if (::testing::Test::HasFatalFailure()) return;
+  }
+}
+
+TEST(SchedulerModel, LongInterleavingRecyclesSlots) {
+  // A single long run so slot generations wrap through many reuse cycles.
+  run_interleaving(/*seed=*/424242, /*ops=*/20000);
+}
+
+}  // namespace
+}  // namespace qoesim

@@ -13,6 +13,7 @@
 
 #include "core/experiment.hpp"
 #include "core/heatmap.hpp"
+#include "sim/event.hpp"
 #include "sim/random.hpp"
 
 namespace qoesim::core {
@@ -149,6 +150,49 @@ TEST(SweepRunner, ActuallyRunsConcurrently) {
     }
   });
   EXPECT_TRUE(saw_both.load()) << "cells never overlapped: pool ran serially";
+}
+
+// The scheduler counters a bench prints (sums of per-cell Stats, folded
+// into the process-wide aggregate when each cell's Scheduler is destroyed)
+// must not depend on how many workers ran the sweep.
+TEST(SweepRunner, SchedulerStatsAreThreadCountInvariant) {
+  auto run_cells = [](unsigned jobs) {
+    const Scheduler::Stats before = Scheduler::global_stats();
+    SweepRunner(jobs).for_each(24, [](std::size_t i) {
+      // Deterministic per-cell event workload: i+1 events, one cancel,
+      // one reschedule.
+      Scheduler sched;
+      for (std::size_t k = 0; k <= i; ++k) {
+        sched.schedule_at(Time::milliseconds(static_cast<double>(k)), [] {});
+      }
+      auto extra = sched.schedule_at(Time::seconds(2), [] {});
+      auto moved = sched.schedule_at(Time::seconds(3), [] {});
+      extra.cancel();
+      moved.reschedule(Time::seconds(1));
+      sched.run();
+    });
+    const Scheduler::Stats after = Scheduler::global_stats();
+    struct Delta {
+      std::uint64_t scheduled, fired, cancelled, rescheduled;
+    };
+    return Delta{after.scheduled - before.scheduled,
+                 after.fired - before.fired,
+                 after.cancelled - before.cancelled,
+                 after.rescheduled - before.rescheduled};
+  };
+
+  const auto serial = run_cells(1);
+  EXPECT_EQ(serial.scheduled, 24u * 2u + (24u * 25u) / 2u);
+  EXPECT_EQ(serial.cancelled, 24u);
+  EXPECT_EQ(serial.rescheduled, 24u);
+  EXPECT_EQ(serial.fired, serial.scheduled - serial.cancelled);
+  for (const unsigned jobs : {2u, 8u}) {
+    const auto parallel = run_cells(jobs);
+    EXPECT_EQ(parallel.scheduled, serial.scheduled) << "jobs " << jobs;
+    EXPECT_EQ(parallel.fired, serial.fired) << "jobs " << jobs;
+    EXPECT_EQ(parallel.cancelled, serial.cancelled) << "jobs " << jobs;
+    EXPECT_EQ(parallel.rescheduled, serial.rescheduled) << "jobs " << jobs;
+  }
 }
 
 // append_grid routed through a parallel runner must produce the exact
