@@ -1,8 +1,15 @@
 // google-benchmark microbenchmarks for the simulator substrate itself:
-// event scheduling, queue operations, and end-to-end TCP simulation
-// throughput (events/second), so performance regressions in the core are
-// visible independent of the figure benches.
+// event scheduling, queue operations, link forwarding, and end-to-end TCP
+// simulation throughput (events/second), so performance regressions in the
+// core are visible independent of the figure benches.
+//
+// `--quick` (used by CI as a forwarding smoke step) maps to a filter on the
+// forwarding/queue benchmarks with a short measurement time.
 #include <benchmark/benchmark.h>
+
+#include <cstring>
+#include <string>
+#include <vector>
 
 #include "net/drop_tail.hpp"
 #include "net/topology.hpp"
@@ -56,6 +63,38 @@ void BM_DropTailEnqueueDequeue(benchmark::State& state) {
   state.SetItemsProcessed(static_cast<int64_t>(ops));
 }
 BENCHMARK(BM_DropTailEnqueueDequeue);
+
+// Steady-state packet forwarding through one link: a fixed population of
+// packets recirculates (the sink re-offers every delivery), so the
+// transmitter never idles. This exercises the full per-packet-hop path
+// (dequeue, serialization event, propagation/delivery, re-enqueue). The
+// argument is the propagation delay in microseconds: at 1 Gbit/s a
+// 1500-byte packet serializes in 12 us, so 10 us keeps at most one packet
+// in flight on the wire while 1000 us keeps ~80 in flight.
+void BM_LinkForwarding(benchmark::State& state) {
+  const Time prop = Time::microseconds(static_cast<double>(state.range(0)));
+  std::uint64_t total_delivered = 0;
+  for (auto _ : state) {
+    Simulation sim;
+    net::Link link(sim, "fwd", 1e9, prop,
+                   std::make_unique<net::DropTailQueue>(64));
+    std::uint64_t delivered = 0;
+    link.set_sink([&](net::Packet&& p) {
+      ++delivered;
+      link.send(std::move(p));
+    });
+    for (int i = 0; i < 32; ++i) {
+      net::Packet p;
+      p.size_bytes = 1500;
+      link.send(std::move(p));
+    }
+    sim.run_until(Time::milliseconds(100));
+    benchmark::DoNotOptimize(delivered);
+    total_delivered += delivered;
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(total_delivered));
+}
+BENCHMARK(BM_LinkForwarding)->Arg(10)->Arg(1000);
 
 void BM_TcpBulkTransfer(benchmark::State& state) {
   const auto bytes = static_cast<std::uint64_t>(state.range(0));
@@ -121,4 +160,28 @@ BENCHMARK(BM_HarpoonScenarioSecond)->Unit(benchmark::kMillisecond);
 }  // namespace
 }  // namespace qoesim
 
-BENCHMARK_MAIN();
+// BENCHMARK_MAIN with a `--quick` alias so CI can run the forwarding and
+// queue benchmarks as a short smoke step without spelling gbench flags.
+int main(int argc, char** argv) {
+  std::vector<char*> args;
+  bool quick = false;
+  for (int i = 0; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--quick") == 0) {
+      quick = true;
+    } else {
+      args.push_back(argv[i]);
+    }
+  }
+  std::string filter = "--benchmark_filter=LinkForwarding|DropTail";
+  std::string min_time = "--benchmark_min_time=0.05";
+  if (quick) {
+    args.push_back(filter.data());
+    args.push_back(min_time.data());
+  }
+  int n = static_cast<int>(args.size());
+  benchmark::Initialize(&n, args.data());
+  if (benchmark::ReportUnrecognizedArguments(n, args.data())) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -18,7 +18,10 @@ bool CoDelQueue::do_enqueue(Packet&& p, Time /*now*/) {
 }
 
 Time CoDelQueue::control_law(Time t) const {
-  return t + params_.interval / std::sqrt(static_cast<double>(drop_count_));
+  // drop_count_ is >= 1 whenever the dropping state is active; the guard
+  // keeps a stray call at 0 from dividing by sqrt(0).
+  const double count = drop_count_ == 0 ? 1.0 : static_cast<double>(drop_count_);
+  return t + params_.interval / std::sqrt(count);
 }
 
 std::optional<Packet> CoDelQueue::pop_head(Time now, bool& ok_sojourn) {
@@ -77,16 +80,22 @@ std::optional<Packet> CoDelQueue::do_dequeue(Time now) {
     // Sojourn has been above target for a full interval: enter dropping
     // state, drop this packet, and deliver the next.
     count_drop(*p);
-    ++drop_count_;
     bool ok2 = true;
     p = pop_head(now, ok2);
     dropping_ = true;
-    // Restart drop count from recent history (hysteresis from the paper).
-    if (drop_count_ > last_drop_count_ + 2) {
-      drop_count_ = 2;
+    // RFC 8289 §4.3 hysteresis: on a quick re-entry (less than 16
+    // intervals since the last scheduled drop) resume from the drop rate
+    // in effect when the previous dropping state ended -- count picks up
+    // at the number of drops that state added (count - lastcount) --
+    // otherwise restart from 1.
+    const std::uint32_t delta = drop_count_ - last_drop_count_;
+    if (delta > 1 && now - drop_next_ < params_.interval * 16.0) {
+      drop_count_ = delta;
+    } else {
+      drop_count_ = 1;
     }
-    last_drop_count_ = drop_count_;
     drop_next_ = control_law(now);
+    last_drop_count_ = drop_count_;
     if (!p) {
       dropping_ = false;
       return std::nullopt;

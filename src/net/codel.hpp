@@ -1,9 +1,11 @@
 // qoesim -- CoDel (Controlled Delay) AQM, Nichols & Jacobson 2012.
 //
 // The paper cites CoDel as the AQM response to bufferbloat; this
-// implementation follows the ACM Queue pseudocode: drop head-of-line
+// implementation follows the RFC 8289 pseudocode: drop head-of-line
 // packets while sojourn time has exceeded `target` for at least `interval`,
-// with the drop spacing shrinking as interval/sqrt(drop_count).
+// with the drop spacing shrinking as interval/sqrt(drop_count). Re-entering
+// the dropping state within 16 intervals resumes from the previous drop
+// rate (§4.3 hysteresis) instead of restarting at one drop per interval.
 #pragma once
 
 #include <deque>
@@ -24,6 +26,10 @@ class CoDelQueue final : public QueueDiscipline {
   std::size_t packet_count() const override { return q_.size(); }
   std::size_t byte_count() const override { return bytes_; }
   std::string name() const override { return "CoDel"; }
+
+  /// Dropping-state introspection (tests, monitors).
+  bool dropping() const { return dropping_; }
+  std::uint32_t drop_count() const { return drop_count_; }
 
  protected:
   bool do_enqueue(Packet&& p, Time now) override;

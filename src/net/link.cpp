@@ -14,6 +14,7 @@ Link::Link(Simulation& sim, std::string name, double rate_bps, Time prop_delay,
       queue_(std::move(queue)) {
   if (rate_bps_ <= 0.0) throw std::invalid_argument("Link: rate must be > 0");
   if (!queue_) throw std::invalid_argument("Link: queue required");
+  queue_->set_drain_rate(rate_bps_);
 }
 
 void Link::send(Packet&& p) {
@@ -28,23 +29,56 @@ void Link::maybe_start_tx() {
   busy_ = true;
   queue_delay_.add((sim_.now() - next->enqueued_at).sec());
   const Time tx = serialization_time(next->size_bytes);
-  // Move the packet into the completion event.
-  auto pkt = std::make_shared<Packet>(std::move(*next));
-  sim_.after(tx, [this, pkt]() mutable { on_tx_complete(std::move(*pkt)); });
+  // The packet moves into a pooled slot; the completion event captures only
+  // {this, slot}, which stays inside SmallCallback's inline buffer.
+  const PacketPool::SlotId slot = pool_.acquire(std::move(*next));
+  sim_.after(tx, [this, slot] { on_tx_complete(slot); });
 }
 
-void Link::on_tx_complete(Packet&& p) {
+void Link::on_tx_complete(PacketPool::SlotId slot) {
   busy_ = false;
+  const Packet& p = pool_.at(slot);
   ++delivered_packets_;
   delivered_bytes_ += p.size_bytes;
   for (const auto& observer : tx_observers_) observer(p, sim_.now());
   if (sink_) {
-    auto pkt = std::make_shared<Packet>(std::move(p));
-    sim_.after(prop_delay_, [this, pkt]() mutable {
-      if (sink_) sink_(std::move(*pkt));
-    });
+    // Serialization completions are ordered and prop_delay_ is constant,
+    // so deliver_at is non-decreasing along the ring and one delivery
+    // event per link suffices. Each packet still reserves its FIFO
+    // position now: same-timestamp ties (e.g. an arrival racing the
+    // tx-complete that frees a buffer slot) resolve exactly as with the
+    // per-packet propagation events this replaces.
+    const bool was_idle = wire_.empty();
+    wire_.push({slot, sim_.scheduler().allocate_seq(),
+                sim_.now() + prop_delay_});
+    if (was_idle) arm_delivery(wire_.front());
+  } else {
+    (void)pool_.release(slot);
   }
   maybe_start_tx();
+}
+
+void Link::arm_delivery(const WireRing::Entry& entry) {
+  // Always a fresh schedule: when called from inside drain_wire the old
+  // event has just fired, so this reuses the just-freed arena slot (the
+  // same pooled re-arm idiom as the periodic app timers) -- a fired event
+  // cannot be rescheduled. The entry's reserved seq fixes the FIFO
+  // position; the handle is not kept because the event is never moved or
+  // cancelled.
+  sim_.scheduler().schedule_at_seq(entry.deliver_at, entry.seq,
+                                   [this] { drain_wire(); });
+}
+
+void Link::drain_wire() {
+  // Exactly one packet per firing: the next entry re-arms at its own
+  // reserved seq even when it shares this deliver_at (possible only for
+  // zero serialization times), so every delivery keeps its exact FIFO
+  // position among same-timestamp events.
+  const PacketPool::SlotId slot = wire_.front().slot;
+  wire_.pop();
+  Packet p = pool_.release(slot);
+  if (sink_) sink_(std::move(p));
+  if (!wire_.empty()) arm_delivery(wire_.front());
 }
 
 }  // namespace qoesim::net

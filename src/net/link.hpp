@@ -5,6 +5,12 @@
 // size/rate; delivery happens one propagation delay after serialization
 // completes. This is where all queueing delay and packet loss in the
 // simulated testbeds arise (the paper's "bottleneck interface").
+//
+// In-flight packets (serializing or propagating) live in a per-link
+// PacketPool and are referenced by slot id from scheduler callbacks, so
+// steady-state forwarding performs no heap allocation. Packets on the wire
+// wait in a WireRing drained by a single delivery event per link instead of
+// one propagation event per packet (see packet_pool.hpp).
 #pragma once
 
 #include <cstdint>
@@ -13,6 +19,7 @@
 #include <string>
 
 #include "net/packet.hpp"
+#include "net/packet_pool.hpp"
 #include "net/queue.hpp"
 #include "sim/simulation.hpp"
 #include "stats/summary.hpp"
@@ -64,9 +71,16 @@ class Link {
   /// Per-packet time spent waiting in the buffer (excludes serialization).
   const stats::RunningStats& queue_delay() const { return queue_delay_; }
 
+  /// In-flight pool counters (for the zero-allocation forwarding tests).
+  const PacketPool::Stats& pool_stats() const { return pool_.stats(); }
+  /// Packets currently riding the propagation delay.
+  std::size_t wire_depth() const { return wire_.size(); }
+
  private:
   void maybe_start_tx();
-  void on_tx_complete(Packet&& p);
+  void on_tx_complete(PacketPool::SlotId slot);
+  void arm_delivery(const WireRing::Entry& entry);
+  void drain_wire();
 
   Simulation& sim_;
   std::string name_;
@@ -75,6 +89,9 @@ class Link {
   std::unique_ptr<QueueDiscipline> queue_;
   DeliverFn sink_;
   std::vector<TxObserver> tx_observers_;
+
+  PacketPool pool_;  // packets serializing or on the wire
+  WireRing wire_;    // FIFO of propagating packets
 
   bool busy_ = false;
   std::uint64_t delivered_packets_ = 0;

@@ -1,0 +1,52 @@
+#include "net/packet_pool.hpp"
+
+#include <algorithm>
+#include <utility>
+
+namespace qoesim::net {
+
+PacketPool::SlotId PacketPool::acquire(Packet&& p) {
+  ++stats_.acquired;
+  stats_.peak_in_flight =
+      std::max<std::uint64_t>(stats_.peak_in_flight, in_flight());
+  if (!free_.empty()) {
+    const SlotId slot = free_.back();
+    free_.pop_back();
+    slots_[slot] = std::move(p);
+    return slot;
+  }
+  ++stats_.slab_growths;
+  const SlotId slot = static_cast<SlotId>(slots_.size());
+  slots_.push_back(std::move(p));
+  // The free stack can hold at most one entry per slot; reserving alongside
+  // the slab keeps release() allocation-free.
+  free_.reserve(slots_.size());
+  return slot;
+}
+
+Packet PacketPool::release(SlotId slot) {
+  ++stats_.released;
+  free_.push_back(slot);
+  return std::move(slots_[slot]);
+}
+
+void WireRing::push(Entry e) {
+  if (size_ == buf_.size()) {
+    // Grow to the next power of two, unrolling the ring so the live
+    // entries occupy [0, size_).
+    std::vector<Entry> bigger(buf_.empty() ? 8 : buf_.size() * 2);
+    for (std::size_t i = 0; i < size_; ++i)
+      bigger[i] = buf_[(head_ + i) & (buf_.size() - 1)];
+    buf_ = std::move(bigger);
+    head_ = 0;
+  }
+  buf_[(head_ + size_) & (buf_.size() - 1)] = e;
+  ++size_;
+}
+
+void WireRing::pop() {
+  head_ = (head_ + 1) & (buf_.size() - 1);
+  --size_;
+}
+
+}  // namespace qoesim::net

@@ -1,0 +1,100 @@
+// qoesim -- in-flight packet slab pool and wire ring.
+//
+// PacketPool holds the packets a link currently has "in flight" (one being
+// serialized plus any riding the propagation delay). Slots are recycled
+// through a free list, mirroring the scheduler's event arena: steady-state
+// forwarding performs zero heap allocations per packet, because a slot and
+// the scheduler events referencing it (by 4-byte SlotId, well inside
+// SmallCallback's inline buffer) are reused as soon as the packet is
+// delivered. The slab only grows when more packets are simultaneously in
+// flight than ever before on this link, which is bounded by
+// 1 + ceil(prop_delay / serialization_time) -- growth events are counted
+// in Stats::slab_growths so tests can assert the steady state allocates
+// nothing.
+//
+// WireRing is the companion FIFO of (slot, deliver_at) entries for packets
+// that finished serialization and are propagating. Because a link's
+// propagation delay is constant and serialization completions are ordered,
+// deliver_at is non-decreasing, so one delivery event draining the ring
+// front replaces a scheduler event per packet.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <vector>
+
+#include "net/packet.hpp"
+#include "sim/time.hpp"
+
+namespace qoesim::net {
+
+class PacketPool {
+ public:
+  using SlotId = std::uint32_t;
+  static constexpr SlotId kNil = 0xffffffffu;
+
+  struct Stats {
+    std::uint64_t acquired = 0;
+    std::uint64_t released = 0;
+    /// Number of times a new slot had to be created (the only operation
+    /// that can touch the heap). Constant in steady state.
+    std::uint64_t slab_growths = 0;
+    std::uint64_t peak_in_flight = 0;
+  };
+
+  /// Store `p` in a pooled slot; reuses a free slot when available.
+  SlotId acquire(Packet&& p);
+
+  /// Move the packet out of `slot` and return the slot to the free list.
+  Packet release(SlotId slot);
+
+  /// References returned here stay valid across acquire()/release(): the
+  /// slab is a deque, so growth never relocates existing slots. A Link
+  /// iterates its tx observers over such a reference while an observer
+  /// could reenter Link::send (and thus acquire()).
+  Packet& at(SlotId slot) { return slots_[slot]; }
+  const Packet& at(SlotId slot) const { return slots_[slot]; }
+
+  std::size_t in_flight() const {
+    return static_cast<std::size_t>(stats_.acquired - stats_.released);
+  }
+  std::size_t slot_count() const { return slots_.size(); }
+  const Stats& stats() const { return stats_; }
+
+ private:
+  std::deque<Packet> slots_;  // reference-stable slab (see at())
+  std::vector<SlotId> free_;  // stack of recycled slot ids
+  Stats stats_;
+};
+
+/// FIFO ring buffer of packets on the wire. Capacity grows by doubling
+/// (never shrinks), so like the pool it stops allocating once the link has
+/// seen its peak in-flight population.
+class WireRing {
+ public:
+  struct Entry {
+    PacketPool::SlotId slot = PacketPool::kNil;
+    /// FIFO position reserved (Scheduler::allocate_seq) when the packet
+    /// finished serialization: the delivery event fires with this seq, so
+    /// same-timestamp ties resolve exactly as if the packet had scheduled
+    /// its own propagation event there.
+    std::uint64_t seq = 0;
+    Time deliver_at;
+  };
+
+  bool empty() const { return size_ == 0; }
+  std::size_t size() const { return size_; }
+
+  const Entry& front() const { return buf_[head_]; }
+
+  void push(Entry e);
+  void pop();
+
+ private:
+  std::vector<Entry> buf_;  // power-of-two capacity circular buffer
+  std::size_t head_ = 0;
+  std::size_t size_ = 0;
+};
+
+}  // namespace qoesim::net

@@ -8,12 +8,19 @@ namespace qoesim::net {
 PriorityQueue::PriorityQueue(std::size_t capacity_packets,
                              PriorityParams params)
     : QueueDiscipline(capacity_packets) {
-  high_capacity_ = std::max<std::size_t>(
-      1, static_cast<std::size_t>(
-             std::ceil(static_cast<double>(capacity_packets) *
-                       params.high_priority_share)));
-  high_capacity_ = std::min(high_capacity_, capacity_packets);
-  low_capacity_ = std::max<std::size_t>(1, capacity_packets - high_capacity_);
+  // The two bands partition the configured buffer exactly: the paper
+  // sweeps total buffer size, so granting the low band a bonus slot (as a
+  // max(1, ...) floor used to) would simulate a bigger buffer than
+  // configured. A share of 0 (or a 1-packet buffer at full share) leaves
+  // one band empty and that class drops everything, which is the faithful
+  // reading of the configuration.
+  const double share =
+      std::clamp(params.high_priority_share, 0.0, 1.0);
+  high_capacity_ = std::min(
+      capacity_packets,
+      static_cast<std::size_t>(
+          std::ceil(static_cast<double>(capacity_packets) * share)));
+  low_capacity_ = capacity_packets - high_capacity_;
 }
 
 bool PriorityQueue::do_enqueue(Packet&& p, Time /*now*/) {

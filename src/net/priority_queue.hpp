@@ -16,7 +16,10 @@ namespace qoesim::net {
 
 struct PriorityParams {
   /// Share of the buffer reserved for the high-priority (real-time)
-  /// class. Voice needs little (it should never queue for long).
+  /// class, clamped to [0, 1]. Voice needs little (it should never queue
+  /// for long). The high band gets ceil(share * capacity) slots and the
+  /// low band the remainder, so the two always sum to the configured
+  /// capacity.
   double high_priority_share = 0.25;
 };
 
@@ -33,6 +36,8 @@ class PriorityQueue final : public QueueDiscipline {
 
   std::size_t high_count() const { return high_.size(); }
   std::size_t low_count() const { return low_.size(); }
+  std::size_t high_capacity() const { return high_capacity_; }
+  std::size_t low_capacity() const { return low_capacity_; }
   std::uint64_t high_drops() const { return high_drops_; }
   std::uint64_t low_drops() const { return low_drops_; }
 

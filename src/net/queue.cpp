@@ -29,12 +29,13 @@ std::optional<Packet> QueueDiscipline::dequeue(Time now) {
 }
 
 std::unique_ptr<QueueDiscipline> make_queue(QueueKind kind,
-                                            std::size_t capacity_packets) {
+                                            std::size_t capacity_packets,
+                                            std::uint64_t seed) {
   switch (kind) {
     case QueueKind::kDropTail:
       return std::make_unique<DropTailQueue>(capacity_packets);
     case QueueKind::kRed:
-      return std::make_unique<RedQueue>(capacity_packets);
+      return std::make_unique<RedQueue>(capacity_packets, RedParams{}, seed);
     case QueueKind::kCoDel:
       return std::make_unique<CoDelQueue>(capacity_packets);
     case QueueKind::kPriority:

@@ -53,6 +53,11 @@ class QueueDiscipline {
   virtual std::size_t byte_count() const = 0;
   bool empty() const { return packet_count() == 0; }
 
+  /// Called by the Link this discipline is attached to with the drain rate
+  /// of its transmitter. Disciplines that convert times to packet counts
+  /// (RED's idle decay) use it; others ignore it.
+  virtual void set_drain_rate(double /*bps*/) {}
+
   std::size_t capacity_packets() const { return capacity_; }
   const QueueStats& stats() const { return stats_; }
   virtual std::string name() const = 0;
@@ -74,8 +79,17 @@ class QueueDiscipline {
 /// Which discipline to instantiate (scenario configuration).
 enum class QueueKind { kDropTail, kRed, kCoDel, kPriority };
 
-std::unique_ptr<QueueDiscipline> make_queue(QueueKind kind,
-                                            std::size_t capacity_packets);
+/// Seed for randomized disciplines when no per-scenario seed is plumbed
+/// through make_queue (RedQueue::kDefaultSeed aliases it).
+inline constexpr std::uint64_t kDefaultQueueSeed = 0x52454421ull;
+
+/// Instantiate a discipline. `seed` feeds the randomized schemes (RED's
+/// drop lottery); callers building per-scenario topologies should derive
+/// it from the scenario seed (Topology does) so sweep cells do not share
+/// one drop sequence. The default keeps seedless call sites reproducible.
+std::unique_ptr<QueueDiscipline> make_queue(
+    QueueKind kind, std::size_t capacity_packets,
+    std::uint64_t seed = kDefaultQueueSeed);
 
 const char* to_string(QueueKind kind);
 

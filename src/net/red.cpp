@@ -1,6 +1,7 @@
 #include "net/red.hpp"
 
 #include <algorithm>
+#include <cmath>
 
 namespace qoesim::net {
 
@@ -8,10 +9,29 @@ RedQueue::RedQueue(std::size_t capacity_packets, RedParams params,
                    std::uint64_t seed)
     : QueueDiscipline(capacity_packets), params_(params), rng_(seed) {}
 
-bool RedQueue::do_enqueue(Packet&& p, Time /*now*/) {
-  // Update the average queue estimate on every arrival.
-  avg_ = (1.0 - params_.weight) * avg_ +
-         params_.weight * static_cast<double>(q_.size());
+void RedQueue::set_drain_rate(double bps) {
+  if (bps > 0.0) {
+    params_.mean_pkt_time =
+        Time::seconds(static_cast<double>(kMtuBytes) * 8.0 / bps);
+  }
+}
+
+bool RedQueue::do_enqueue(Packet&& p, Time now) {
+  // Update the average queue estimate on every arrival. Across an idle
+  // period the estimate decays as if m empty-queue samples had been taken
+  // (Floyd & Jacobson eq. 3) instead of freezing at its last busy value.
+  if (idle_) {
+    const double m =
+        (now - idle_since_).sec() / std::max(1e-12, params_.mean_pkt_time.sec());
+    if (m > 0.0) avg_ *= std::pow(1.0 - params_.weight, m);
+    // The decay above accounts for the idle time up to `now`; if this
+    // arrival is dropped the queue stays empty and the idle period simply
+    // continues from here (idle_ is cleared only on admission below).
+    idle_since_ = now;
+  } else {
+    avg_ = (1.0 - params_.weight) * avg_ +
+           params_.weight * static_cast<double>(q_.size());
+  }
 
   const double min_th = params_.min_th_fraction * static_cast<double>(capacity_);
   const double max_th = params_.max_th_fraction * static_cast<double>(capacity_);
@@ -44,14 +64,27 @@ bool RedQueue::do_enqueue(Packet&& p, Time /*now*/) {
   }
   bytes_ += p.size_bytes;
   q_.push_back(std::move(p));
+  idle_ = false;
   return true;
 }
 
-std::optional<Packet> RedQueue::do_dequeue(Time /*now*/) {
-  if (q_.empty()) return std::nullopt;
+std::optional<Packet> RedQueue::do_dequeue(Time now) {
+  if (q_.empty()) {
+    // The transmitter found the queue empty: an idle period starts (ns-2
+    // does the same on an empty dequeue).
+    if (!idle_) {
+      idle_ = true;
+      idle_since_ = now;
+    }
+    return std::nullopt;
+  }
   Packet p = std::move(q_.front());
   q_.pop_front();
   bytes_ -= p.size_bytes;
+  if (q_.empty()) {
+    idle_ = true;
+    idle_since_ = now;
+  }
   return p;
 }
 

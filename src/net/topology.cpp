@@ -16,9 +16,14 @@ Link* Topology::make_link(Node& from, Node& to, const LinkSpec& spec) {
   std::string name = spec.name.empty()
                          ? from.name() + "->" + to.name()
                          : spec.name;
+  // Per-link queue seed derived from the scenario seed: RED instances in
+  // different sweep cells (and on different links of one topology) must
+  // not share one drop lottery. The link index salts duplicate names.
+  const std::uint64_t queue_seed = RandomStream::derive_seed(
+      sim_.seed(), "queue/" + std::to_string(links_.size()) + "/" + name);
   links_.push_back(std::make_unique<Link>(
       sim_, std::move(name), spec.rate_bps, spec.delay,
-      make_queue(spec.queue, spec.buffer_packets)));
+      make_queue(spec.queue, spec.buffer_packets, queue_seed)));
   Link* link = links_.back().get();
   Node* dest = &to;
   link->set_sink([dest](Packet&& p) { dest->receive(std::move(p)); });

@@ -76,6 +76,7 @@ class TracingQueue final : public QueueDiscipline {
   std::size_t packet_count() const override { return inner_->packet_count(); }
   std::size_t byte_count() const override { return inner_->byte_count(); }
   std::string name() const override { return "Tracing+" + inner_->name(); }
+  void set_drain_rate(double bps) override { inner_->set_drain_rate(bps); }
 
  protected:
   bool do_enqueue(Packet&& p, Time now) override;

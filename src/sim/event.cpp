@@ -1,6 +1,7 @@
 #include "sim/event.hpp"
 
 #include <algorithm>
+#include <cassert>
 #include <stdexcept>
 #include <utility>
 
@@ -146,6 +147,36 @@ EventHandle Scheduler::schedule_at(Time when, Callback cb) {
   // sequence check first, then any heap growth (geometric, so push_back
   // below never reallocates).
   const std::uint64_t seq = next_seq();
+  return schedule_with_seq(when, seq, std::move(cb));
+}
+
+EventHandle Scheduler::schedule_at_seq(Time when, std::uint64_t seq,
+                                       Callback cb) {
+  if (when < now_) {
+    throw std::invalid_argument("Scheduler::schedule_at_seq: time in the past");
+  }
+  if (seq >= next_seq_) {
+    throw std::invalid_argument(
+        "Scheduler::schedule_at_seq: seq not from allocate_seq");
+  }
+#ifndef NDEBUG
+  // A duplicated seq would silently tie-break on recycled slot ids; catch
+  // the pending-duplicate half of the precondition where it is checkable.
+  // The scan is bounded so debug builds of large simulations don't pay
+  // O(pending) on every delivery (this path runs once per packet-hop).
+  if (heap_.size() <= 4096) {
+    for (const HeapEntry& e : heap_) {
+      assert(e.seq_slot >> kSlotBits != seq &&
+             "schedule_at_seq: seq already pending");
+      static_cast<void>(e);
+    }
+  }
+#endif
+  return schedule_with_seq(when, seq, std::move(cb));
+}
+
+EventHandle Scheduler::schedule_with_seq(Time when, std::uint64_t seq,
+                                         Callback cb) {
   if (heap_.size() == heap_.capacity()) {
     heap_.reserve(heap_.capacity() == 0 ? 64 : heap_.capacity() * 2);
   }

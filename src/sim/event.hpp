@@ -88,6 +88,24 @@ class Scheduler {
   /// Schedule `cb` to run at absolute time `when` (must be >= now()).
   EventHandle schedule_at(Time when, Callback cb);
 
+  /// Reserve a FIFO position without scheduling anything. Events that
+  /// share a timestamp fire in sequence order, so a component can fix an
+  /// event's tie-breaking position now and materialize the event later
+  /// with schedule_at_seq / EventHandle::reschedule(when, seq). The link
+  /// wire ring uses this to collapse per-packet propagation events into
+  /// one delivery event per link while keeping event order exactly as if
+  /// each packet had scheduled its own event.
+  std::uint64_t allocate_seq() { return next_seq(); }
+
+  /// Schedule `cb` at `when` with the FIFO position `seq`, which must
+  /// have been obtained from allocate_seq() and used by at most one event
+  /// ever. Consumes no new sequence number. Reusing a seq would make
+  /// same-timestamp ties break on arena slot ids (i.e. nondeterministic
+  /// free-list history) instead of scheduling order; unallocated seqs
+  /// throw, and debug builds assert no pending event already holds the
+  /// seq.
+  EventHandle schedule_at_seq(Time when, std::uint64_t seq, Callback cb);
+
   /// Schedule `cb` to run `delay` from now (negative delays clamp to now).
   EventHandle schedule_in(Time delay, Callback cb) {
     if (delay.is_negative()) delay = Time::zero();
@@ -160,6 +178,7 @@ class Scheduler {
   void handle_cancel(std::uint32_t slot, std::uint64_t generation);
   bool handle_reschedule(std::uint32_t slot, std::uint64_t generation,
                          Time when);
+  EventHandle schedule_with_seq(Time when, std::uint64_t seq, Callback cb);
 
   std::uint32_t acquire_slot();
   void release_slot(std::uint32_t slot);

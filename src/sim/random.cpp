@@ -5,8 +5,8 @@
 
 namespace qoesim {
 
-RandomStream RandomStream::derive(std::uint64_t master_seed,
-                                  std::string_view label) {
+std::uint64_t RandomStream::derive_seed(std::uint64_t master_seed,
+                                        std::string_view label) {
   // FNV-1a over the label, folded with the master seed and finalized with a
   // splitmix64 step so nearby seeds give unrelated streams.
   std::uint64_t h = 14695981039346656037ull ^ master_seed;
@@ -18,7 +18,12 @@ RandomStream RandomStream::derive(std::uint64_t master_seed,
   h = (h ^ (h >> 30)) * 0xbf58476d1ce4e5b9ull;
   h = (h ^ (h >> 27)) * 0x94d049bb133111ebull;
   h ^= h >> 31;
-  return RandomStream(h);
+  return h;
+}
+
+RandomStream RandomStream::derive(std::uint64_t master_seed,
+                                  std::string_view label) {
+  return RandomStream(derive_seed(master_seed, label));
 }
 
 double RandomStream::uniform() {

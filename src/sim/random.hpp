@@ -22,6 +22,11 @@ class RandomStream {
   /// Derive a stream from a master seed and a component label (FNV-1a mix).
   static RandomStream derive(std::uint64_t master_seed, std::string_view label);
 
+  /// The seed derive() would use, for components that take a raw seed
+  /// (e.g. make_queue) instead of a RandomStream.
+  static std::uint64_t derive_seed(std::uint64_t master_seed,
+                                   std::string_view label);
+
   /// Uniform in [0, 1).
   double uniform();
   /// Uniform in [lo, hi).

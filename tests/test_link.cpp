@@ -1,7 +1,11 @@
-// Unit tests for link serialization, propagation and buffering behaviour.
+// Unit tests for link serialization, propagation and buffering behaviour,
+// including the in-flight packet pool and wire-ring delivery path.
 #include "net/link.hpp"
 
 #include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
 
 #include "net/drop_tail.hpp"
 #include "sim/simulation.hpp"
@@ -98,6 +102,100 @@ TEST_F(LinkTest, InvalidConstructionThrows) {
                std::invalid_argument);
   EXPECT_THROW(Link(sim, "bad", 1e6, Time::zero(), nullptr),
                std::invalid_argument);
+}
+
+TEST_F(LinkTest, WireRingPreservesFifoOrderWithManyInFlight) {
+  // 12 us serialization vs 10 ms propagation: ~800 packets ride the wire
+  // concurrently, all funneled through the single delivery event.
+  Link link(sim, "l", 1e9, Time::milliseconds(10),
+            std::make_unique<DropTailQueue>(2000));
+  std::vector<std::uint64_t> uids;
+  std::vector<Time> at;
+  link.set_sink([&](Packet&& p) {
+    uids.push_back(p.uid);
+    at.push_back(sim.now());
+  });
+  std::vector<std::uint64_t> sent;
+  for (int i = 0; i < 500; ++i) {
+    Packet p = make_packet(1500);
+    sent.push_back(p.uid);
+    link.send(std::move(p));
+  }
+  sim.run();
+  ASSERT_EQ(uids, sent);  // exact FIFO, no reordering across the ring
+  const Time ser = link.serialization_time(1500);
+  for (int i = 0; i < 500; ++i) {
+    // Delivery i happens exactly at (i+1) serializations + propagation.
+    EXPECT_EQ(at[static_cast<std::size_t>(i)],
+              ser * static_cast<double>(i + 1) + Time::milliseconds(10));
+  }
+}
+
+TEST_F(LinkTest, SingleDeliveryEventPerLink) {
+  // With hundreds of packets in flight the scheduler must only hold the
+  // serialization event plus one delivery event for this link.
+  Link link(sim, "l", 1e9, Time::milliseconds(10),
+            std::make_unique<DropTailQueue>(2000));
+  link.set_sink([](Packet&&) {});
+  for (int i = 0; i < 500; ++i) link.send(make_packet(1500));
+  std::size_t max_pending = 0;
+  std::size_t max_wire = 0;
+  while (sim.scheduler().step()) {
+    max_pending = std::max(max_pending, sim.scheduler().pending_events());
+    max_wire = std::max(max_wire, link.wire_depth());
+  }
+  EXPECT_GT(max_wire, 100u);   // the wire really was deep...
+  EXPECT_LE(max_pending, 2u);  // ...yet at most {tx-complete, delivery}
+  EXPECT_EQ(link.delivered_packets(), 500u);
+}
+
+TEST_F(LinkTest, SteadyStateForwardingDoesNotGrowThePool) {
+  // A fixed packet population recirculates through the link; after the
+  // first lap the pool and ring must stop allocating: slot reuse covers
+  // every subsequent packet-hop.
+  Link link(sim, "l", 1e9, Time::milliseconds(1),
+            std::make_unique<DropTailQueue>(256));
+  link.set_sink([&](Packet&& p) { link.send(std::move(p)); });
+  for (int i = 0; i < 64; ++i) link.send(make_packet(1500));
+  sim.run_until(Time::milliseconds(100));  // warmup: reach peak in-flight
+  const PacketPool::Stats warm = link.pool_stats();
+  EXPECT_GT(warm.acquired, warm.slab_growths);  // reuse already happening
+  sim.run_until(Time::seconds(1));
+  const PacketPool::Stats steady = link.pool_stats();
+  EXPECT_EQ(steady.slab_growths, warm.slab_growths)
+      << "steady-state forwarding must not allocate pool slots";
+  EXPECT_GT(steady.acquired, warm.acquired + 10000u);
+  EXPECT_EQ(steady.acquired - steady.released, link.wire_depth() +
+                (link.transmitting() ? 1u : 0u));
+}
+
+TEST_F(LinkTest, PoolSlotReusedAfterDelivery) {
+  Link link(sim, "l", 1e6, Time::milliseconds(1),
+            std::make_unique<DropTailQueue>(10));
+  int delivered = 0;
+  link.set_sink([&](Packet&&) { ++delivered; });
+  link.send(make_packet(1250));
+  sim.run();
+  link.send(make_packet(1250));
+  sim.run();
+  EXPECT_EQ(delivered, 2);
+  // Sequential packets share one slot: the slab grew exactly once.
+  EXPECT_EQ(link.pool_stats().slab_growths, 1u);
+  EXPECT_EQ(link.pool_stats().acquired, 2u);
+  EXPECT_EQ(link.pool_stats().released, 2u);
+  EXPECT_EQ(link.pool_stats().peak_in_flight, 1u);
+}
+
+TEST_F(LinkTest, NoSinkReleasesSlotsImmediately) {
+  Link link(sim, "l", 1e9, Time::milliseconds(10),
+            std::make_unique<DropTailQueue>(100));
+  for (int i = 0; i < 50; ++i) link.send(make_packet(1500));
+  sim.run();
+  EXPECT_EQ(link.delivered_packets(), 50u);
+  EXPECT_EQ(link.wire_depth(), 0u);
+  EXPECT_EQ(link.pool_stats().acquired, link.pool_stats().released);
+  // Without a sink nothing rides the wire, so one slot suffices.
+  EXPECT_EQ(link.pool_stats().peak_in_flight, 1u);
 }
 
 TEST_F(LinkTest, Table2DelayFigures) {

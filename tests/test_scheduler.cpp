@@ -287,6 +287,43 @@ TEST(Scheduler, StatsCountersTrackOperations) {
   EXPECT_EQ(sched.fired_events(), s.fired);
 }
 
+TEST(Scheduler, ReservedSeqFixesFifoPositionAtAllocationTime) {
+  // allocate_seq() reserves a FIFO slot that an event scheduled much later
+  // (schedule_at_seq) still occupies: it fires before a same-timestamp
+  // event whose seq was taken after the reservation.
+  Scheduler sched;
+  std::vector<int> order;
+  const std::uint64_t reserved = sched.allocate_seq();
+  sched.schedule_at(Time::seconds(1), [&] { order.push_back(2); });
+  sched.schedule_at_seq(Time::seconds(1), reserved,
+                        [&] { order.push_back(1); });
+  sched.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2}));
+}
+
+TEST(Scheduler, ScheduleAtSeqRejectsUnallocatedSeq) {
+  Scheduler sched;
+  EXPECT_THROW(sched.schedule_at_seq(Time::seconds(1), 0, [] {}),
+               std::invalid_argument);
+  (void)sched.allocate_seq();
+  EXPECT_NO_THROW(sched.schedule_at_seq(Time::seconds(1), 0, [] {}));
+  sched.run();
+}
+
+TEST(Scheduler, ReservedSeqSurvivesInterleavedScheduling) {
+  // A reserved position interleaves correctly among several same-time
+  // events whose seqs were taken before and after the reservation.
+  Scheduler sched;
+  std::vector<int> order;
+  sched.schedule_at(Time::seconds(1), [&] { order.push_back(0); });
+  const std::uint64_t reserved = sched.allocate_seq();
+  sched.schedule_at(Time::seconds(1), [&] { order.push_back(2); });
+  sched.schedule_at_seq(Time::seconds(1), reserved,
+                        [&] { order.push_back(1); });
+  sched.run();
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2}));
+}
+
 TEST(Simulation, DerivedRngsDifferByLabel) {
   Simulation sim(42);
   auto a = sim.rng("a");
