@@ -1,0 +1,90 @@
+// Ablation: ECN marking and model-based congestion control vs bufferbloat.
+//
+// The paper sizes buffers by their QoE impact under loss-based TCP filling
+// drop-tail queues. This bench runs its worst case (long-few upload
+// congestion) through the two modern counterfactuals the AQM debate
+// produced after the measurements: (a) the bottleneck *marks* instead of
+// drops (RED / CoDel with ECN, RFC 3168 + RFC 8289 §4.2), and (b) the
+// sender *models* the path instead of probing it into loss (BBR). The grid
+// is AQM x {drop, mark} x {CUBIC, BBR} over the paper's two uplink buffer
+// sizes, reporting uplink delay, loss, CE-mark rate and the VoIP/web QoE
+// probes of the other ablations.
+#include <cstdio>
+
+#include "bench_common.hpp"
+
+namespace qoesim {
+namespace {
+
+using namespace core;
+
+struct Variant {
+  net::QueueKind queue;
+  bool ecn;
+  tcp::CcKind cc;
+  bool operator==(const Variant&) const = default;
+};
+
+void run(const bench::BenchOptions& opt) {
+  ExperimentRunner runner(opt.budget());
+  stats::TextTable table;
+  table.set_header({"Queue", "ECN", "CC", "Buffer", "Uplink delay(ms)",
+                    "Uplink loss%", "Uplink mark%", "VoIP talks MOS",
+                    "Web PLT(s)"});
+
+  bench::run_ablation_grid(
+      opt, runner,
+      {Variant{net::QueueKind::kRed, false, tcp::CcKind::kCubic},
+       Variant{net::QueueKind::kRed, true, tcp::CcKind::kCubic},
+       Variant{net::QueueKind::kRed, false, tcp::CcKind::kBbr},
+       Variant{net::QueueKind::kRed, true, tcp::CcKind::kBbr},
+       Variant{net::QueueKind::kCoDel, false, tcp::CcKind::kCubic},
+       Variant{net::QueueKind::kCoDel, true, tcp::CcKind::kCubic},
+       Variant{net::QueueKind::kCoDel, false, tcp::CcKind::kBbr},
+       Variant{net::QueueKind::kCoDel, true, tcp::CcKind::kBbr}},
+      {std::size_t{64}, std::size_t{256}},
+      [](ScenarioConfig& cfg, const Variant& v) {
+        cfg.queue = v.queue;
+        cfg.ecn = v.ecn;
+        cfg.tcp_cc = v.cc;
+      },
+      [&](const Variant& v, std::size_t buffer,
+          const bench::AblationCell& cell) {
+        char delay[32], loss[32], mark[32], mos[16], plt[16];
+        std::snprintf(delay, sizeof(delay), "%.0f",
+                      cell.qos.mean_delay_up_ms);
+        std::snprintf(loss, sizeof(loss), "%.1f", cell.qos.loss_up * 100);
+        std::snprintf(mark, sizeof(mark), "%.1f", cell.qos.mark_up * 100);
+        std::snprintf(mos, sizeof(mos), "%.1f", cell.voip.median_mos_talks());
+        std::snprintf(plt, sizeof(plt), "%.1f", cell.web.median_plt_s());
+        table.add_row({net::to_string(v.queue), v.ecn ? "mark" : "drop",
+                       tcp::to_string(v.cc), std::to_string(buffer), delay,
+                       loss, mark, mos, plt});
+      },
+      [&] { table.add_separator(); });
+
+  bench::emit(table, opt,
+              "ECN/BBR ablation: bufferbloat scenario (long-few upload)"
+              " under AQM x {drop, mark} x {cubic, bbr}");
+  std::puts(
+      "Expected shape: marking removes the AQM's loss cost while keeping"
+      " its delay control -- CUBIC\nbacks off on ECE exactly as it would on"
+      " loss, but nothing has to be retransmitted (CoDel's\nloss column"
+      " drops to zero at unchanged delay). BBR holds the queue near-empty"
+      " on every\ndiscipline: its model, not the AQM, limits the buffer."
+      " The CoDel+mark+BBR cells expose the\nknown pathology of that"
+      " combination: BBR ignores the marks, CoDel's schedule escalates\n"
+      "against an unresponsive ECT flow, and the drops land entirely on"
+      " the non-ECT UDP probes\n(VoIP MOS collapses while the bulk flow"
+      " sails through) -- single-queue AQM + ECN needs a\nresponsive"
+      " sender or per-flow queueing.");
+}
+
+}  // namespace
+}  // namespace qoesim
+
+int main(int argc, char** argv) {
+  const auto opt = qoesim::bench::BenchOptions::parse(argc, argv);
+  qoesim::run(opt);
+  return 0;
+}

@@ -6,6 +6,8 @@
 //   --jobs <n>    worker threads for grid sweeps (default 1; 0 = all cores)
 //   --csv         also emit CSV after the rendered table
 //   --no-color    render tone tags instead of ANSI colors
+//   --quick       CI smoke mode: quarter probe budget on top of --scale
+//                 (micro-benches interpret it as their own fast preset)
 //
 // Flags are validated: non-numeric or non-positive values and unknown
 // flags abort with a usage message instead of being silently ignored.
@@ -66,6 +68,7 @@ struct BenchOptions {
   unsigned jobs = 1;  ///< sweep worker threads; 0 = hardware concurrency
   bool csv = false;
   bool color = true;
+  bool quick = false;  ///< CI smoke preset (see budget())
 
   /// Parse the shared flags. `extra_value_flags` names bench-specific
   /// flags that take one value and are parsed elsewhere (e.g. fig9's
@@ -78,7 +81,7 @@ struct BenchOptions {
     auto usage = [&](std::FILE* out) {
       std::fprintf(out,
                    "usage: %s [--scale f] [--seed n] [--jobs n] [--csv]"
-                   " [--no-color]",
+                   " [--no-color] [--quick]",
                    argv[0]);
       for (const char* flag : extra_value_flags)
         std::fprintf(out, " [%s v]", flag);
@@ -123,6 +126,8 @@ struct BenchOptions {
         opt.csv = true;
       } else if (std::strcmp(argv[i], "--no-color") == 0) {
         opt.color = false;
+      } else if (std::strcmp(argv[i], "--quick") == 0) {
+        opt.quick = true;
       } else if (std::strcmp(argv[i], "--help") == 0) {
         usage(stdout);
         std::exit(0);
@@ -145,7 +150,9 @@ struct BenchOptions {
   }
 
   core::ProbeBudget budget() const {
-    return core::ProbeBudget::from_env().scaled(scale);
+    // --quick (CI smoke / determinism gate) quarters the probe budget on
+    // top of --scale; a --quick run equals a --scale 0.25*f run exactly.
+    return core::ProbeBudget::from_env().scaled(quick ? scale * 0.25 : scale);
   }
 
   /// Sweep pool for grid evaluation, sized by --jobs.

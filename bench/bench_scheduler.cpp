@@ -120,9 +120,11 @@ double rearm_one(long moves) {
   return static_cast<double>(moves) / secs;
 }
 
-void run(const bench::BenchOptions& opt, bool quick) {
+void run(const bench::BenchOptions& opt) {
+  // --quick is the CI smoke preset: ~10x fewer ops (opt.scale still
+  // multiplies the op counts, not the probe budget -- this bench has none).
   const long base =
-      static_cast<long>((quick ? 400000.0 : 4000000.0) * opt.scale);
+      static_cast<long>((opt.quick ? 400000.0 : 4000000.0) * opt.scale);
 
   stats::TextTable table;
   table.set_header({"pattern", "ops", "M ops/s"});
@@ -143,20 +145,7 @@ void run(const bench::BenchOptions& opt, bool quick) {
 }  // namespace qoesim
 
 int main(int argc, char** argv) {
-  // --quick is a boolean flag; strip it before the shared parser (which
-  // only understands value flags) sees it.
-  bool quick = false;
-  std::vector<char*> args;
-  args.reserve(static_cast<std::size_t>(argc));
-  for (int i = 0; i < argc; ++i) {
-    if (std::strcmp(argv[i], "--quick") == 0) {
-      quick = true;
-    } else {
-      args.push_back(argv[i]);
-    }
-  }
-  const auto opt = qoesim::bench::BenchOptions::parse(
-      static_cast<int>(args.size()), args.data());
-  qoesim::run(opt, quick);
+  const auto opt = qoesim::bench::BenchOptions::parse(argc, argv);
+  qoesim::run(opt);
   return 0;
 }

@@ -162,12 +162,17 @@ BENCHMARK(BM_HarpoonScenarioSecond)->Unit(benchmark::kMillisecond);
 
 // BENCHMARK_MAIN with a `--quick` alias so CI can run the forwarding and
 // queue benchmarks as a short smoke step without spelling gbench flags.
+// `--no-color` (part of the shared bench flag set the CI passes uniformly)
+// maps to gbench's color_print=false.
 int main(int argc, char** argv) {
   std::vector<char*> args;
   bool quick = false;
+  std::string no_color = "--benchmark_color=false";
   for (int i = 0; i < argc; ++i) {
     if (std::strcmp(argv[i], "--quick") == 0) {
       quick = true;
+    } else if (std::strcmp(argv[i], "--no-color") == 0) {
+      args.push_back(no_color.data());
     } else {
       args.push_back(argv[i]);
     }

@@ -9,8 +9,9 @@
 //
 // Flags (all optional): --testbed access|backbone, --workload <name>,
 // --direction downstream|upstream|bidirectional, --buffer <pkts>,
-// --queue droptail|red|codel|priority, --cc reno|bic|cubic|vegas,
-// --app voip|video|web|has|qos|all, --seed <n>, --scale <f>.
+// --queue droptail|red|codel|priority, --cc reno|bic|cubic|vegas|bbr,
+// --ecn (AQM marks + TCP negotiates ECN), --app voip|video|web|has|qos|all,
+// --seed <n>, --scale <f>.
 #include <cstdio>
 #include <cstring>
 #include <string>
@@ -81,7 +82,10 @@ int main(int argc, char** argv) {
       cfg.tcp_cc = v == "reno"    ? tcp::CcKind::kReno
                    : v == "bic"   ? tcp::CcKind::kBic
                    : v == "vegas" ? tcp::CcKind::kVegas
+                   : v == "bbr"   ? tcp::CcKind::kBbr
                                   : tcp::CcKind::kCubic;
+    } else if (flag == "--ecn") {
+      cfg.ecn = true;
     } else if (flag == "--app") {
       app = next();
     } else if (flag == "--seed") {
@@ -109,6 +113,10 @@ int main(int argc, char** argv) {
                 " %.1fms  up %.1fms   flows %.1f\n",
                 c.loss_down * 100, c.loss_up * 100, c.mean_delay_down_ms,
                 c.mean_delay_up_ms, c.concurrent_flows);
+    if (cfg.ecn) {
+      std::printf("[qos]   ecn marks down %.2f%%  up %.2f%%\n",
+                  c.mark_down * 100, c.mark_up * 100);
+    }
   }
   if (all || app == "voip") {
     const auto c = runner.run_voip(cfg, true);

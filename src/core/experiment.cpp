@@ -86,6 +86,8 @@ QosCell ExperimentRunner::run_qos(const ScenarioConfig& config) const {
   cell.util_up_sd = cell.util_up_bins.empty() ? 0.0 : cell.util_up_bins.stddev();
   cell.loss_down = testbed.down_monitor().loss_rate();
   cell.loss_up = testbed.up_monitor().loss_rate();
+  cell.mark_down = testbed.down_monitor().mark_rate();
+  cell.mark_up = testbed.up_monitor().mark_rate();
   cell.concurrent_flows = workload.mean_concurrent_flows(end);
   return cell;
 }
@@ -206,6 +208,7 @@ WebCell ExperimentRunner::run_web(const ScenarioConfig& config) const {
   apps::WebPageConfig page;
   tcp::TcpConfig probe_tcp;
   probe_tcp.cc = config.tcp_cc;
+  probe_tcp.ecn = config.ecn;
   apps::WebServer server(testbed.probe_server(), page, probe_tcp);
 
   const qoe::G1030 model = config.testbed == TestbedType::kAccess
@@ -291,6 +294,7 @@ HttpVideoCell ExperimentRunner::run_http_video(
   apps::HttpVideoConfig has;
   tcp::TcpConfig probe_tcp;
   probe_tcp.cc = config.tcp_cc;
+  probe_tcp.ecn = config.ecn;
   apps::HttpVideoServer server(testbed.probe_server(), has, probe_tcp);
 
   HttpVideoCell cell;

@@ -46,6 +46,8 @@ struct QosCell {
   double util_up_sd = 0.0;
   double loss_down = 0.0;  ///< drop fraction at the bottleneck buffer
   double loss_up = 0.0;
+  double mark_down = 0.0;  ///< ECN CE-mark fraction (0 without ECN)
+  double mark_up = 0.0;
   double concurrent_flows = 0.0;
   stats::Samples util_down_bins;  ///< per-bin samples (Fig. 5 boxplots)
   stats::Samples util_up_bins;

@@ -163,6 +163,7 @@ std::string ScenarioConfig::label() const {
     out << "/" << to_string(direction);
   }
   out << "/buf=" << buffer_packets;
+  if (ecn) out << "/ecn";  // additive: absent tag keeps legacy labels
   return out.str();
 }
 

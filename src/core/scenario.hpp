@@ -109,6 +109,11 @@ struct ScenarioConfig {
   /// Congestion control of the background traffic (§5.2: Reno on the
   /// backbone hosts, BIC/CUBIC on the access hosts).
   tcp::CcKind tcp_cc = tcp::CcKind::kCubic;
+  /// End-to-end ECN (counterfactual ablation; the paper's testbeds ran
+  /// without it): the bottleneck AQM CE-marks instead of dropping, and
+  /// all TCP endpoints (background + probes) negotiate ECN. No effect
+  /// with drop-tail bottlenecks or UDP probes.
+  bool ecn = false;
   std::uint64_t seed = 1;
 
   AccessParams access;

@@ -25,6 +25,7 @@ void Testbed::build_access() {
   down.delay = Time::microseconds(100);  // line propagation, negligible
   down.buffer_packets = config_.buffer_packets;
   down.queue = config_.queue;
+  down.ecn = config_.ecn;
   down.name = "dsl-down";
   net::LinkSpec up = down;
   up.rate_bps = p.uplink_bps;
@@ -70,6 +71,7 @@ void Testbed::build_backbone() {
   oc3.delay = p.one_way_delay;
   oc3.buffer_packets = config_.buffer_packets;
   oc3.queue = config_.queue;
+  oc3.ecn = config_.ecn;
   oc3.name = "oc3";
   auto link = topo_.connect(gsr_left, gsr_right, oc3, oc3);
   bottleneck_down_ = link.forward;

@@ -9,6 +9,7 @@ namespace {
 tcp::TcpConfig background_tcp(const ScenarioConfig& config) {
   tcp::TcpConfig t;
   t.cc = config.tcp_cc;
+  t.ecn = config.ecn;  // generators use this config on both ends
   // The testbed hosts' NIC/switch path spreads transmissions out; without
   // it, window-opening bursts at simulated line rate overflow the tiny
   // (8/28-packet) buffer configs far more often than the paper's hardware

@@ -62,6 +62,15 @@ std::optional<Packet> CoDelQueue::do_dequeue(Time now) {
       dropping_ = false;
     } else {
       while (now >= drop_next_ && dropping_) {
+        // RFC 8289 §4.2: with ECN, CE-mark the packet the control law
+        // would drop and deliver it; the dropping state and its schedule
+        // advance exactly as if it had been dropped.
+        if (can_mark(*p)) {
+          apply_mark(*p);
+          ++drop_count_;
+          drop_next_ = control_law(drop_next_);
+          return p;
+        }
         count_drop(*p);
         ++drop_count_;
         p = pop_head(now, ok);
@@ -78,10 +87,14 @@ std::optional<Packet> CoDelQueue::do_dequeue(Time now) {
     }
   } else if (!ok) {
     // Sojourn has been above target for a full interval: enter dropping
-    // state, drop this packet, and deliver the next.
-    count_drop(*p);
-    bool ok2 = true;
-    p = pop_head(now, ok2);
+    // state, drop (or CE-mark) this packet, and deliver the next (the
+    // marked packet itself when marking).
+    const bool mark = can_mark(*p);
+    if (mark) {
+      apply_mark(*p);
+    } else {
+      count_drop(*p);
+    }
     dropping_ = true;
     // RFC 8289 §4.3 hysteresis: on a quick re-entry (less than 16
     // intervals since the last scheduled drop) resume from the drop rate
@@ -96,6 +109,9 @@ std::optional<Packet> CoDelQueue::do_dequeue(Time now) {
     }
     drop_next_ = control_law(now);
     last_drop_count_ = drop_count_;
+    if (mark) return p;  // the marked head is delivered, not replaced
+    bool ok2 = true;
+    p = pop_head(now, ok2);
     if (!p) {
       dropping_ = false;
       return std::nullopt;

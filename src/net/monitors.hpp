@@ -30,6 +30,9 @@ class LinkMonitor {
   /// attachment (whole-run figure, as in Table 1).
   double loss_rate() const { return link_.queue().stats().drop_rate(); }
 
+  /// Fraction of offered packets CE-marked instead of dropped (ECN).
+  double mark_rate() const { return link_.queue().stats().mark_rate(); }
+
   /// Mean per-packet queueing delay (seconds) as measured at the buffer.
   double mean_queue_delay_s() const { return link_.queue_delay().mean(); }
 

@@ -20,6 +20,19 @@ inline constexpr NodeId kInvalidNode = 0xffffffffu;
 
 enum class Protocol : std::uint8_t { kTcp, kUdp };
 
+/// ECN codepoint of the (simulated) IP header, RFC 3168 §5. Transports
+/// that negotiated ECN send data as ECT(0); an AQM with marking enabled
+/// sets CE instead of dropping. Everything else stays Not-ECT and keeps
+/// the drop behaviour.
+enum class Ecn : std::uint8_t {
+  kNotEct = 0,  ///< not ECN-capable transport
+  kEct1 = 1,    ///< ECT(1)
+  kEct0 = 2,    ///< ECT(0), the codepoint RFC 3168 senders use
+  kCe = 3,      ///< congestion experienced (set by the AQM)
+};
+
+inline bool is_ect(Ecn e) { return e == Ecn::kEct0 || e == Ecn::kEct1; }
+
 /// Header overheads (IPv4, no options).
 inline constexpr std::uint32_t kIpHeaderBytes = 20;
 inline constexpr std::uint32_t kTcpHeaderBytes = 20 + kIpHeaderBytes;  // 40
@@ -45,6 +58,12 @@ struct TcpSegment {
   bool syn = false;
   bool fin = false;
   bool has_ack = false;
+  /// RFC 3168 ECN flags: ECE echoes a received CE mark back to the sender
+  /// (kept set until CWR is seen); CWR tells the receiver the sender has
+  /// reduced its window. On a SYN, ECE+CWR together request ECN; on a
+  /// SYN-ACK, ECE alone grants it.
+  bool ece = false;
+  bool cwr = false;
   /// RFC 2018 selective acknowledgements (up to 3 blocks fit alongside the
   /// timestamp option in a real header).
   std::uint8_t sack_count = 0;
@@ -76,6 +95,7 @@ struct Packet {
   NodeId src = kInvalidNode;
   NodeId dst = kInvalidNode;
   Protocol proto = Protocol::kUdp;
+  Ecn ecn = Ecn::kNotEct;        ///< ECN codepoint (IP header)
   std::uint32_t size_bytes = 0;  ///< wire size including all headers
 
   TcpSegment tcp;   ///< valid when proto == kTcp

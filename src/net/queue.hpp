@@ -22,12 +22,17 @@ struct QueueStats {
   std::uint64_t enqueued = 0;        ///< accepted packets
   std::uint64_t dequeued = 0;
   std::uint64_t dropped = 0;         ///< tail drops + AQM drops
+  std::uint64_t marked = 0;          ///< CE marks applied instead of drops
   std::uint64_t bytes_offered = 0;
   std::uint64_t bytes_dropped = 0;
   std::uint64_t max_packets_seen = 0;
 
   double drop_rate() const {
     return offered ? static_cast<double>(dropped) / static_cast<double>(offered)
+                   : 0.0;
+  }
+  double mark_rate() const {
+    return offered ? static_cast<double>(marked) / static_cast<double>(offered)
                    : 0.0;
   }
 };
@@ -58,6 +63,13 @@ class QueueDiscipline {
   /// (RED's idle decay) use it; others ignore it.
   virtual void set_drain_rate(double /*bps*/) {}
 
+  /// Enable ECN: AQM schemes (RED, CoDel) CE-mark ECT packets where they
+  /// would otherwise early-drop (RFC 3168 §5 / RFC 8289 §4.2). Hard tail
+  /// drops of a full buffer still drop, and Not-ECT packets are always
+  /// dropped. Disciplines without an early-drop decision ignore the flag.
+  virtual void set_ecn_marking(bool on) { ecn_marking_ = on; }
+  bool ecn_marking() const { return ecn_marking_; }
+
   std::size_t capacity_packets() const { return capacity_; }
   const QueueStats& stats() const { return stats_; }
   virtual std::string name() const = 0;
@@ -72,8 +84,20 @@ class QueueDiscipline {
     stats_.bytes_dropped += p.size_bytes;
   }
 
+  /// True when this packet may be CE-marked instead of dropped.
+  bool can_mark(const Packet& p) const {
+    return ecn_marking_ && is_ect(p.ecn);
+  }
+
+  /// Apply a CE mark in place of a drop (caller keeps/delivers the packet).
+  void apply_mark(Packet& p) {
+    p.ecn = Ecn::kCe;
+    ++stats_.marked;
+  }
+
   std::size_t capacity_;
   QueueStats stats_;
+  bool ecn_marking_ = false;
 };
 
 /// Which discipline to instantiate (scenario configuration).

@@ -37,10 +37,16 @@ bool RedQueue::do_enqueue(Packet&& p, Time now) {
   const double max_th = params_.max_th_fraction * static_cast<double>(capacity_);
 
   bool drop = false;
+  // Forced drops are never converted to marks: a full buffer cannot admit,
+  // and avg >= max_th means marking has failed to contain the load, so the
+  // sender gets the hard signal (Floyd's ECN RED / Linux red_enqueue).
+  bool hard = false;
   if (q_.size() >= capacity_) {
     drop = true;  // hard tail drop
+    hard = true;
   } else if (avg_ >= max_th) {
     drop = true;
+    hard = true;
   } else if (avg_ >= min_th) {
     // Probabilistic early drop; the 1/(1 - count*pb) correction spreads
     // drops uniformly between forced drops (Floyd & Jacobson, eq. 2).
@@ -59,8 +65,15 @@ bool RedQueue::do_enqueue(Packet&& p, Time now) {
 
   if (drop) {
     count_since_drop_ = 0;
-    count_drop(p);
-    return false;
+    // RFC 3168 §5: with ECN the early-drop decision CE-marks ECT packets
+    // and admits them; the congestion signal reaches the sender without
+    // losing the packet. A full buffer still has to drop.
+    if (!hard && can_mark(p)) {
+      apply_mark(p);
+    } else {
+      count_drop(p);
+      return false;
+    }
   }
   bytes_ += p.size_bytes;
   q_.push_back(std::move(p));

@@ -21,9 +21,10 @@ Link* Topology::make_link(Node& from, Node& to, const LinkSpec& spec) {
   // not share one drop lottery. The link index salts duplicate names.
   const std::uint64_t queue_seed = RandomStream::derive_seed(
       sim_.seed(), "queue/" + std::to_string(links_.size()) + "/" + name);
-  links_.push_back(std::make_unique<Link>(
-      sim_, std::move(name), spec.rate_bps, spec.delay,
-      make_queue(spec.queue, spec.buffer_packets, queue_seed)));
+  auto queue = make_queue(spec.queue, spec.buffer_packets, queue_seed);
+  queue->set_ecn_marking(spec.ecn);
+  links_.push_back(std::make_unique<Link>(sim_, std::move(name), spec.rate_bps,
+                                          spec.delay, std::move(queue)));
   Link* link = links_.back().get();
   Node* dest = &to;
   link->set_sink([dest](Packet&& p) { dest->receive(std::move(p)); });

@@ -22,6 +22,9 @@ struct LinkSpec {
   Time delay = Time::zero();
   std::size_t buffer_packets = 1000;
   QueueKind queue = QueueKind::kDropTail;
+  /// Enable ECN CE-marking on the queue discipline (AQM schemes only;
+  /// see QueueDiscipline::set_ecn_marking).
+  bool ecn = false;
   std::string name;  ///< optional; auto-derived if empty
 };
 

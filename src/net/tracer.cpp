@@ -7,6 +7,7 @@ const char* to_string(TraceEvent e) {
     case TraceEvent::kEnqueue: return "enqueue";
     case TraceEvent::kDrop: return "drop";
     case TraceEvent::kTransmit: return "transmit";
+    case TraceEvent::kMark: return "mark";
   }
   return "?";
 }
@@ -81,15 +82,21 @@ TraceRecord TracingQueue::make_record(const Packet& p, Time now,
 bool TracingQueue::do_enqueue(Packet&& p, Time now) {
   // Record before handing over (the inner queue may consume the packet).
   TraceRecord pending = make_record(p, now, TraceEvent::kEnqueue);
-  const std::uint64_t drops_before = inner_->stats().dropped;
+  const std::uint64_t marks_before = inner_->stats().marked;
   const bool accepted = inner_->enqueue(std::move(p), now);
   if (accepted) {
     tracer_.record(pending);
+    // An admission that bumped the inner mark counter was an ECN CE mark
+    // applied in place of an early drop (RED marks at enqueue).
+    if (inner_->stats().marked > marks_before) {
+      pending.event = TraceEvent::kMark;
+      tracer_.record(pending);
+      stats_.marked += inner_->stats().marked - marks_before;
+    }
   } else {
     pending.event = TraceEvent::kDrop;
     tracer_.record(pending);
     // Mirror the inner drop into our own stats block.
-    (void)drops_before;
     stats_.dropped += 1;
     stats_.bytes_dropped += pending.size_bytes;
   }
@@ -97,7 +104,25 @@ bool TracingQueue::do_enqueue(Packet&& p, Time now) {
 }
 
 std::optional<Packet> TracingQueue::do_dequeue(Time now) {
-  return inner_->dequeue(now);
+  const QueueStats& is = inner_->stats();
+  const std::uint64_t marks_before = is.marked;
+  const std::uint64_t drops_before = is.dropped;
+  const std::uint64_t drop_bytes_before = is.bytes_dropped;
+  auto p = inner_->dequeue(now);
+  // CoDel marks at dequeue: the delivered head carries the fresh CE mark.
+  if (p && is.marked > marks_before) {
+    tracer_.record(make_record(*p, now, TraceEvent::kMark));
+    stats_.marked += is.marked - marks_before;
+  }
+  // Mirror dequeue-time AQM drops (CoDel head drops) into the wrapper's
+  // stats block like the enqueue-time ones above. The dropped packets were
+  // consumed inside the inner discipline, so no per-packet kDrop trace
+  // record can be emitted for them -- only the counters survive.
+  if (is.dropped > drops_before) {
+    stats_.dropped += is.dropped - drops_before;
+    stats_.bytes_dropped += is.bytes_dropped - drop_bytes_before;
+  }
+  return p;
 }
 
 }  // namespace qoesim::net

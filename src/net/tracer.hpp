@@ -19,7 +19,7 @@
 
 namespace qoesim::net {
 
-enum class TraceEvent : std::uint8_t { kEnqueue, kDrop, kTransmit };
+enum class TraceEvent : std::uint8_t { kEnqueue, kDrop, kTransmit, kMark };
 
 const char* to_string(TraceEvent e);
 
@@ -77,6 +77,10 @@ class TracingQueue final : public QueueDiscipline {
   std::size_t byte_count() const override { return inner_->byte_count(); }
   std::string name() const override { return "Tracing+" + inner_->name(); }
   void set_drain_rate(double bps) override { inner_->set_drain_rate(bps); }
+  void set_ecn_marking(bool on) override {
+    QueueDiscipline::set_ecn_marking(on);
+    inner_->set_ecn_marking(on);
+  }
 
  protected:
   bool do_enqueue(Packet&& p, Time now) override;

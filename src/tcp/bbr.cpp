@@ -1,0 +1,214 @@
+#include "tcp/bbr.hpp"
+
+#include <algorithm>
+
+namespace qoesim::tcp {
+
+namespace {
+
+/// RTprop min-filter window and PROBE_RTT dwell, per the BBR paper.
+const Time kMinRttWindow = Time::seconds(10);
+const Time kProbeRttDuration = Time::milliseconds(200);
+
+/// PROBE_BW pacing-gain cycle: probe up, drain the probe, then cruise.
+constexpr double kGainCycle[] = {1.25, 0.75, 1.0, 1.0, 1.0, 1.0, 1.0, 1.0};
+
+}  // namespace
+
+BbrCc::BbrCc(double mss_bytes, double initial_cwnd_bytes)
+    : CongestionControl(mss_bytes, initial_cwnd_bytes) {}
+
+double BbrCc::btl_bw_bps() const {
+  const int live = std::min(bw_samples_, kBwWindowRounds);
+  double best = 0.0;
+  for (int i = 0; i < live; ++i) best = std::max(best, bw_window_[i]);
+  return best;
+}
+
+double BbrCc::bdp_bytes() const {
+  const double bw = btl_bw_bps();
+  if (bw <= 0.0 || min_rtt_ == Time::max()) return 0.0;
+  return bw / 8.0 * min_rtt_.sec();
+}
+
+double BbrCc::pacing_rate_bps() const {
+  // Before the first delivery-rate sample the socket sends unpaced (the
+  // handshake RTT primes the model on the first data round).
+  const double bw = btl_bw_bps();
+  return bw > 0.0 ? pacing_gain_ * bw : 0.0;
+}
+
+void BbrCc::on_flight(double flight_bytes) { last_flight_ = flight_bytes; }
+
+void BbrCc::on_delivered(double delivered_bytes, Time now) {
+  // True delivery feed: the socket reports every ACK's cumulative advance
+  // plus newly SACKed bytes here, recovery included and uncapped by ABC,
+  // so the bandwidth filter measures the network rather than the window
+  // heuristics (on_ack's acked_bytes is capped at 2*MSS).
+  delivered_ += delivered_bytes;
+
+  // The first delivery anchors the round clock (connections start at
+  // arbitrary simulation times; measuring the first round from t=0 would
+  // produce a near-zero bandwidth sample and stall the pacer).
+  if (!round_init_) {
+    round_init_ = true;
+    round_start_ = now;
+    round_delivered_ = delivered_;
+    return;
+  }
+  if (min_rtt_ == Time::max()) return;  // rounds need an RTT estimate
+
+  // One bandwidth sample per round (one RTprop).
+  if (now - round_start_ >= min_rtt_ && now > round_start_) {
+    const double secs = (now - round_start_).sec();
+    const double bw = (delivered_ - round_delivered_) * 8.0 / secs;
+    bw_window_[round_count_ % kBwWindowRounds] = bw;
+    if (bw_samples_ < kBwWindowRounds) ++bw_samples_;
+    ++round_count_;
+    round_start_ = now;
+    round_delivered_ = delivered_;
+    advance_round(now);
+  }
+}
+
+void BbrCc::on_ack(double acked_bytes, Time rtt, Time now) {
+  // RTprop windowed min: take lower samples always, any sample once the
+  // window has gone stale (PROBE_RTT exists to force such a sample). The
+  // expiry is latched before the update -- the refreshing sample must not
+  // hide the staleness from the PROBE_RTT entry check below.
+  const bool rtprop_expired =
+      min_rtt_ != Time::max() && now - min_rtt_at_ > kMinRttWindow;
+  if (rtt > Time::zero() && (rtt <= min_rtt_ || rtprop_expired)) {
+    min_rtt_ = rtt;
+    min_rtt_at_ = now;
+  }
+
+  if (state_ != State::kProbeRtt && rtprop_expired) {
+    enter_probe_rtt(now);
+  }
+  if (state_ == State::kProbeRtt && now >= probe_rtt_done_) {
+    exit_probe_rtt(now);
+  }
+
+  update_cwnd(acked_bytes);
+}
+
+void BbrCc::advance_round(Time now) {
+  check_full_pipe();
+  update_state(now);
+  update_gains();
+}
+
+void BbrCc::check_full_pipe() {
+  if (full_pipe_ || state_ != State::kStartup) return;
+  const double bw = btl_bw_bps();
+  if (bw >= 1.25 * full_bw_) {
+    // Still growing by >= 25% per round: the pipe is not full yet.
+    full_bw_ = bw;
+    full_bw_rounds_ = 0;
+    return;
+  }
+  if (++full_bw_rounds_ >= 3) {
+    full_pipe_ = true;
+    state_ = State::kDrain;
+    // STARTUP is BBR's only slow-start-like phase; pin in_slow_start()
+    // false from here on (BBR has no ssthresh in the AIMD sense).
+    ssthresh_ = 0.0;
+  }
+}
+
+void BbrCc::update_state(Time /*now*/) {
+  switch (state_) {
+    case State::kStartup:
+      break;  // exit handled by check_full_pipe
+    case State::kDrain:
+      // The high-gain overshoot has left the queue once inflight fits the
+      // estimated BDP; start cruising.
+      if (last_flight_ <= bdp_bytes()) {
+        state_ = State::kProbeBw;
+        cycle_index_ = 0;
+      }
+      break;
+    case State::kProbeBw:
+      cycle_index_ = (cycle_index_ + 1) % kGainCycleLen;
+      break;
+    case State::kProbeRtt:
+      break;  // dwell handled in on_ack
+  }
+}
+
+void BbrCc::update_gains() {
+  switch (state_) {
+    case State::kStartup:
+      pacing_gain_ = kHighGain;
+      cwnd_gain_ = kHighGain;
+      break;
+    case State::kDrain:
+      pacing_gain_ = kDrainGain;
+      cwnd_gain_ = kHighGain;
+      break;
+    case State::kProbeBw:
+      pacing_gain_ = kGainCycle[cycle_index_];
+      cwnd_gain_ = kCwndGain;
+      break;
+    case State::kProbeRtt:
+      pacing_gain_ = 1.0;
+      cwnd_gain_ = 1.0;
+      break;
+  }
+}
+
+void BbrCc::update_cwnd(double acked_bytes) {
+  const double floor = kMinCwndSegments * mss_;
+  if (state_ == State::kProbeRtt) {
+    // Sit at the minimal window so the queue drains and RTprop is visible.
+    cwnd_ = floor;
+    return;
+  }
+  const double bdp = bdp_bytes();
+  if (bdp <= 0.0 || !full_pipe_) {
+    // Model not primed / still filling the pipe: grow like slow start.
+    cwnd_ += acked_bytes;
+  } else {
+    const double target = std::max(cwnd_gain_ * bdp, floor);
+    cwnd_ = std::min(cwnd_ + acked_bytes, target);
+  }
+  cwnd_ = std::max(cwnd_, floor);
+}
+
+void BbrCc::enter_probe_rtt(Time now) {
+  probe_rtt_resume_ = full_pipe_ ? State::kProbeBw : State::kStartup;
+  state_ = State::kProbeRtt;
+  probe_rtt_done_ = now + kProbeRttDuration;
+  update_gains();
+}
+
+void BbrCc::exit_probe_rtt(Time /*now*/) {
+  state_ = probe_rtt_resume_;
+  if (state_ == State::kProbeBw) cycle_index_ = 0;
+  update_gains();
+}
+
+void BbrCc::on_loss_event(Time /*now*/) {
+  // BBR does not collapse its model on loss; packet conservation caps the
+  // window at the reported pipe for the recovery round, and the model
+  // target restores it afterwards.
+  const double floor = kMinCwndSegments * mss_;
+  cwnd_ = std::max(std::min(cwnd_, last_flight_ + mss_), floor);
+}
+
+void BbrCc::on_timeout(Time /*now*/) {
+  // RTO: fall back to one segment like every sender; the bandwidth and
+  // RTprop estimates survive, so recovery back to the target is one RTT
+  // of exponential growth, not a fresh STARTUP.
+  cwnd_ = mss_;
+}
+
+bool BbrCc::on_ecn_echo(Time /*now*/) {
+  // BBRv1 is deliberately ECN-agnostic (the ablation bench shows the
+  // consequence: it keeps pushing where CUBIC-with-ECN backs off).
+  // Returning false keeps the echoing ACK feeding the rate sampler.
+  return false;
+}
+
+}  // namespace qoesim::tcp

@@ -1,0 +1,109 @@
+// qoesim -- BBRv1-style congestion control (Cardwell et al. 2016).
+//
+// BBR models the path instead of probing for loss: a windowed-max filter
+// over delivery-rate samples estimates the bottleneck bandwidth (BtlBw), a
+// windowed-min filter over RTT samples estimates the propagation delay
+// (RTprop), and the sender paces at gain * BtlBw while capping inflight at
+// cwnd_gain * BDP. The state machine is the published one -- STARTUP
+// (2/ln2 gain until the bandwidth plateaus), DRAIN (inverse gain until
+// inflight <= BDP), PROBE_BW (eight-phase gain cycle 1.25/0.75/1x6) and
+// PROBE_RTT (cwnd of 4 segments for 200 ms when RTprop goes stale).
+//
+// As the counterfactual to the paper's bufferbloat cells: a BBR sender
+// keeps the standing queue near zero regardless of how big the buffer is,
+// because it never sends faster than the estimated bottleneck for long.
+//
+// Delivery-rate samples arrive through on_delivered() (every ACK's true
+// delivery: cumulative advance + newly SACKed, recovery included and not
+// ABC-capped); on_ack() carries the RTT samples and the window updates.
+//
+// Simplifications against tcp_bbr.c, chosen to keep the sweep
+// deterministic: rounds are delimited by elapsed RTprop rather than by
+// delivered-sequence markers, the PROBE_BW cycle starts at a fixed phase
+// instead of a random one, there is no long-term-sampling /
+// policer-detection logic, and RTT samples (and hence state transitions)
+// pause during loss recovery -- a recovery episode outlasting the 10 s
+// RTprop window therefore triggers one PROBE_RTT dip on the first
+// post-recovery ACK, which self-heals after its 200 ms dwell. BBRv1
+// ignores ECN marks (on_ecn_echo returns false), which the ECN ablation
+// bench surfaces deliberately.
+#pragma once
+
+#include "tcp/congestion_control.hpp"
+
+namespace qoesim::tcp {
+
+class BbrCc final : public CongestionControl {
+ public:
+  enum class State { kStartup, kDrain, kProbeBw, kProbeRtt };
+
+  BbrCc(double mss_bytes, double initial_cwnd_bytes);
+
+  void on_ack(double acked_bytes, Time rtt, Time now) override;
+  void on_loss_event(Time now) override;
+  void on_timeout(Time now) override;
+  bool on_ecn_echo(Time now) override;
+  void on_flight(double flight_bytes) override;
+  void on_delivered(double delivered_bytes, Time now) override;
+  double pacing_rate_bps() const override;
+  std::string name() const override { return "bbr"; }
+
+  // ---- model introspection (tests, diagnostics) ----
+  State state() const { return state_; }
+  double btl_bw_bps() const;                       ///< 0 until first sample
+  Time min_rtt() const { return min_rtt_; }        ///< Time::max() until seen
+  bool full_pipe() const { return full_pipe_; }
+  double pacing_gain() const { return pacing_gain_; }
+  double bdp_bytes() const;                        ///< 0 until model primed
+
+ private:
+  static constexpr double kHighGain = 2.885;       // 2/ln(2): fills the pipe
+  static constexpr double kDrainGain = 1.0 / kHighGain;
+  static constexpr double kCwndGain = 2.0;         // inflight cap vs BDP
+  static constexpr int kGainCycleLen = 8;          // 1.25, 0.75, then 1.0 x6
+  static constexpr int kBwWindowRounds = 10;       // BtlBw max-filter length
+  static constexpr int kMinCwndSegments = 4;
+
+  void advance_round(Time now);
+  void check_full_pipe();
+  void update_state(Time now);
+  void update_gains();
+  void update_cwnd(double acked_bytes);
+  void enter_probe_rtt(Time now);
+  void exit_probe_rtt(Time now);
+
+  State state_ = State::kStartup;
+  double pacing_gain_ = kHighGain;
+  double cwnd_gain_ = kHighGain;
+
+  // Delivery-rate sampling: bytes delivered per round (one RTprop).
+  double delivered_ = 0.0;          // cumulative acked bytes
+  double round_delivered_ = 0.0;    // delivered_ at round start
+  Time round_start_;
+  bool round_init_ = false;         // round_start_ set by the first ACK
+  std::uint64_t round_count_ = 0;
+
+  // BtlBw windowed-max filter: ring of the last kBwWindowRounds per-round
+  // samples, indexed by round number (one sample per round, so overwrite
+  // order is exactly sample age).
+  double bw_window_[kBwWindowRounds] = {};
+  int bw_samples_ = 0;
+
+  // RTprop windowed-min filter (10 s window, per the paper).
+  Time min_rtt_ = Time::max();
+  Time min_rtt_at_;
+
+  // STARTUP plateau detection.
+  double full_bw_ = 0.0;
+  int full_bw_rounds_ = 0;
+  bool full_pipe_ = false;
+
+  // PROBE_BW gain cycle / PROBE_RTT dwell.
+  int cycle_index_ = 0;
+  Time probe_rtt_done_;
+  State probe_rtt_resume_ = State::kProbeBw;
+
+  double last_flight_ = 0.0;        // socket-reported pipe (bytes)
+};
+
+}  // namespace qoesim::tcp

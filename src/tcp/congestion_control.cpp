@@ -4,6 +4,7 @@
 #include <limits>
 #include <stdexcept>
 
+#include "tcp/bbr.hpp"
 #include "tcp/bic.hpp"
 #include "tcp/cubic.hpp"
 #include "tcp/reno.hpp"
@@ -42,6 +43,7 @@ const char* to_string(CcKind kind) {
     case CcKind::kBic: return "bic";
     case CcKind::kCubic: return "cubic";
     case CcKind::kVegas: return "vegas";
+    case CcKind::kBbr: return "bbr";
   }
   return "?";
 }
@@ -57,6 +59,8 @@ std::unique_ptr<CongestionControl> make_congestion_control(
       return std::make_unique<CubicCc>(mss_bytes, initial_cwnd_bytes);
     case CcKind::kVegas:
       return std::make_unique<VegasCc>(mss_bytes, initial_cwnd_bytes);
+    case CcKind::kBbr:
+      return std::make_unique<BbrCc>(mss_bytes, initial_cwnd_bytes);
   }
   throw std::invalid_argument("make_congestion_control: unknown kind");
 }

@@ -14,7 +14,7 @@
 
 namespace qoesim::tcp {
 
-enum class CcKind { kReno, kBic, kCubic, kVegas };
+enum class CcKind { kReno, kBic, kCubic, kVegas, kBbr };
 
 const char* to_string(CcKind kind);
 
@@ -29,8 +29,32 @@ class CongestionControl {
   virtual void on_loss_event(Time now) = 0;
   /// Retransmission timeout: collapse to one segment.
   virtual void on_timeout(Time now) = 0;
+  /// ECN congestion echo (peer reported a CE mark, RFC 3168 §6.1.2). The
+  /// socket gates this to once per RTT; loss-based controllers treat it as
+  /// a loss-equivalent signal (beta decrease, nothing to retransmit) and
+  /// return true. A controller that ignores marks (BBRv1) returns false so
+  /// the socket still delivers the triggering ACK to on_ack -- otherwise
+  /// the echo would silently starve its delivery-rate sampling.
+  virtual bool on_ecn_echo(Time now) {
+    on_loss_event(now);
+    return true;
+  }
+  /// Socket-reported bytes in flight after ACK processing (called just
+  /// before on_ack). Controllers that reason about the pipe (BBR's drain
+  /// and loss response) use it; window-only controllers ignore it.
+  virtual void on_flight(double /*flight_bytes*/) {}
+  /// Raw delivery sample: bytes newly delivered (cumulative ACK advance
+  /// plus newly SACKed) by the ACK being processed. Called on every ACK,
+  /// including during loss recovery and before any ABC capping -- rate
+  /// estimators (BBR) must see true delivery, not the window-growth
+  /// credit on_ack receives. Window-only controllers ignore it.
+  virtual void on_delivered(double /*delivered_bytes*/, Time /*now*/) {}
 
   virtual std::string name() const = 0;
+
+  /// Pacing rate in bits/s the socket should space transmissions at;
+  /// 0 means unpaced (pure window release). Only BBR paces.
+  virtual double pacing_rate_bps() const { return 0.0; }
 
   double cwnd_bytes() const { return cwnd_; }
   double ssthresh_bytes() const { return ssthresh_; }

@@ -35,6 +35,7 @@ TcpSocket::~TcpSocket() {
   cancel_rto();
   delack_timer_.cancel();
   tlp_timer_.cancel();
+  pacing_timer_.cancel();
 }
 
 std::shared_ptr<TcpSocket> TcpSocket::connect(net::Node& node,
@@ -79,6 +80,9 @@ void TcpSocket::start_accept(const net::Packet& syn) {
   state_ = State::kSynRcvd;
   syn_sent_at_ = sim_.now();
   rcv_nxt_ = syn.tcp.seq + 1;  // SYN consumes one sequence number
+  // RFC 3168 §6.1.1: an ECN-setup SYN has both ECE and CWR set; grant only
+  // if we are configured for ECN too (the SYN-ACK then carries ECE alone).
+  ecn_ok_ = config_.ecn && syn.tcp.ece && syn.tcp.cwr;
   send_control(/*syn=*/true, /*ack=*/true, /*fin=*/false);
   arm_rto();
 }
@@ -115,6 +119,8 @@ void TcpSocket::on_packet(net::Packet&& p) {
   // Handshake transitions.
   if (state_ == State::kSynSent) {
     if (seg.syn && seg.has_ack && seg.ack >= 1) {
+      // RFC 3168 §6.1.1: the ECN-setup SYN-ACK sets ECE and clears CWR.
+      ecn_ok_ = config_.ecn && seg.ece && !seg.cwr;
       snd_una_ = 1;
       rcv_nxt_ = seg.seq + 1;
       state_ = State::kEstablished;
@@ -155,6 +161,16 @@ void TcpSocket::on_packet(net::Packet&& p) {
     // re-acknowledge so the peer leaves its handshake state.
     send_ack_now();
     return;
+  }
+
+  if (ecn_ok_) {
+    // Receiver half of RFC 3168 §6.1.3: CWR from the peer ends the current
+    // echo episode; a CE mark on this very packet starts the next one.
+    if (seg.cwr) ecn_echo_pending_ = false;
+    if (p.ecn == net::Ecn::kCe) {
+      ecn_echo_pending_ = true;
+      ++stats_.ecn_ce_received;
+    }
   }
 
   if (seg.has_ack) handle_ack(p);
@@ -221,6 +237,25 @@ void TcpSocket::handle_ack(const net::Packet& p) {
   const std::uint64_t newly_sacked =
       sacked_bytes_ > sacked_before ? sacked_bytes_ - sacked_before : 0;
   conservation_credit_ = static_cast<double>(cum_advance + newly_sacked);
+  // Rate estimators see true delivery on every ACK -- recovery included,
+  // uncapped by the ABC credit below.
+  if (cum_advance + newly_sacked > 0) {
+    cc_->on_delivered(static_cast<double>(cum_advance + newly_sacked),
+                      sim_.now());
+  }
+  // RFC 3168 §6.1.2 sender half: an ECE echo is one congestion event per
+  // RTT (beta decrease, CWR out, nothing to retransmit). Handled before
+  // the window logic so the triggering ACK does not also grow the window.
+  bool ecn_reacted = false;
+  if (ecn_ok_ && p.tcp.ece && !in_recovery_ && ack > ecn_response_end_) {
+    ecn_response_end_ = snd_max_;
+    // CWR goes out either way: it terminates the receiver's echo episode
+    // even when the controller elects to ignore the mark (BBRv1).
+    cwr_pending_ = true;
+    cc_->on_flight(static_cast<double>(flight_bytes()));
+    ecn_reacted = cc_->on_ecn_echo(sim_.now());
+    if (ecn_reacted) ++stats_.ecn_responses;
+  }
   if (ack > snd_una_) {
     const std::uint64_t old_una = snd_una_;
     snd_una_ = ack;
@@ -267,6 +302,7 @@ void TcpSocket::handle_ack(const net::Packet& p) {
       rtt_probe_armed_ = false;
     }
 
+    cc_->on_flight(static_cast<double>(flight_bytes()));
     if (in_recovery_) {
       if (ack >= recover_) {
         in_recovery_ = false;
@@ -282,7 +318,7 @@ void TcpSocket::handle_ack(const net::Packet& p) {
         retransmit_head();
       }
       // With SACK, hole retransmissions are driven by maybe_send_data().
-    } else {
+    } else if (!ecn_reacted) {
       // RFC 3465 Appropriate Byte Counting with L=2*SMSS: a huge
       // cumulative ACK (e.g. after a retransmission fills a hole) must not
       // credit the whole jump to the window in one step, or the growth
@@ -465,18 +501,40 @@ void TcpSocket::maybe_send_data() {
       static_cast<double>(config_.max_burst_segments) * config_.mss;
   double sent_this_call = 0.0;
 
+  // Pacing stage (BBR): when the controller reports a pacing rate, each
+  // transmission advances a release clock by its serialization time at
+  // that rate, and a blocked call re-arms the pacing timer (scheduler
+  // reschedule fast path -- no slot churn) instead of bursting the window.
+  const double pacing_bps = cc_->pacing_rate_bps();
+  const bool paced = pacing_bps > 0.0;
+  bool pace_blocked = false;
+  auto pace_charge = [&](std::uint32_t wire_bytes) {
+    pacing_release_ = std::max(sim_.now(), pacing_release_) +
+                      Time::seconds(static_cast<double>(wire_bytes) * 8.0 /
+                                    pacing_bps);
+  };
+
   // SACK recovery first: fill holes while the pipe has room.
   while (in_recovery_ && outstanding0 + sent_this_call < window &&
          sent_this_call < burst_budget) {
+    if (paced && sim_.now() < pacing_release_) {
+      pace_blocked = true;
+      break;
+    }
     if (!retransmit_next_hole()) break;
+    if (paced) pace_charge(config_.mss + net::kTcpHeaderBytes);
     sent_this_call += config_.mss;
     arm_rto();
   }
 
-  while (snd_nxt_data_ < data_end) {
+  while (snd_nxt_data_ < data_end && !pace_blocked) {
     if (outstanding0 + sent_this_call >= window ||
         sent_this_call >= burst_budget) {
       break;  // window full or burst bound reached
+    }
+    if (paced && sim_.now() < pacing_release_) {
+      pace_blocked = true;
+      break;
     }
     const auto len = static_cast<std::uint32_t>(
         std::min<std::uint64_t>(config_.mss, data_end - snd_nxt_data_));
@@ -485,10 +543,16 @@ void TcpSocket::maybe_send_data() {
     const bool is_retransmit = snd_nxt_data_ + len <= snd_max_;
     if (is_retransmit) ++stats_.retransmits;
     send_segment(snd_nxt_data_, len, /*fin=*/false, is_retransmit);
+    if (paced) pace_charge(len + net::kTcpHeaderBytes);
     snd_nxt_data_ += len;
     snd_max_ = std::max(snd_max_, snd_nxt_data_);
     sent_this_call += len;
     arm_rto();
+  }
+
+  if (pace_blocked) {
+    arm_pacer(pacing_release_);
+    return;  // the pacer re-enters here once the release clock allows
   }
 
   // Conservation fallback: if the pipe estimate blocked everything (a
@@ -546,6 +610,15 @@ void TcpSocket::send_segment(std::uint64_t seq, std::uint32_t len, bool fin,
   p.tcp.fin = fin;
   p.tcp.payload = len;
   if (p.tcp.has_ack) fill_sack(p.tcp, ooo_);
+  if (ecn_ok_) {
+    // RFC 3168: data travels as ECT(0); retransmissions must not (§6.1.5).
+    if (len > 0 && !is_retransmit) p.ecn = net::Ecn::kEct0;
+    if (len > 0 && cwr_pending_) {
+      p.tcp.cwr = true;
+      cwr_pending_ = false;
+    }
+    p.tcp.ece = p.tcp.has_ack && ecn_echo_pending_;
+  }
   p.app.kind = net::AppKind::kBulk;
   p.app.created = sim_.now();
   ++stats_.segments_sent;
@@ -575,6 +648,15 @@ void TcpSocket::send_control(bool syn, bool ack, bool fin) {
   p.tcp.seq = syn ? 0 : (fin ? fin_seq_ : snd_nxt_data_);
   p.tcp.payload = 0;
   if (ack) fill_sack(p.tcp, ooo_);
+  if (syn && !ack) {
+    // ECN-setup SYN: ECE+CWR request (RFC 3168 §6.1.1).
+    p.tcp.ece = config_.ecn;
+    p.tcp.cwr = config_.ecn;
+  } else if (syn && ack) {
+    p.tcp.ece = ecn_ok_;  // ECN-setup SYN-ACK: ECE alone grants
+  } else if (ecn_ok_ && ack) {
+    p.tcp.ece = ecn_echo_pending_;
+  }
   ++stats_.segments_sent;
   node_.send(std::move(p));
 }
@@ -684,6 +766,17 @@ void TcpSocket::arm_rto() {
 void TcpSocket::cancel_rto() {
   rto_timer_.cancel();
   tlp_timer_.cancel();
+}
+
+void TcpSocket::arm_pacer(Time deadline) {
+  // Same re-arm idiom as the RTO: move the pending timer in place
+  // (allocation-free fast path), rebuild only after it fired.
+  if (!pacing_timer_.reschedule(deadline)) {
+    auto weak = weak_from_this();
+    pacing_timer_ = sim_.at(deadline, [weak] {
+      if (auto self = weak.lock()) self->maybe_send_data();
+    });
+  }
 }
 
 void TcpSocket::arm_tlp() {
@@ -813,6 +906,7 @@ void TcpSocket::finish_close() {
   stats_.closed_at = sim_.now();
   cancel_rto();
   delack_timer_.cancel();
+  pacing_timer_.cancel();
   if (bound_) {
     bound_ = false;
     // Defer the unbind: the node's demux entry holds the shared_ptr that may

@@ -45,6 +45,10 @@ struct TcpConfig {
   /// lost tail is repaired through SACK recovery instead of an RTO with
   /// full window collapse.
   bool enable_tlp = true;
+  /// RFC 3168 ECN: negotiate on the handshake (both ends must enable it),
+  /// send data as ECT(0), echo CE marks as ECE, and react to ECE once per
+  /// RTT with a loss-equivalent congestion response (no retransmission).
+  bool ecn = false;
 };
 
 struct TcpStats {
@@ -56,6 +60,8 @@ struct TcpStats {
   std::uint64_t timeouts = 0;
   std::uint64_t tlp_probes = 0;
   std::uint64_t dup_acks_seen = 0;
+  std::uint64_t ecn_ce_received = 0;   ///< CE-marked packets seen (receiver)
+  std::uint64_t ecn_responses = 0;     ///< ECE-triggered cwnd reductions
   Time connect_time = Time::zero();     ///< SYN -> established
   Time established_at = Time::zero();
   Time closed_at = Time::zero();
@@ -102,6 +108,8 @@ class TcpSocket : public std::enable_shared_from_this<TcpSocket> {
 
   bool established() const { return state_ == State::kEstablished; }
   bool fully_closed() const { return state_ == State::kClosed && stats_.closed; }
+  /// True once both ends agreed to ECN on the handshake.
+  bool ecn_negotiated() const { return ecn_ok_; }
 
   const TcpStats& stats() const { return stats_; }
   const RttEstimator& rtt() const { return rtt_; }
@@ -151,6 +159,8 @@ class TcpSocket : public std::enable_shared_from_this<TcpSocket> {
   void send_segment(std::uint64_t seq, std::uint32_t len, bool fin,
                     bool is_retransmit);
   void send_control(bool syn, bool ack, bool fin);
+  /// Arm/move the pacing timer; fires maybe_send_data at `deadline`.
+  void arm_pacer(Time deadline);
   void send_ack_now();
   void schedule_delayed_ack();
   void enter_recovery();
@@ -221,6 +231,20 @@ class TcpSocket : public std::enable_shared_from_this<TcpSocket> {
   EventHandle delack_timer_;
   EventHandle tlp_timer_;
   bool tlp_allowed_ = true;  ///< one probe per ACK-progress epoch
+
+  // ---- ECN (RFC 3168) ----
+  bool ecn_ok_ = false;           ///< negotiated on the handshake
+  bool ecn_echo_pending_ = false; ///< receiver: echo ECE until CWR seen
+  bool cwr_pending_ = false;      ///< sender: set CWR on the next data seg
+  /// Highest data seq outstanding when the last ECE response was taken;
+  /// further echoes are ignored until the ack passes it (once per RTT).
+  std::uint64_t ecn_response_end_ = 0;
+
+  // ---- pacing (BBR) ----
+  /// Earliest time the next paced segment may leave; advanced by each
+  /// transmission at the controller's pacing rate.
+  Time pacing_release_;
+  EventHandle pacing_timer_;
 
   // ---- receive side ----
   std::uint64_t rcv_nxt_ = 0;  ///< next expected peer seq (0 until SYN seen)

@@ -59,6 +59,82 @@ TEST(Vegas, HoldsInsideTargetBand) {
   EXPECT_NEAR(cc.cwnd_bytes(), before, kMss * 0.5);
 }
 
+TEST(Vegas, BaseRttTracksMinimumObserved) {
+  // The baseline is the running *minimum* RTT: later, higher samples are
+  // queueing delay and must feed the backlog estimate, not the baseline.
+  tcp::VegasCc cc(kMss, 10 * kMss);
+  cc.on_loss_event(Time::zero());  // leave slow start
+  cc.on_ack(kMss, Time::milliseconds(100), Time::zero());
+  cc.on_ack(kMss, Time::milliseconds(80), Time::zero());  // new minimum
+  cc.on_ack(kMss, Time::milliseconds(120), Time::zero());
+  // With base 80 ms, an RTT of 120 ms means the flow keeps
+  // cwnd*(1 - 80/120)/mss packets queued; check the estimate matches.
+  const double cwnd_seg = cc.cwnd_bytes() / kMss;
+  const double want = cwnd_seg * (1.0 - 80.0 / 120.0);
+  EXPECT_NEAR(cc.backlog_estimate(), want, 0.35);
+  // A sample at the baseline reads as an empty queue.
+  cc.on_ack(kMss, Time::milliseconds(80), Time::zero());
+  EXPECT_NEAR(cc.backlog_estimate(), 0.0, 1e-9);
+}
+
+TEST(Vegas, AlphaBetaWindowAdjustment) {
+  // Pin the congestion-avoidance decision at backlogs below alpha (=2),
+  // inside [alpha, beta], and above beta (=4): grow / hold / shrink by at
+  // most one MSS per RTT.
+  struct Case {
+    double target_backlog;
+    int direction;  // -1 shrink, 0 hold, +1 grow
+  };
+  for (const Case c : {Case{1.0, +1}, Case{3.0, 0}, Case{6.0, -1}}) {
+    tcp::VegasCc cc(kMss, 20 * kMss);
+    cc.on_loss_event(Time::zero());
+    const double base_ms = 100.0;
+    cc.on_ack(kMss, Time::milliseconds(base_ms), Time::zero());
+    const double before = cc.cwnd_bytes();
+    // Solve diff = cwnd*(1 - base/rtt)/mss for the RTT that produces the
+    // wanted backlog at the current window.
+    const double cwnd_seg = before / kMss;
+    const double rtt_ms = base_ms / (1.0 - c.target_backlog / cwnd_seg);
+    // One RTT worth of ACKs.
+    const int acks = static_cast<int>(cwnd_seg);
+    for (int i = 0; i < acks; ++i) {
+      cc.on_ack(kMss, Time::milliseconds(rtt_ms), Time::zero());
+    }
+    const double delta = cc.cwnd_bytes() - before;
+    switch (c.direction) {
+      case +1:
+        EXPECT_GT(delta, 0.25 * kMss) << c.target_backlog;
+        EXPECT_LE(delta, 1.5 * kMss) << c.target_backlog;  // ~1 MSS/RTT
+        break;
+      case 0:
+        EXPECT_NEAR(delta, 0.0, 0.5 * kMss) << c.target_backlog;
+        break;
+      case -1:
+        EXPECT_LT(delta, -0.25 * kMss) << c.target_backlog;
+        EXPECT_GE(delta, -1.5 * kMss) << c.target_backlog;
+        // The deliberate decrease must drag ssthresh down with it so the
+        // next ACK does not re-enter slow start.
+        EXPECT_FALSE(cc.in_slow_start()) << c.target_backlog;
+        break;
+    }
+  }
+}
+
+TEST(Vegas, SlowStartExitsOnBacklogNotLoss) {
+  tcp::VegasCc cc(kMss, 4 * kMss);
+  ASSERT_TRUE(cc.in_slow_start());
+  const Time base = Time::milliseconds(50);
+  cc.on_ack(kMss, base, Time::zero());
+  // Queueing delay mounts while still in slow start: once the backlog
+  // estimate exceeds beta, ssthresh snaps to cwnd and slow start ends
+  // without a single loss.
+  for (int i = 0; i < 200 && cc.in_slow_start(); ++i) {
+    cc.on_ack(kMss, Time::milliseconds(200), Time::zero());
+  }
+  EXPECT_FALSE(cc.in_slow_start());
+  EXPECT_GT(cc.backlog_estimate(), 4.0);
+}
+
 TEST(Vegas, KeepsDeepBufferNearlyEmpty) {
   // The counterfactual to the paper's bufferbloat cells: a greedy Vegas
   // flow through a 256-packet 2 Mbit/s bottleneck holds only a few
