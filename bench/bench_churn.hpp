@@ -1,0 +1,35 @@
+// Shared flow-churn scenario for BM_FlowChurn (bench_sim_core.cpp, wall-
+// clock microbench) and bench_flows.cpp (deterministic table in the CI
+// determinism gate): one definition so the two benches can never
+// silently measure different scenarios. N Harpoon sessions push short
+// transfers through a fat dumbbell, so throughput is bound by per-flow
+// churn (port allocation, bind, handshake, teardown, unbind), not by
+// bandwidth.
+#pragma once
+
+#include <memory>
+
+#include "net/topology.hpp"
+#include "trafficgen/harpoon.hpp"
+
+namespace qoesim::bench {
+
+/// 10 Gbit/s, 1 ms, 1024-packet dumbbell direction.
+inline net::LinkSpec churn_link_spec() {
+  net::LinkSpec spec;
+  spec.rate_bps = 10e9;  // fat pipe: churn-bound, not bandwidth-bound
+  spec.delay = Time::milliseconds(1);
+  spec.buffer_packets = 1024;
+  return spec;
+}
+
+/// N sessions, 20 kB transfers, 0.1 s mean inter-arrival per session.
+inline trafficgen::HarpoonConfig churn_harpoon_config(std::size_t sessions) {
+  trafficgen::HarpoonConfig cfg;
+  cfg.sessions = sessions;
+  cfg.interarrival = std::make_shared<trafficgen::ExponentialDist>(0.1);
+  cfg.file_size = std::make_shared<trafficgen::ConstantDist>(20e3);
+  return cfg;
+}
+
+}  // namespace qoesim::bench

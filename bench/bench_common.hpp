@@ -25,6 +25,7 @@
 #include "core/heatmap.hpp"
 #include "core/scenario.hpp"
 #include "core/sweep.hpp"
+#include "net/node.hpp"
 #include "sim/event.hpp"
 #include "stats/table.hpp"
 
@@ -59,6 +60,34 @@ inline void emit_scheduler_summary() {
   if (secs > 0.0) {
     std::fprintf(stderr, "[scheduler] %.2f M events/s (%.2fs wall)\n",
                  static_cast<double>(stats.fired) / secs / 1e6, secs);
+  }
+}
+
+/// Print the aggregated node forwarding/demux counters of every Node the
+/// bench destroyed, then assert nothing was blackholed: a figure run must
+/// end with undelivered == unrouted == 0 (anything else means a misrouted
+/// topology or a missing handler silently ate packets). Output goes to
+/// stderr so stdout stays diff-stable for the sweep determinism checks;
+/// on violation the process exits 1 so CI smoke steps catch it.
+inline void emit_node_summary() {
+  const net::Node::Stats s = net::Node::global_stats();
+  std::fprintf(stderr,
+               "[node] delivered=%llu undelivered=%llu stray_late=%llu"
+               " unrouted=%llu binds=%llu unbinds=%llu demux_rehashes=%llu\n",
+               static_cast<unsigned long long>(s.delivered),
+               static_cast<unsigned long long>(s.undelivered),
+               static_cast<unsigned long long>(s.stray_late),
+               static_cast<unsigned long long>(s.unrouted),
+               static_cast<unsigned long long>(s.binds),
+               static_cast<unsigned long long>(s.unbinds),
+               static_cast<unsigned long long>(s.demux_rehashes));
+  if (s.undelivered != 0 || s.unrouted != 0) {
+    std::fprintf(stderr,
+                 "[node] ERROR: %llu undelivered / %llu unrouted packets"
+                 " were blackholed\n",
+                 static_cast<unsigned long long>(s.undelivered),
+                 static_cast<unsigned long long>(s.unrouted));
+    std::_Exit(1);
   }
 }
 
@@ -144,8 +173,13 @@ struct BenchOptions {
       }
     }
     // Registered only on a successful parse (after the --help/error
-    // exits), so usage output is never followed by a stats line.
-    std::atexit([] { emit_scheduler_summary(); });
+    // exits), so usage output is never followed by a stats line. The node
+    // summary runs after the scheduler line and enforces the
+    // zero-blackhole invariant for every bench.
+    std::atexit([] {
+      emit_scheduler_summary();
+      emit_node_summary();
+    });
     return opt;
   }
 

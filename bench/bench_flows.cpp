@@ -1,0 +1,115 @@
+// Flow-churn scale bench: N Harpoon sessions push short TCP transfers
+// through a shared 10 Gbit/s dumbbell, so every flow pays the full node
+// demux lifecycle (ephemeral port allocation, 4-tuple bind, handshake,
+// transfer, teardown unbind). The table reports per-cell flow and demux
+// counters -- all simulation-deterministic, so the stdout is byte-identical
+// for a fixed seed regardless of --jobs and joins the CI determinism gate;
+// wall-clock flows/s and events/s go to stderr.
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "bench_churn.hpp"
+#include "bench_common.hpp"
+#include "net/topology.hpp"
+#include "sim/random.hpp"
+#include "trafficgen/harpoon.hpp"
+
+namespace qoesim {
+namespace {
+
+struct Cell {
+  std::uint64_t flows_started = 0;
+  std::uint64_t flows_completed = 0;
+  double concurrent_mean = 0.0;
+  std::size_t concurrent_peak = 0;
+  double fct_p50_ms = 0.0;
+  double fct_p95_ms = 0.0;
+  net::Node::Stats nodes;
+};
+
+Cell run_cell(std::size_t sessions, double duration_s, std::uint64_t seed) {
+  Simulation sim(seed);
+  net::Topology topo(sim);
+  auto& src = topo.add_node("src");
+  auto& dst = topo.add_node("dst");
+  const net::LinkSpec spec = bench::churn_link_spec();
+  topo.connect(src, dst, spec, spec);
+  topo.compute_routes();
+
+  trafficgen::HarpoonGenerator gen(sim, {&src}, {&dst},
+                                   bench::churn_harpoon_config(sessions),
+                                   sim.rng("churn"));
+  gen.start();
+  sim.run_until(Time::seconds(duration_s));
+  gen.stop();
+
+  Cell cell;
+  cell.flows_started = gen.flows_started();
+  cell.flows_completed = gen.flows_completed();
+  cell.concurrent_mean = gen.concurrency().time_weighted_mean(sim.now());
+  cell.concurrent_peak = gen.concurrency().peak();
+  cell.fct_p50_ms = gen.completion_times().percentile_or(50, 0.0) * 1e3;
+  cell.fct_p95_ms = gen.completion_times().percentile_or(95, 0.0) * 1e3;
+  cell.nodes = topo.node_stats();
+  return cell;
+}
+
+std::string fixed(double v) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.2f", v);
+  return buf;
+}
+
+void run(const bench::BenchOptions& opt) {
+  // --quick (CI smoke / determinism gate) quarters the measured window on
+  // top of --scale, mirroring the probe-budget convention.
+  const double duration_s = 2.0 * (opt.quick ? opt.scale * 0.25 : opt.scale);
+  const std::vector<std::size_t> sessions = {64, 1024, 4096};
+
+  const auto cells = opt.sweep().map(sessions.size(), [&](std::size_t i) {
+    // Per-cell seed derived from the master seed and the cell's session
+    // count: independent of evaluation order, so any --jobs value sees
+    // identical cells.
+    const std::uint64_t seed = RandomStream::derive_seed(
+        opt.seed, "flows/" + std::to_string(sessions[i]));
+    return run_cell(sessions[i], duration_s, seed);
+  });
+
+  stats::TextTable table;
+  table.set_header({"Sessions", "Started", "Completed", "Conc(mean)",
+                    "Conc(peak)", "FCT p50(ms)", "FCT p95(ms)", "Binds",
+                    "Rehashes", "Stray late"});
+  std::uint64_t total_flows = 0;
+  for (std::size_t i = 0; i < sessions.size(); ++i) {
+    const Cell& c = cells[i];
+    total_flows += c.flows_completed;
+    table.add_row({std::to_string(sessions[i]), std::to_string(c.flows_started),
+                   std::to_string(c.flows_completed), fixed(c.concurrent_mean),
+                   std::to_string(c.concurrent_peak), fixed(c.fct_p50_ms),
+                   fixed(c.fct_p95_ms), std::to_string(c.nodes.binds),
+                   std::to_string(c.nodes.demux_rehashes),
+                   std::to_string(c.nodes.stray_late)});
+  }
+  bench::emit(table, opt, "Flow churn: Harpoon sessions through one bottleneck");
+
+  const double secs =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                    bench::bench_start_time())
+          .count();
+  if (secs > 0.0) {
+    std::fprintf(stderr, "[flows] %.0f flows/s wall (%llu flows, %.2fs)\n",
+                 static_cast<double>(total_flows) / secs,
+                 static_cast<unsigned long long>(total_flows), secs);
+  }
+}
+
+}  // namespace
+}  // namespace qoesim
+
+int main(int argc, char** argv) {
+  const auto opt = qoesim::bench::BenchOptions::parse(argc, argv);
+  qoesim::run(opt);
+  return 0;
+}

@@ -8,9 +8,12 @@
 #include <benchmark/benchmark.h>
 
 #include <cstring>
+#include <memory>
 #include <string>
 #include <vector>
 
+#include "bench_churn.hpp"
+#include "bench_common.hpp"
 #include "net/drop_tail.hpp"
 #include "net/topology.hpp"
 #include "sim/simulation.hpp"
@@ -133,6 +136,70 @@ void BM_TcpBulkTransfer(benchmark::State& state) {
 }
 BENCHMARK(BM_TcpBulkTransfer)->Arg(1 << 20)->Arg(16 << 20);
 
+// Pure transport-demux dispatch: one host with N exact 4-tuple bindings
+// receives packets round-robin across the flows, so every delivered packet
+// pays exactly one connection lookup plus one handler invocation. The
+// handler captures a shared_ptr (like every TcpSocket handler does), so the
+// per-packet handler-copy cost of the dispatch path is part of the measured
+// work. The argument is the number of live flows.
+void BM_Demux(benchmark::State& state) {
+  const auto flows = static_cast<std::uint32_t>(state.range(0));
+  Simulation sim;
+  net::Topology topo(sim);
+  auto& host = topo.add_node("host");
+  auto delivered = std::make_shared<std::uint64_t>(0);
+  for (std::uint32_t i = 0; i < flows; ++i) {
+    host.bind_connection(net::Protocol::kTcp, 49152 + i, /*remote=*/1, 80,
+                         [delivered](net::Packet&&) { ++*delivered; });
+  }
+  std::uint32_t next = 0;
+  for (auto _ : state) {
+    net::Packet p;
+    p.src = 1;
+    p.dst = host.id();
+    p.proto = net::Protocol::kTcp;
+    p.size_bytes = 1500;
+    p.tcp.src_port = 80;
+    p.tcp.dst_port = 49152 + next;
+    if (++next == flows) next = 0;
+    host.receive(std::move(p));
+  }
+  if (*delivered != state.iterations()) state.SkipWithError("demux miss");
+  state.SetItemsProcessed(static_cast<int64_t>(*delivered));
+}
+BENCHMARK(BM_Demux)->Arg(64)->Arg(1024)->Arg(4096);
+
+// Flow churn at scale: N Harpoon sessions push short transfers through a
+// shared 10 Gbit/s bottleneck, so every flow pays connect (ephemeral port +
+// bind), handshake, transfer, teardown (unbind). items/s is completed
+// flows/s; the events/s counter is the end-to-end simulator rate.
+void BM_FlowChurn(benchmark::State& state) {
+  const auto sessions = static_cast<std::size_t>(state.range(0));
+  std::uint64_t flows = 0;
+  std::uint64_t events = 0;
+  for (auto _ : state) {
+    Simulation sim(11);
+    net::Topology topo(sim);
+    auto& src = topo.add_node("src");
+    auto& dst = topo.add_node("dst");
+    const net::LinkSpec spec = bench::churn_link_spec();
+    topo.connect(src, dst, spec, spec);
+    topo.compute_routes();
+    trafficgen::HarpoonGenerator gen(sim, {&src}, {&dst},
+                                     bench::churn_harpoon_config(sessions),
+                                     sim.rng("churn"));
+    gen.start();
+    sim.run_until(Time::seconds(2));
+    flows += gen.flows_completed();
+    events += sim.scheduler().fired_events();
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(flows));
+  state.counters["events/s"] = benchmark::Counter(
+      static_cast<double>(events), benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_FlowChurn)->Arg(64)->Arg(1024)->Arg(4096)
+    ->Unit(benchmark::kMillisecond);
+
 void BM_HarpoonScenarioSecond(benchmark::State& state) {
   for (auto _ : state) {
     Simulation sim(7);
@@ -177,7 +244,8 @@ int main(int argc, char** argv) {
       args.push_back(argv[i]);
     }
   }
-  std::string filter = "--benchmark_filter=LinkForwarding|DropTail";
+  std::string filter =
+      "--benchmark_filter=LinkForwarding|DropTail|Demux|FlowChurn/64$";
   std::string min_time = "--benchmark_min_time=0.05";
   if (quick) {
     args.push_back(filter.data());
@@ -188,5 +256,8 @@ int main(int argc, char** argv) {
   if (benchmark::ReportUnrecognizedArguments(n, args.data())) return 1;
   benchmark::RunSpecifiedBenchmarks();
   benchmark::Shutdown();
+  // Same zero-blackhole gate as the figure benches (exit 1 on violation):
+  // the churn/demux benchmarks must account for every packet.
+  qoesim::bench::emit_node_summary();
   return 0;
 }

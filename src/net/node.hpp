@@ -5,27 +5,66 @@
 // transport handler). The demux is connection-oriented: exact 4-tuple
 // bindings win over wildcard listeners on (protocol, local port) -- the
 // same lookup a kernel performs, which lets TcpServer accept new flows.
+//
+// Both per-packet paths are allocation-free in steady state: forwarding
+// indexes a dense next-hop vector by destination id, and delivery probes
+// one open-addressing flat table (see flat_table.hpp) holding exact
+// connections and wildcard listeners. Handlers are SmallFunction (inline
+// captures, move-only), so neither binding a flow nor delivering a packet
+// copies a std::function.
 #pragma once
 
 #include <cstdint>
-#include <functional>
-#include <map>
 #include <string>
-#include <tuple>
 #include <vector>
 
+#include "net/flat_table.hpp"
 #include "net/link.hpp"
 #include "net/packet.hpp"
+#include "sim/callback.hpp"
 #include "sim/simulation.hpp"
 
 namespace qoesim::net {
 
 class Node {
  public:
-  using Handler = std::function<void(Packet&&)>;
+  using Handler = SmallFunction<void(Packet&&)>;
+
+  /// Lifetime counters, kept per node and folded into a process-wide
+  /// aggregate on destruction (see global_stats()) so benches can assert
+  /// no packet was silently blackholed by a misrouted topology.
+  struct Stats {
+    std::uint64_t delivered = 0;    ///< packets handed to a bound handler
+    std::uint64_t undelivered = 0;  ///< addressed here, no handler bound
+    /// Late TCP segments of an already-torn-down connection (carrying ACK
+    /// and/or FIN, no binding) -- includes SYN-ACKs retransmitted into a
+    /// client that aborted its connect. A real stack absorbs these in
+    /// TIME_WAIT (or answers with RST); the simulator tears the binding
+    /// down immediately and accounts for them here instead, so
+    /// `undelivered` stays a strict misconfiguration signal: any fresh
+    /// conversation (pure TCP SYN, UDP) arriving at a node with no
+    /// handler still counts as undelivered.
+    std::uint64_t stray_late = 0;
+    std::uint64_t unrouted = 0;     ///< no route and no default route
+    std::uint64_t binds = 0;        ///< connection + listener binds
+    std::uint64_t unbinds = 0;
+    std::uint64_t demux_rehashes = 0;  ///< flat-table growth events
+
+    Stats& operator+=(const Stats& o) {
+      delivered += o.delivered;
+      undelivered += o.undelivered;
+      stray_late += o.stray_late;
+      unrouted += o.unrouted;
+      binds += o.binds;
+      unbinds += o.unbinds;
+      demux_rehashes += o.demux_rehashes;
+      return *this;
+    }
+  };
 
   Node(Simulation& sim, NodeId id, std::string name)
       : sim_(sim), id_(id), name_(std::move(name)) {}
+  ~Node();
 
   Node(const Node&) = delete;
   Node& operator=(const Node&) = delete;
@@ -53,6 +92,7 @@ class Node {
   // ---- transport demux ----------------------------------------------------
 
   /// Bind an exact connection (proto, local port, remote node, remote port).
+  /// Rebinding a key that is already bound replaces its handler.
   void bind_connection(Protocol proto, std::uint32_t local_port, NodeId remote,
                        std::uint32_t remote_port, Handler h);
   void unbind_connection(Protocol proto, std::uint32_t local_port,
@@ -62,37 +102,60 @@ class Node {
   void bind_listener(Protocol proto, std::uint32_t local_port, Handler h);
   void unbind_listener(Protocol proto, std::uint32_t local_port);
 
-  /// Allocate an ephemeral port, unique per node.
-  std::uint32_t allocate_port() { return next_ephemeral_++; }
+  /// Allocate an ephemeral port (IANA dynamic range [49152, 65535]),
+  /// wrapping around and skipping ports with a live local binding. Throws
+  /// std::runtime_error if all 16384 ports are bound.
+  std::uint32_t allocate_port();
 
+  /// Packets delivered to a bound handler.
+  std::uint64_t delivered() const { return stats_.delivered; }
   /// Packets that arrived addressed to this node with no bound handler.
-  std::uint64_t undelivered() const { return undelivered_; }
+  std::uint64_t undelivered() const { return stats_.undelivered; }
   /// Packets dropped because no route existed.
-  std::uint64_t unrouted() const { return unrouted_; }
+  std::uint64_t unrouted() const { return stats_.unrouted; }
+
+  /// Live demux bindings (connections + listeners) and table growths.
+  /// demux_rehashes() staying flat across a churn phase demonstrates the
+  /// node plane's steady state performs no allocation.
+  std::size_t bound_count() const { return demux_.size(); }
+  std::uint64_t demux_rehashes() const { return demux_.rehashes(); }
+
+  /// This node's lifetime counters.
+  Stats stats() const;
+  /// Process-wide aggregate of the Stats of every Node destroyed so far
+  /// (all fields sum). Used by the bench harness to assert that a figure
+  /// run blackholed nothing (undelivered == unrouted == 0).
+  static Stats global_stats();
 
  private:
-  struct ConnKey {
-    std::uint8_t proto;
-    std::uint32_t local_port;
-    NodeId remote;
-    std::uint32_t remote_port;
-    auto operator<=>(const ConnKey&) const = default;
-  };
-
   void deliver_local(Packet&& p);
+  void note_bound(std::uint32_t local_port);
+  void note_unbound(std::uint32_t local_port);
+  bool port_in_use(std::uint32_t port) const;
 
   Simulation& sim_;
   NodeId id_;
   std::string name_;
   std::vector<Link*> ports_;
-  std::map<NodeId, std::size_t> routes_;
+  /// Next-hop port per destination id; -1 = no entry. Node ids are dense
+  /// (Topology hands them out sequentially), so direct indexing replaces
+  /// the former std::map route lookup.
+  std::vector<std::int32_t> routes_;
   std::ptrdiff_t default_route_ = -1;
 
-  std::map<ConnKey, Handler> connections_;
-  std::map<std::pair<std::uint8_t, std::uint32_t>, Handler> listeners_;
-  std::uint32_t next_ephemeral_ = 49152;
-  std::uint64_t undelivered_ = 0;
-  std::uint64_t unrouted_ = 0;
+  /// Exact connections and wildcard listeners in one table (listeners use
+  /// the DemuxKey::wildcard sentinel remote, which no packet ever carries).
+  FlatTable<Handler> demux_;
+
+  static constexpr std::uint32_t kEphemeralLo = 49152;
+  static constexpr std::uint32_t kEphemeralHi = 65535;
+  std::uint32_t next_ephemeral_ = kEphemeralLo;
+  /// Per-ephemeral-port count of live local bindings (connections and
+  /// listeners), sized lazily on first use; lets allocate_port() skip
+  /// still-bound ports after wrapping around.
+  std::vector<std::uint16_t> ephemeral_use_;
+
+  Stats stats_;
 };
 
 }  // namespace qoesim::net

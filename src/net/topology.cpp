@@ -41,6 +41,12 @@ Topology::LinkPair Topology::connect(Node& a, Node& b, LinkSpec a_to_b,
   return pair;
 }
 
+Node::Stats Topology::node_stats() const {
+  Node::Stats total;
+  for (const auto& node : nodes_) total += node->stats();
+  return total;
+}
+
 void Topology::compute_routes() {
   const std::size_t n = nodes_.size();
   // BFS from every destination over reversed edges would be cheaper, but n

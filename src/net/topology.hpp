@@ -52,6 +52,11 @@ class Topology {
   const Node& node(NodeId id) const { return *nodes_.at(id); }
   std::size_t node_count() const { return nodes_.size(); }
 
+  /// Sum of all live nodes' forwarding/demux counters. A healthy topology
+  /// finishes a run with undelivered == unrouted == 0; anything else means
+  /// packets were silently blackholed (misroute or missing handler).
+  Node::Stats node_stats() const;
+
   Simulation& sim() { return sim_; }
 
  private:

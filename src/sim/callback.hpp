@@ -1,10 +1,13 @@
 // qoesim -- small-buffer callback.
 //
-// SmallCallback is a move-only replacement for std::function<void()> used by
-// the event scheduler. Callables whose captures fit in the inline buffer
-// (48 bytes, enough for a handful of pointers or a weak_ptr plus a deadline)
-// are stored in place, so scheduling an event performs no heap allocation.
+// SmallFunction<R(Args...)> is a move-only replacement for std::function
+// used on the simulator's hot paths (the event scheduler, the node demux
+// plane). Callables whose captures fit in the inline buffer (48 bytes,
+// enough for a handful of pointers or a shared_ptr plus a deadline) are
+// stored in place, so storing or moving one performs no heap allocation.
 // Larger callables transparently fall back to a single heap allocation.
+//
+// SmallCallback is the scheduler's void() instantiation.
 #pragma once
 
 #include <cstddef>
@@ -14,18 +17,22 @@
 
 namespace qoesim {
 
-class SmallCallback {
+template <typename Signature>
+class SmallFunction;
+
+template <typename R, typename... Args>
+class SmallFunction<R(Args...)> {
  public:
   /// Captures up to this many bytes are stored inline (no allocation).
   static constexpr std::size_t kInlineCapacity = 48;
 
-  SmallCallback() = default;
+  SmallFunction() = default;
 
   template <typename F,
             typename = std::enable_if_t<
-                !std::is_same_v<std::decay_t<F>, SmallCallback> &&
-                std::is_invocable_r_v<void, std::decay_t<F>&>>>
-  SmallCallback(F&& f) {  // NOLINT(google-explicit-constructor)
+                !std::is_same_v<std::decay_t<F>, SmallFunction> &&
+                std::is_invocable_r_v<R, std::decay_t<F>&, Args...>>>
+  SmallFunction(F&& f) {  // NOLINT(google-explicit-constructor)
     using Fn = std::decay_t<F>;
     if constexpr (fits_inline<Fn>()) {
       ::new (static_cast<void*>(storage_)) Fn(std::forward<F>(f));
@@ -39,17 +46,17 @@ class SmallCallback {
     }
   }
 
-  SmallCallback(SmallCallback&& other) noexcept { move_from(other); }
-  SmallCallback& operator=(SmallCallback&& other) noexcept {
+  SmallFunction(SmallFunction&& other) noexcept { move_from(other); }
+  SmallFunction& operator=(SmallFunction&& other) noexcept {
     if (this != &other) {
       reset();
       move_from(other);
     }
     return *this;
   }
-  SmallCallback(const SmallCallback&) = delete;
-  SmallCallback& operator=(const SmallCallback&) = delete;
-  ~SmallCallback() { reset(); }
+  SmallFunction(const SmallFunction&) = delete;
+  SmallFunction& operator=(const SmallFunction&) = delete;
+  ~SmallFunction() { reset(); }
 
   /// Destroy the held callable (and free its heap storage, if any).
   void reset() {
@@ -62,12 +69,14 @@ class SmallCallback {
   explicit operator bool() const { return ops_ != nullptr; }
 
   /// Invoke. Precondition: holds a callable (like std::function, calling an
-  /// empty SmallCallback is undefined; the scheduler never does).
-  void operator()() { ops_->invoke(storage_); }
+  /// empty SmallFunction is undefined; the scheduler never does).
+  R operator()(Args... args) {
+    return ops_->invoke(storage_, std::forward<Args>(args)...);
+  }
 
  private:
   struct Ops {
-    void (*invoke)(void* storage);
+    R (*invoke)(void* storage, Args&&... args);
     void (*move)(void* dst, void* src);  // relocate; src left destroyed
     void (*destroy)(void* storage);
   };
@@ -89,7 +98,9 @@ class SmallCallback {
   template <typename Fn>
   static const Ops* inline_ops() {
     static constexpr Ops ops = {
-        [](void* s) { (*inline_ptr<Fn>(s))(); },
+        [](void* s, Args&&... args) -> R {
+          return (*inline_ptr<Fn>(s))(std::forward<Args>(args)...);
+        },
         [](void* dst, void* src) {
           Fn* from = inline_ptr<Fn>(src);
           ::new (dst) Fn(std::move(*from));
@@ -108,7 +119,9 @@ class SmallCallback {
   template <typename Fn>
   static const Ops* heap_ops() {
     static constexpr Ops ops = {
-        [](void* s) { (*heap_ptr<Fn>(s))(); },
+        [](void* s, Args&&... args) -> R {
+          return (*heap_ptr<Fn>(s))(std::forward<Args>(args)...);
+        },
         [](void* dst, void* src) {
           ::new (dst) Fn*(heap_ptr<Fn>(src));
         },
@@ -117,7 +130,7 @@ class SmallCallback {
     return &ops;
   }
 
-  void move_from(SmallCallback& other) {
+  void move_from(SmallFunction& other) {
     ops_ = other.ops_;
     if (ops_) {
       ops_->move(storage_, other.storage_);
@@ -128,5 +141,8 @@ class SmallCallback {
   alignas(std::max_align_t) unsigned char storage_[kInlineCapacity];
   const Ops* ops_ = nullptr;
 };
+
+/// The event scheduler's callback type (see sim/event.hpp).
+using SmallCallback = SmallFunction<void()>;
 
 }  // namespace qoesim

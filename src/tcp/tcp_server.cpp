@@ -5,6 +5,8 @@ namespace qoesim::tcp {
 TcpServer::TcpServer(net::Node& node, std::uint32_t port, TcpConfig config,
                      AcceptFn on_accept)
     : node_(node), port_(port), config_(config), on_accept_(std::move(on_accept)) {
+  // Raw `this` capture: the server owns the binding and unbinds in its
+  // destructor, so the handler can never outlive it.
   node_.bind_listener(net::Protocol::kTcp, port_,
                       [this](net::Packet&& p) { on_packet(std::move(p)); });
 }

@@ -62,6 +62,9 @@ std::shared_ptr<TcpSocket> TcpSocket::accept(net::Node& node,
 }
 
 void TcpSocket::start_connect() {
+  // The demux entry's shared_ptr capture keeps the socket alive while
+  // bound (it fits the handler's inline buffer, so binding a flow does not
+  // allocate; see Node::Handler).
   auto self = shared_from_this();
   node_.bind_connection(net::Protocol::kTcp, local_port_, remote_, remote_port_,
                         [self](net::Packet&& p) { self->on_packet(std::move(p)); });

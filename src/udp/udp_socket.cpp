@@ -5,6 +5,8 @@ namespace qoesim::udp {
 UdpSocket::UdpSocket(net::Node& node, std::uint32_t local_port)
     : node_(node),
       port_(local_port != 0 ? local_port : node.allocate_port()) {
+  // Raw `this` capture: the socket owns the binding and unbinds in its
+  // destructor, so the handler can never outlive it.
   node_.bind_listener(net::Protocol::kUdp, port_, [this](net::Packet&& p) {
     ++received_packets_;
     if (on_receive_) on_receive_(std::move(p));

@@ -145,8 +145,9 @@ TEST_F(TopoTest, EphemeralPortsUnique) {
 }
 
 TEST_F(TopoTest, HandlerMaySelfUnbind) {
-  // Destroying the handler's map entry while it executes must be safe
-  // (deliver_local copies the handler before invoking it).
+  // Destroying the handler's table entry while it executes must be safe
+  // (deliver_local moves the handler out and invokes through a
+  // generation-guarded slot; see test_node.cpp for the full contract).
   auto& a = topo.add_node("a");
   auto& b = topo.add_node("b");
   topo.connect(a, b, fast(), fast());

@@ -137,6 +137,24 @@ TEST(Testbed, WorkloadHarpoonGeneratesTraffic) {
   EXPECT_NEAR(util, 0.165, 0.08);
 }
 
+TEST(Testbed, WorkloadBlackholesNothing) {
+  // The aggregate node counters surfaced by Topology::node_stats() are the
+  // bench harness's zero-blackhole invariant: a full workload run must end
+  // with every packet either delivered, dropped at a queue, or accounted
+  // as a TIME_WAIT-equivalent stray -- never silently unrouted or
+  // undelivered.
+  auto cfg = access_config();
+  cfg.workload = WorkloadType::kShortFew;
+  Testbed tb(cfg);
+  Workload wl(tb);
+  tb.sim().run_until(Time::seconds(20));
+  const net::Node::Stats stats = tb.topology().node_stats();
+  EXPECT_GT(stats.delivered, 1000u);
+  EXPECT_EQ(stats.undelivered, 0u);
+  EXPECT_EQ(stats.unrouted, 0u);
+  EXPECT_GT(stats.binds, 0u);
+}
+
 TEST(Testbed, UpstreamDirectionOnlyLoadsUplink) {
   auto cfg = access_config();
   cfg.workload = WorkloadType::kShortFew;
