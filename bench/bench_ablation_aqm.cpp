@@ -13,7 +13,7 @@ namespace {
 using namespace core;
 
 void run(const bench::BenchOptions& opt) {
-  ExperimentRunner runner(opt.budget());
+  ExperimentRunner runner = opt.runner();
   stats::TextTable table;
   table.set_header({"Queue", "Buffer", "Uplink delay(ms)", "Uplink loss%",
                     "VoIP talks MOS", "VoIP listens MOS", "Web PLT(s)",

@@ -17,7 +17,7 @@ namespace {
 using namespace core;
 
 void run(const bench::BenchOptions& opt) {
-  ExperimentRunner runner(opt.budget());
+  ExperimentRunner runner = opt.runner();
   stats::TextTable table;
   table.set_header({"CC", "Buffer", "Uplink delay(ms)", "Uplink util%",
                     "VoIP talks MOS", "Web PLT(s)"});

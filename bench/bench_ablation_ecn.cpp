@@ -26,7 +26,7 @@ struct Variant {
 };
 
 void run(const bench::BenchOptions& opt) {
-  ExperimentRunner runner(opt.budget());
+  ExperimentRunner runner = opt.runner();
   stats::TextTable table;
   table.set_header({"Queue", "ECN", "CC", "Buffer", "Uplink delay(ms)",
                     "Uplink loss%", "Uplink mark%", "VoIP talks MOS",

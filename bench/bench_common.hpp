@@ -24,6 +24,7 @@
 #include "core/experiment.hpp"
 #include "core/heatmap.hpp"
 #include "core/scenario.hpp"
+#include "core/stats_registry.hpp"
 #include "core/sweep.hpp"
 #include "net/node.hpp"
 #include "sim/event.hpp"
@@ -38,6 +39,19 @@ inline std::chrono::steady_clock::time_point& bench_start_time() {
   return start;
 }
 
+/// The one StatsRegistry this bench process owns. The engine keeps no
+/// process-wide stat aggregates (see core/stats_registry.hpp); a bench
+/// explicitly passes this registry into everything it runs -- via
+/// BenchOptions::runner() for figure sweeps, or Simulation/Scheduler/
+/// Topology constructor arguments for micro benches -- and the atexit
+/// summaries below read it back. Static lifetime is required because the
+/// summaries run from atexit; the engine's no-global lint does not cover
+/// bench binaries, whose whole job is to own this aggregation.
+inline core::StatsRegistry& stats_registry() {
+  static core::StatsRegistry registry;
+  return registry;
+}
+
 /// Print the aggregated scheduler counters of every Simulation the bench
 /// ran. The counters (sums / max over cells) go to stdout and are
 /// byte-identical for a fixed seed regardless of --jobs; the wall-clock
@@ -45,7 +59,7 @@ inline std::chrono::steady_clock::time_point& bench_start_time() {
 /// sweep determinism checks. BenchOptions::parse registers this via
 /// atexit, so every bench reports it without an explicit call.
 inline void emit_scheduler_summary() {
-  const Scheduler::Stats stats = Scheduler::global_stats();
+  const Scheduler::Stats stats = stats_registry().scheduler.snapshot();
   std::printf(
       "[scheduler] fired=%llu scheduled=%llu cancelled=%llu"
       " rescheduled=%llu peak_depth=%llu\n",
@@ -70,7 +84,7 @@ inline void emit_scheduler_summary() {
 /// stderr so stdout stays diff-stable for the sweep determinism checks;
 /// on violation the process exits 1 so CI smoke steps catch it.
 inline void emit_node_summary() {
-  const net::Node::Stats s = net::Node::global_stats();
+  const net::Node::Stats s = stats_registry().nodes.snapshot();
   std::fprintf(stderr,
                "[node] delivered=%llu undelivered=%llu stray_late=%llu"
                " unrouted=%llu binds=%llu unbinds=%llu demux_rehashes=%llu\n",
@@ -187,6 +201,12 @@ struct BenchOptions {
     // --quick (CI smoke / determinism gate) quarters the probe budget on
     // top of --scale; a --quick run equals a --scale 0.25*f run exactly.
     return core::ProbeBudget::from_env().scaled(quick ? scale * 0.25 : scale);
+  }
+
+  /// Experiment runner wired to the bench-owned StatsRegistry, so every
+  /// cell's scheduler/node counters land in the atexit summary lines.
+  core::ExperimentRunner runner() const {
+    return core::ExperimentRunner(budget(), &stats_registry());
   }
 
   /// Sweep pool for grid evaluation, sized by --jobs.

@@ -20,7 +20,7 @@ stats::HeatCell run_cell(const bench::BenchOptions& opt, WorkloadType workload,
                          const qoe::GameProfile& profile) {
   auto cfg = bench::make_scenario(TestbedType::kAccess, workload, dir, buffer,
                                   opt.seed);
-  Testbed testbed(cfg);
+  Testbed testbed(cfg, &bench::stats_registry());
   Workload load(testbed);
   apps::GamingSession session(testbed.probe_client(), testbed.probe_server(),
                               {}, 1);

@@ -15,7 +15,7 @@ namespace {
 using namespace core;
 
 void run(const bench::BenchOptions& opt) {
-  ExperimentRunner runner(opt.budget());
+  ExperimentRunner runner = opt.runner();
   const auto buffers = access_buffer_sizes();
   const auto workloads = rows_with_baseline(TestbedType::kAccess);
 

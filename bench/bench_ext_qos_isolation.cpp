@@ -11,7 +11,7 @@ namespace {
 using namespace core;
 
 void run(const bench::BenchOptions& opt) {
-  ExperimentRunner runner(opt.budget());
+  ExperimentRunner runner = opt.runner();
   const auto buffers = access_buffer_sizes();
 
   const std::vector<WorkloadType> workloads{

@@ -25,7 +25,7 @@ void run_direction(ExperimentRunner& runner, const bench::BenchOptions& opt,
 }
 
 void run(const bench::BenchOptions& opt) {
-  ExperimentRunner runner(opt.budget());
+  ExperimentRunner runner = opt.runner();
   run_direction(runner, opt, CongestionDirection::kDownstream,
                 "Fig 10a: WebQoE access (median PLT), download activity");
   run_direction(runner, opt, CongestionDirection::kUpstream,

@@ -8,7 +8,7 @@ namespace {
 using namespace core;
 
 void run(const bench::BenchOptions& opt) {
-  ExperimentRunner runner(opt.budget());
+  ExperimentRunner runner = opt.runner();
   auto table = build_grid(
       "Fig 11: WebQoE backbone (median PLT)",
       rows_with_baseline(TestbedType::kBackbone), backbone_buffer_sizes(),

@@ -12,7 +12,7 @@ namespace {
 using namespace core;
 
 void run(const bench::BenchOptions& opt) {
-  ExperimentRunner runner(opt.budget());
+  ExperimentRunner runner = opt.runner();
   const auto sweep = opt.sweep();
   const auto buffers = access_buffer_sizes();
   const auto workloads = access_workloads();

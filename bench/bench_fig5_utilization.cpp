@@ -29,7 +29,7 @@ void print_box(const char* label, const stats::BoxplotStats& b) {
 }
 
 void run(const bench::BenchOptions& opt) {
-  ExperimentRunner runner(opt.budget());
+  ExperimentRunner runner = opt.runner();
   std::puts("== Fig 5: access link utilization, bidirectional long flows"
             " (8 up / 64 down) ==");
   std::puts("(per-1s-bin utilization; box = quartiles, | = median,"

@@ -9,7 +9,7 @@ namespace {
 using namespace core;
 
 void run(const bench::BenchOptions& opt) {
-  ExperimentRunner runner(opt.budget());
+  ExperimentRunner runner = opt.runner();
   const auto buffers = backbone_buffer_sizes();
 
   auto table = build_grid(

@@ -53,7 +53,7 @@ void run_testbed(ExperimentRunner& runner, const bench::BenchOptions& opt,
 
 void run(const bench::BenchOptions& opt,
          const apps::VideoClipProfile& clip) {
-  ExperimentRunner runner(opt.budget());
+  ExperimentRunner runner = opt.runner();
   std::printf("clip: %s (motion spread %.2f)\n\n", clip.name.c_str(),
               clip.motion_spread);
   run_testbed(runner, opt, TestbedType::kAccess, clip,

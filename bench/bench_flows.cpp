@@ -30,8 +30,8 @@ struct Cell {
 };
 
 Cell run_cell(std::size_t sessions, double duration_s, std::uint64_t seed) {
-  Simulation sim(seed);
-  net::Topology topo(sim);
+  Simulation sim(seed, &bench::stats_registry().scheduler);
+  net::Topology topo(sim, &bench::stats_registry().nodes);
   auto& src = topo.add_node("src");
   auto& dst = topo.add_node("dst");
   const net::LinkSpec spec = bench::churn_link_spec();

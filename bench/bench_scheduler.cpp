@@ -54,6 +54,7 @@ struct Ticker {
 
 double steady_fire(long fires, int depth) {
   Scheduler sched;
+  sched.set_stats_fold(&bench::stats_registry().scheduler);
   long fired = 0;
   for (int i = 0; i < depth; ++i) {
     sched.schedule_at(Time::microseconds(i), Ticker{&sched, &fired, fires, depth});
@@ -68,6 +69,7 @@ double bulk_fire(long total, int batch) {
   const auto t0 = Clock::now();
   for (long done = 0; done < total; done += batch) {
     Scheduler sched;
+    sched.set_stats_fold(&bench::stats_registry().scheduler);
     for (int i = 0; i < batch; ++i) {
       sched.schedule_at(Time::microseconds(i), [&fired] { ++fired; });
     }
@@ -82,6 +84,7 @@ double cancel_all(long total, int batch) {
   const auto t0 = Clock::now();
   for (long done = 0; done < total; done += batch) {
     Scheduler sched;
+    sched.set_stats_fold(&bench::stats_registry().scheduler);
     handles.clear();
     for (int i = 0; i < batch; ++i) {
       handles.push_back(sched.schedule_at(Time::microseconds(i), [] {}));
@@ -94,6 +97,7 @@ double cancel_all(long total, int batch) {
 
 double reschedule_one(long moves) {
   Scheduler sched;
+  sched.set_stats_fold(&bench::stats_registry().scheduler);
   // A far-out timer plus queue background, like an RTO behind data events.
   for (int i = 0; i < 64; ++i) sched.schedule_at(Time::seconds(2), [] {});
   EventHandle timer = sched.schedule_at(Time::seconds(1), [] {});
@@ -108,6 +112,7 @@ double reschedule_one(long moves) {
 
 double rearm_one(long moves) {
   Scheduler sched;
+  sched.set_stats_fold(&bench::stats_registry().scheduler);
   for (int i = 0; i < 64; ++i) sched.schedule_at(Time::seconds(2), [] {});
   EventHandle timer;
   const auto t0 = Clock::now();

@@ -103,7 +103,7 @@ void BM_TcpBulkTransfer(benchmark::State& state) {
   const auto bytes = static_cast<std::uint64_t>(state.range(0));
   for (auto _ : state) {
     Simulation sim;
-    net::Topology topo(sim);
+    net::Topology topo(sim, &bench::stats_registry().nodes);
     auto& a = topo.add_node("a");
     auto& b = topo.add_node("b");
     net::LinkSpec spec;
@@ -145,7 +145,7 @@ BENCHMARK(BM_TcpBulkTransfer)->Arg(1 << 20)->Arg(16 << 20);
 void BM_Demux(benchmark::State& state) {
   const auto flows = static_cast<std::uint32_t>(state.range(0));
   Simulation sim;
-  net::Topology topo(sim);
+  net::Topology topo(sim, &bench::stats_registry().nodes);
   auto& host = topo.add_node("host");
   auto delivered = std::make_shared<std::uint64_t>(0);
   for (std::uint32_t i = 0; i < flows; ++i) {
@@ -179,7 +179,7 @@ void BM_FlowChurn(benchmark::State& state) {
   std::uint64_t events = 0;
   for (auto _ : state) {
     Simulation sim(11);
-    net::Topology topo(sim);
+    net::Topology topo(sim, &bench::stats_registry().nodes);
     auto& src = topo.add_node("src");
     auto& dst = topo.add_node("dst");
     const net::LinkSpec spec = bench::churn_link_spec();
@@ -203,7 +203,7 @@ BENCHMARK(BM_FlowChurn)->Arg(64)->Arg(1024)->Arg(4096)
 void BM_HarpoonScenarioSecond(benchmark::State& state) {
   for (auto _ : state) {
     Simulation sim(7);
-    net::Topology topo(sim);
+    net::Topology topo(sim, &bench::stats_registry().nodes);
     auto& a = topo.add_node("src");
     auto& b = topo.add_node("dst");
     net::LinkSpec spec;

@@ -27,7 +27,7 @@ std::string num(double v, const char* fmt = "%.1f") {
 }
 
 void run(const BenchOptions& opt) {
-  ExperimentRunner runner(opt.budget());
+  ExperimentRunner runner = opt.runner();
   stats::TextTable table;
   table.set_header({"Testbed", "Name", "Direction", "Sess Up", "Sess Dn",
                     "Flows", "Util Up%", "Util Dn%", "Sd Up", "Sd Dn",

@@ -21,7 +21,7 @@ Time measured_max_delay(TestbedType testbed, std::size_t buffer, bool uplink,
   auto cfg = bench::make_scenario(testbed, WorkloadType::kNoBg,
                                   CongestionDirection::kDownstream, buffer,
                                   seed);
-  Testbed tb(cfg);
+  Testbed tb(cfg, &bench::stats_registry());
   net::Node& src = uplink ? tb.probe_client() : tb.probe_server();
   net::Node& dst = uplink ? tb.probe_server() : tb.probe_client();
   udp::UdpSocket tx(src);

@@ -67,7 +67,7 @@ double WebCell::median_plt_s() const { return plt_s.median_or(0.0); }
 double WebCell::median_mos() const { return mos.median_or(1.0); }
 
 QosCell ExperimentRunner::run_qos(const ScenarioConfig& config) const {
-  Testbed testbed(config);
+  Testbed testbed(config, stats_);
   Workload workload(testbed);
 
   const Time end = budget_.warmup + budget_.qos_duration;
@@ -94,7 +94,7 @@ QosCell ExperimentRunner::run_qos(const ScenarioConfig& config) const {
 
 VoipCell ExperimentRunner::run_voip(const ScenarioConfig& config,
                                     bool bidirectional) const {
-  Testbed testbed(config);
+  Testbed testbed(config, stats_);
   Workload workload(testbed);
 
   apps::VoipConfig voip;
@@ -160,7 +160,7 @@ VoipCell ExperimentRunner::run_voip(const ScenarioConfig& config,
 
 VideoCell ExperimentRunner::run_video(const ScenarioConfig& config,
                                       const apps::VideoCodecConfig& codec) const {
-  Testbed testbed(config);
+  Testbed testbed(config, stats_);
   Workload workload(testbed);
 
   apps::VideoSessionConfig session_config;
@@ -202,7 +202,7 @@ VideoCell ExperimentRunner::run_video(const ScenarioConfig& config,
 }
 
 WebCell ExperimentRunner::run_web(const ScenarioConfig& config) const {
-  Testbed testbed(config);
+  Testbed testbed(config, stats_);
   Workload workload(testbed);
 
   apps::WebPageConfig page;
@@ -288,7 +288,7 @@ WebCell ExperimentRunner::run_web(const ScenarioConfig& config) const {
 
 HttpVideoCell ExperimentRunner::run_http_video(
     const ScenarioConfig& config) const {
-  Testbed testbed(config);
+  Testbed testbed(config, stats_);
   Workload workload(testbed);
 
   apps::HttpVideoConfig has;

@@ -19,6 +19,8 @@
 
 namespace qoesim::core {
 
+struct StatsRegistry;
+
 struct ProbeBudget {
   int voip_calls = 4;     ///< paper: 200 (access) / 2000 (backbone)
   int video_reps = 2;     ///< paper: 50
@@ -96,8 +98,13 @@ struct WebCell {
 
 class ExperimentRunner {
  public:
-  explicit ExperimentRunner(ProbeBudget budget = ProbeBudget::from_env())
-      : budget_(budget) {}
+  /// `stats` (optional) is handed to every Testbed the runner builds, so
+  /// one bench-owned core::StatsRegistry aggregates the scheduler/node
+  /// counters of every cell; it must outlive the runner. Runs fold nothing
+  /// anywhere when it is null (tests, examples).
+  explicit ExperimentRunner(ProbeBudget budget = ProbeBudget::from_env(),
+                            StatsRegistry* stats = nullptr)
+      : budget_(budget), stats_(stats) {}
 
   const ProbeBudget& budget() const { return budget_; }
 
@@ -122,6 +129,7 @@ class ExperimentRunner {
 
  private:
   ProbeBudget budget_;
+  StatsRegistry* stats_ = nullptr;
 };
 
 }  // namespace qoesim::core

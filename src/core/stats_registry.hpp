@@ -1,0 +1,28 @@
+// qoesim -- explicit registry for cross-simulation stat aggregates.
+//
+// PRs 2 and 5 gave the Scheduler and Node lifetime counters that benches
+// aggregate across every cell of a sweep. Those aggregates used to live in
+// process-wide singletons; that shared mutable state is exactly what blocks
+// sharding a scenario across threads (conservative PDES), so the folds are
+// now plain objects: a bench owns one StatsRegistry and passes it down
+// (ExperimentRunner -> Testbed -> Simulation/Topology), and nothing folds
+// anywhere unless a registry was provided. Tests and examples that do not
+// care simply pass nothing.
+#pragma once
+
+#include "net/node.hpp"
+#include "sim/event.hpp"
+
+namespace qoesim::core {
+
+/// One accumulator per engine layer. Both folds are internally mutex
+/// guarded (one lock per Scheduler/Node lifetime), so a registry can be
+/// shared by every worker thread of a sweep; snapshots are sums (and a max
+/// for peak_queue_depth) of per-cell counters, hence deterministic for a
+/// fixed seed regardless of worker count.
+struct StatsRegistry {
+  Scheduler::StatsFold scheduler;
+  net::Node::StatsFold nodes;
+};
+
+}  // namespace qoesim::core

@@ -2,8 +2,10 @@
 
 namespace qoesim::core {
 
-Testbed::Testbed(const ScenarioConfig& config)
-    : config_(config), sim_(config.seed), topo_(sim_) {
+Testbed::Testbed(const ScenarioConfig& config, StatsRegistry* stats)
+    : config_(config),
+      sim_(config.seed, stats != nullptr ? &stats->scheduler : nullptr),
+      topo_(sim_, stats != nullptr ? &stats->nodes : nullptr) {
   if (config_.testbed == TestbedType::kAccess) {
     build_access();
   } else {

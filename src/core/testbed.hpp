@@ -11,6 +11,7 @@
 #include <vector>
 
 #include "core/scenario.hpp"
+#include "core/stats_registry.hpp"
 #include "net/monitors.hpp"
 #include "net/topology.hpp"
 #include "sim/simulation.hpp"
@@ -19,7 +20,11 @@ namespace qoesim::core {
 
 class Testbed {
  public:
-  explicit Testbed(const ScenarioConfig& config);
+  /// `stats` (optional) receives the scheduler and node lifetime counters
+  /// of this testbed's simulation when it is torn down; benches own one
+  /// registry per process and pass it through ExperimentRunner.
+  explicit Testbed(const ScenarioConfig& config,
+                   StatsRegistry* stats = nullptr);
 
   Testbed(const Testbed&) = delete;
   Testbed& operator=(const Testbed&) = delete;

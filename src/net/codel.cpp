@@ -1,5 +1,7 @@
 #include "net/codel.hpp"
 
+#include "sim/annotations.hpp"
+
 #include <cmath>
 
 namespace qoesim::net {
@@ -7,12 +9,13 @@ namespace qoesim::net {
 CoDelQueue::CoDelQueue(std::size_t capacity_packets, CoDelParams params)
     : QueueDiscipline(capacity_packets), params_(params) {}
 
-bool CoDelQueue::do_enqueue(Packet&& p, Time /*now*/) {
+QOESIM_HOT bool CoDelQueue::do_enqueue(Packet&& p, Time /*now*/) {
   if (q_.size() >= capacity_) {
     count_drop(p);
     return false;
   }
   bytes_ += p.size_bytes;
+  // qoesim-lint: allow(hot-alloc) -- capacity_-bounded deque; blocks recycled in steady state
   q_.push_back(std::move(p));
   return true;
 }
@@ -49,7 +52,7 @@ std::optional<Packet> CoDelQueue::pop_head(Time now, bool& ok_sojourn) {
   return p;
 }
 
-std::optional<Packet> CoDelQueue::do_dequeue(Time now) {
+QOESIM_HOT std::optional<Packet> CoDelQueue::do_dequeue(Time now) {
   bool ok = true;
   auto p = pop_head(now, ok);
   if (!p) {

@@ -5,6 +5,8 @@
 
 #include <deque>
 
+#include "sim/annotations.hpp"
+
 #include "net/queue.hpp"
 
 namespace qoesim::net {
@@ -19,17 +21,18 @@ class DropTailQueue final : public QueueDiscipline {
   std::string name() const override { return "DropTail"; }
 
  protected:
-  bool do_enqueue(Packet&& p, Time /*now*/) override {
+  QOESIM_HOT bool do_enqueue(Packet&& p, Time /*now*/) override {
     if (q_.size() >= capacity_) {
       count_drop(p);
       return false;
     }
     bytes_ += p.size_bytes;
+    // qoesim-lint: allow(hot-alloc) -- capacity_-bounded deque; blocks recycled in steady state
     q_.push_back(std::move(p));
     return true;
   }
 
-  std::optional<Packet> do_dequeue(Time /*now*/) override {
+  QOESIM_HOT std::optional<Packet> do_dequeue(Time /*now*/) override {
     if (q_.empty()) return std::nullopt;
     Packet p = std::move(q_.front());
     q_.pop_front();

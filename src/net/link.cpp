@@ -1,5 +1,7 @@
 #include "net/link.hpp"
 
+#include "sim/annotations.hpp"
+
 #include <stdexcept>
 #include <utility>
 
@@ -17,12 +19,12 @@ Link::Link(Simulation& sim, std::string name, double rate_bps, Time prop_delay,
   queue_->set_drain_rate(rate_bps_);
 }
 
-void Link::send(Packet&& p) {
+QOESIM_HOT void Link::send(Packet&& p) {
   queue_->enqueue(std::move(p), sim_.now());
   maybe_start_tx();
 }
 
-void Link::maybe_start_tx() {
+QOESIM_HOT void Link::maybe_start_tx() {
   if (busy_) return;
   auto next = queue_->dequeue(sim_.now());
   if (!next) return;
@@ -35,7 +37,7 @@ void Link::maybe_start_tx() {
   sim_.after(tx, [this, slot] { on_tx_complete(slot); });
 }
 
-void Link::on_tx_complete(PacketPool::SlotId slot) {
+QOESIM_HOT void Link::on_tx_complete(PacketPool::SlotId slot) {
   busy_ = false;
   const Packet& p = pool_.at(slot);
   ++delivered_packets_;
@@ -58,7 +60,7 @@ void Link::on_tx_complete(PacketPool::SlotId slot) {
   maybe_start_tx();
 }
 
-void Link::arm_delivery(const WireRing::Entry& entry) {
+QOESIM_HOT void Link::arm_delivery(const WireRing::Entry& entry) {
   // Always a fresh schedule: when called from inside drain_wire the old
   // event has just fired, so this reuses the just-freed arena slot (the
   // same pooled re-arm idiom as the periodic app timers) -- a fired event
@@ -69,7 +71,7 @@ void Link::arm_delivery(const WireRing::Entry& entry) {
                                    [this] { drain_wire(); });
 }
 
-void Link::drain_wire() {
+QOESIM_HOT void Link::drain_wire() {
   // Exactly one packet per firing: the next entry re-arms at its own
   // reserved seq even when it shares this deliver_at (possible only for
   // zero serialization times), so every delivery keeps its exact FIFO

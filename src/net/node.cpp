@@ -1,5 +1,7 @@
 #include "net/node.hpp"
 
+#include "sim/annotations.hpp"
+
 #include <mutex>
 #include <stdexcept>
 
@@ -7,41 +9,30 @@ namespace qoesim::net {
 
 namespace {
 
-// Process-wide fold of destroyed nodes' counters (cf. Scheduler's global
-// stats). Nodes die on sweep worker threads, so the fold is mutex-guarded;
-// contention is one lock per node lifetime.
-struct GlobalFold {
-  std::mutex mutex;
-  Node::Stats stats;
-};
-
-GlobalFold& global_fold() {
-  static GlobalFold fold;
-  return fold;
-}
-
 std::uint8_t proto_byte(Protocol proto) {
   return static_cast<std::uint8_t>(proto);
 }
 
 }  // namespace
 
+void Node::StatsFold::fold(const Stats& s) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  total_ += s;
+}
+
+Node::Stats Node::StatsFold::snapshot() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return total_;
+}
+
 Node::~Node() {
-  auto& fold = global_fold();
-  const std::lock_guard<std::mutex> lock(fold.mutex);
-  fold.stats += stats();
+  if (stats_fold_ != nullptr) stats_fold_->fold(stats());
 }
 
 Node::Stats Node::stats() const {
   Stats s = stats_;
   s.demux_rehashes = demux_.rehashes();
   return s;
-}
-
-Node::Stats Node::global_stats() {
-  auto& fold = global_fold();
-  const std::lock_guard<std::mutex> lock(fold.mutex);
-  return fold.stats;
 }
 
 std::size_t Node::add_port(Link* out) {
@@ -65,7 +56,7 @@ void Node::set_default_route(std::size_t port) {
   default_route_ = static_cast<std::ptrdiff_t>(port);
 }
 
-void Node::receive(Packet&& p) {
+QOESIM_HOT void Node::receive(Packet&& p) {
   if (p.dst == id_) {
     deliver_local(std::move(p));
   } else {
@@ -73,7 +64,7 @@ void Node::receive(Packet&& p) {
   }
 }
 
-void Node::send(Packet&& p) {
+QOESIM_HOT void Node::send(Packet&& p) {
   std::ptrdiff_t port =
       p.dst < routes_.size() ? routes_[p.dst] : std::ptrdiff_t{-1};
   if (port < 0) port = default_route_;
@@ -84,7 +75,7 @@ void Node::send(Packet&& p) {
   ports_[static_cast<std::size_t>(port)]->send(std::move(p));
 }
 
-void Node::deliver_local(Packet&& p) {
+QOESIM_HOT void Node::deliver_local(Packet&& p) {
   const std::uint8_t proto = proto_byte(p.proto);
   std::uint32_t local_port, remote_port;
   if (p.proto == Protocol::kTcp) {

@@ -15,6 +15,7 @@
 #pragma once
 
 #include <cstdint>
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -30,9 +31,9 @@ class Node {
  public:
   using Handler = SmallFunction<void(Packet&&)>;
 
-  /// Lifetime counters, kept per node and folded into a process-wide
-  /// aggregate on destruction (see global_stats()) so benches can assert
-  /// no packet was silently blackholed by a misrouted topology.
+  /// Lifetime counters, kept per node and folded into the StatsFold
+  /// installed via set_stats_fold() (if any) on destruction, so benches
+  /// can assert no packet was silently blackholed by a misrouted topology.
   struct Stats {
     std::uint64_t delivered = 0;    ///< packets handed to a bound handler
     std::uint64_t undelivered = 0;  ///< addressed here, no handler bound
@@ -60,6 +61,22 @@ class Node {
       demux_rehashes += o.demux_rehashes;
       return *this;
     }
+  };
+
+  /// Thread-safe accumulator for the Stats of many nodes (all fields sum).
+  /// Nodes die on sweep worker threads, so fold() takes a mutex; contention
+  /// is one lock per node lifetime. There is no process-wide instance:
+  /// benches own one (inside a core::StatsRegistry) and Topology installs
+  /// it on every node it creates, keeping the engine itself free of shared
+  /// mutable state (a PDES-sharding prerequisite).
+  class StatsFold {
+   public:
+    void fold(const Stats& s);
+    Stats snapshot() const;
+
+   private:
+    mutable std::mutex mutex_;
+    Stats total_;
   };
 
   Node(Simulation& sim, NodeId id, std::string name)
@@ -122,10 +139,11 @@ class Node {
 
   /// This node's lifetime counters.
   Stats stats() const;
-  /// Process-wide aggregate of the Stats of every Node destroyed so far
-  /// (all fields sum). Used by the bench harness to assert that a figure
-  /// run blackholed nothing (undelivered == unrouted == 0).
-  static Stats global_stats();
+  /// Install the accumulator this node folds its lifetime Stats into on
+  /// destruction (nullptr = don't fold anywhere, the default). The fold
+  /// must outlive the node; the bench harness reads its snapshot to assert
+  /// that a figure run blackholed nothing (undelivered == unrouted == 0).
+  void set_stats_fold(StatsFold* fold) { stats_fold_ = fold; }
 
  private:
   void deliver_local(Packet&& p);
@@ -156,6 +174,7 @@ class Node {
   std::vector<std::uint16_t> ephemeral_use_;
 
   Stats stats_;
+  StatsFold* stats_fold_ = nullptr;
 };
 
 }  // namespace qoesim::net

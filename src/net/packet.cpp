@@ -1,14 +1,8 @@
 #include "net/packet.hpp"
 
-#include <atomic>
 #include <sstream>
 
 namespace qoesim::net {
-
-std::uint64_t next_packet_uid() {
-  static std::atomic<std::uint64_t> counter{0};
-  return counter.fetch_add(1, std::memory_order_relaxed);
-}
 
 std::string Packet::describe() const {
   std::ostringstream out;

@@ -107,8 +107,4 @@ struct Packet {
   std::string describe() const;
 };
 
-/// Process-wide monotonically increasing packet uid (diagnostics only; no
-/// simulation behaviour depends on it).
-std::uint64_t next_packet_uid();
-
 }  // namespace qoesim::net

@@ -1,11 +1,13 @@
 #include "net/packet_pool.hpp"
 
+#include "sim/annotations.hpp"
+
 #include <algorithm>
 #include <utility>
 
 namespace qoesim::net {
 
-PacketPool::SlotId PacketPool::acquire(Packet&& p) {
+QOESIM_HOT PacketPool::SlotId PacketPool::acquire(Packet&& p) {
   ++stats_.acquired;
   stats_.peak_in_flight =
       std::max<std::uint64_t>(stats_.peak_in_flight, in_flight());
@@ -17,23 +19,27 @@ PacketPool::SlotId PacketPool::acquire(Packet&& p) {
   }
   ++stats_.slab_growths;
   const SlotId slot = static_cast<SlotId>(slots_.size());
+  // qoesim-lint: allow(hot-alloc) -- slab growth; free in steady state once the pool warms up
   slots_.push_back(std::move(p));
   // The free stack can hold at most one entry per slot; reserving alongside
   // the slab keeps release() allocation-free.
+  // qoesim-lint: allow(hot-alloc) -- grows with the slab so release() below never reallocates
   free_.reserve(slots_.size());
   return slot;
 }
 
-Packet PacketPool::release(SlotId slot) {
+QOESIM_HOT Packet PacketPool::release(SlotId slot) {
   ++stats_.released;
+  // qoesim-lint: allow(hot-alloc) -- capacity reserved in acquire(); never reallocates
   free_.push_back(slot);
   return std::move(slots_[slot]);
 }
 
-void WireRing::push(Entry e) {
+QOESIM_HOT void WireRing::push(Entry e) {
   if (size_ == buf_.size()) {
     // Grow to the next power of two, unrolling the ring so the live
     // entries occupy [0, size_).
+    // qoesim-lint: allow(hot-alloc) -- geometric ring growth; free once the ring fits the BDP
     std::vector<Entry> bigger(buf_.empty() ? 8 : buf_.size() * 2);
     for (std::size_t i = 0; i < size_; ++i)
       bigger[i] = buf_[(head_ + i) & (buf_.size() - 1)];
@@ -44,7 +50,7 @@ void WireRing::push(Entry e) {
   ++size_;
 }
 
-void WireRing::pop() {
+QOESIM_HOT void WireRing::pop() {
   head_ = (head_ + 1) & (buf_.size() - 1);
   --size_;
 }

@@ -1,5 +1,7 @@
 #include "net/priority_queue.hpp"
 
+#include "sim/annotations.hpp"
+
 #include <algorithm>
 #include <cmath>
 
@@ -23,7 +25,7 @@ PriorityQueue::PriorityQueue(std::size_t capacity_packets,
   low_capacity_ = capacity_packets - high_capacity_;
 }
 
-bool PriorityQueue::do_enqueue(Packet&& p, Time /*now*/) {
+QOESIM_HOT bool PriorityQueue::do_enqueue(Packet&& p, Time /*now*/) {
   if (is_high_priority(p)) {
     if (high_.size() >= high_capacity_) {
       ++high_drops_;
@@ -31,6 +33,7 @@ bool PriorityQueue::do_enqueue(Packet&& p, Time /*now*/) {
       return false;
     }
     bytes_ += p.size_bytes;
+    // qoesim-lint: allow(hot-alloc) -- high_capacity_-bounded deque; blocks recycled in steady state
     high_.push_back(std::move(p));
     return true;
   }
@@ -40,11 +43,12 @@ bool PriorityQueue::do_enqueue(Packet&& p, Time /*now*/) {
     return false;
   }
   bytes_ += p.size_bytes;
+  // qoesim-lint: allow(hot-alloc) -- low_capacity_-bounded deque; blocks recycled in steady state
   low_.push_back(std::move(p));
   return true;
 }
 
-std::optional<Packet> PriorityQueue::do_dequeue(Time /*now*/) {
+QOESIM_HOT std::optional<Packet> PriorityQueue::do_dequeue(Time /*now*/) {
   std::deque<Packet>* source = nullptr;
   if (!high_.empty()) {
     source = &high_;

@@ -1,5 +1,7 @@
 #include "net/queue.hpp"
 
+#include "sim/annotations.hpp"
+
 #include <stdexcept>
 
 #include "net/codel.hpp"
@@ -9,7 +11,7 @@
 
 namespace qoesim::net {
 
-bool QueueDiscipline::enqueue(Packet&& p, Time now) {
+QOESIM_HOT bool QueueDiscipline::enqueue(Packet&& p, Time now) {
   ++stats_.offered;
   stats_.bytes_offered += p.size_bytes;
   p.enqueued_at = now;
@@ -22,7 +24,7 @@ bool QueueDiscipline::enqueue(Packet&& p, Time now) {
   return accepted;
 }
 
-std::optional<Packet> QueueDiscipline::dequeue(Time now) {
+QOESIM_HOT std::optional<Packet> QueueDiscipline::dequeue(Time now) {
   auto p = do_dequeue(now);
   if (p) ++stats_.dequeued;
   return p;

@@ -1,5 +1,7 @@
 #include "net/red.hpp"
 
+#include "sim/annotations.hpp"
+
 #include <algorithm>
 #include <cmath>
 
@@ -16,7 +18,7 @@ void RedQueue::set_drain_rate(double bps) {
   }
 }
 
-bool RedQueue::do_enqueue(Packet&& p, Time now) {
+QOESIM_HOT bool RedQueue::do_enqueue(Packet&& p, Time now) {
   // Update the average queue estimate on every arrival. Across an idle
   // period the estimate decays as if m empty-queue samples had been taken
   // (Floyd & Jacobson eq. 3) instead of freezing at its last busy value.
@@ -76,12 +78,13 @@ bool RedQueue::do_enqueue(Packet&& p, Time now) {
     }
   }
   bytes_ += p.size_bytes;
+  // qoesim-lint: allow(hot-alloc) -- capacity_-bounded deque; blocks recycled in steady state
   q_.push_back(std::move(p));
   idle_ = false;
   return true;
 }
 
-std::optional<Packet> RedQueue::do_dequeue(Time now) {
+QOESIM_HOT std::optional<Packet> RedQueue::do_dequeue(Time now) {
   if (q_.empty()) {
     // The transmitter found the queue empty: an idle period starts (ns-2
     // does the same on an empty dequeue).

@@ -8,6 +8,7 @@ namespace qoesim::net {
 Node& Topology::add_node(const std::string& name) {
   const auto id = static_cast<NodeId>(nodes_.size());
   nodes_.push_back(std::make_unique<Node>(sim_, id, name));
+  nodes_.back()->set_stats_fold(node_stats_);
   adjacency_.emplace_back();
   return *nodes_.back();
 }

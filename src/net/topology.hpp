@@ -30,7 +30,12 @@ struct LinkSpec {
 
 class Topology {
  public:
-  explicit Topology(Simulation& sim) : sim_(sim) {}
+  /// `node_stats` (optional) is the accumulator every node created by this
+  /// topology folds its lifetime counters into on destruction; benches
+  /// pass one down (via core::StatsRegistry) so the harness can assert the
+  /// zero-blackhole invariant across a whole sweep.
+  explicit Topology(Simulation& sim, Node::StatsFold* node_stats = nullptr)
+      : sim_(sim), node_stats_(node_stats) {}
 
   Topology(const Topology&) = delete;
   Topology& operator=(const Topology&) = delete;
@@ -63,6 +68,7 @@ class Topology {
   Link* make_link(Node& from, Node& to, const LinkSpec& spec);
 
   Simulation& sim_;
+  Node::StatsFold* node_stats_ = nullptr;
   std::vector<std::unique_ptr<Node>> nodes_;
   std::vector<std::unique_ptr<Link>> links_;
   // adjacency[from] = list of (neighbor, port index on `from`)

@@ -1,0 +1,31 @@
+// qoesim -- source-level annotations consumed by tools/lint.
+//
+// QOESIM_HOT marks a function DEFINITION as part of the per-event hot
+// path: the scheduler fire loop, link forward/deliver, node demux, TCP
+// pacing, and queue enqueue/dequeue. The contract it declares:
+//
+//   A QOESIM_HOT function must not allocate -- no operator new, no
+//   malloc, no std::make_shared/make_unique, no allocating container
+//   member calls (push_back, insert, resize, ...) -- either directly or
+//   in any function it calls (checked one level deep by qoesim_lint's
+//   `hot-alloc` check, which keys on this macro's *name* in the token
+//   stream; annotate the definition, not just the declaration).
+//
+// Amortised-growth escape hatches (slab/ring doubling that is free in
+// steady state) are permitted only with an inline justification:
+//
+//   slots_.push_back(std::move(p));  // qoesim-lint: allow(hot-alloc) -- slab growth, steady-state free
+//
+// Under clang the annotate attribute additionally makes the marking
+// visible to AST tooling (clang-query matchers over
+// annotate("qoesim::hot")); under both compilers [[gnu::hot]] hints the
+// optimizer to favour these functions for layout/inlining.
+#pragma once
+
+#if defined(__clang__)
+#define QOESIM_HOT [[clang::annotate("qoesim::hot")]] [[gnu::hot]]
+#elif defined(__GNUC__)
+#define QOESIM_HOT [[gnu::hot]]
+#else
+#define QOESIM_HOT
+#endif

@@ -1,5 +1,7 @@
 #include "sim/event.hpp"
 
+#include "sim/annotations.hpp"
+
 #include <algorithm>
 #include <cassert>
 #include <stdexcept>
@@ -7,47 +9,23 @@
 
 namespace qoesim {
 
-namespace {
-
-// Process-wide aggregate, folded in by ~Scheduler. Sweeps destroy one
-// Scheduler per cell from worker threads, hence the atomics.
-struct GlobalStats {
-  std::atomic<std::uint64_t> scheduled{0};
-  std::atomic<std::uint64_t> fired{0};
-  std::atomic<std::uint64_t> cancelled{0};
-  std::atomic<std::uint64_t> rescheduled{0};
-  std::atomic<std::uint64_t> peak_queue_depth{0};
-};
-
-GlobalStats& global() {
-  static GlobalStats stats;
-  return stats;
+void Scheduler::StatsFold::fold(const Stats& s) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  total_.scheduled += s.scheduled;
+  total_.fired += s.fired;
+  total_.cancelled += s.cancelled;
+  total_.rescheduled += s.rescheduled;
+  total_.peak_queue_depth =
+      std::max(total_.peak_queue_depth, s.peak_queue_depth);
 }
 
-}  // namespace
+Scheduler::Stats Scheduler::StatsFold::snapshot() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return total_;
+}
 
 Scheduler::~Scheduler() {
-  GlobalStats& g = global();
-  g.scheduled.fetch_add(stats_.scheduled, std::memory_order_relaxed);
-  g.fired.fetch_add(stats_.fired, std::memory_order_relaxed);
-  g.cancelled.fetch_add(stats_.cancelled, std::memory_order_relaxed);
-  g.rescheduled.fetch_add(stats_.rescheduled, std::memory_order_relaxed);
-  std::uint64_t peak = g.peak_queue_depth.load(std::memory_order_relaxed);
-  while (peak < stats_.peak_queue_depth &&
-         !g.peak_queue_depth.compare_exchange_weak(
-             peak, stats_.peak_queue_depth, std::memory_order_relaxed)) {
-  }
-}
-
-Scheduler::Stats Scheduler::global_stats() {
-  const GlobalStats& g = global();
-  Stats s;
-  s.scheduled = g.scheduled.load(std::memory_order_relaxed);
-  s.fired = g.fired.load(std::memory_order_relaxed);
-  s.cancelled = g.cancelled.load(std::memory_order_relaxed);
-  s.rescheduled = g.rescheduled.load(std::memory_order_relaxed);
-  s.peak_queue_depth = g.peak_queue_depth.load(std::memory_order_relaxed);
-  return s;
+  if (stats_fold_ != nullptr) stats_fold_->fold(stats_);
 }
 
 std::uint32_t Scheduler::acquire_slot() {
@@ -214,7 +192,7 @@ bool Scheduler::handle_reschedule(std::uint32_t slot, std::uint64_t generation,
   return true;
 }
 
-bool Scheduler::step() {
+QOESIM_HOT bool Scheduler::step() {
   if (heap_.empty()) return false;
   const HeapEntry head = heap_[0];
   heap_remove(0);
@@ -231,12 +209,12 @@ bool Scheduler::step() {
   return true;
 }
 
-void Scheduler::run_until(Time until) {
+QOESIM_HOT void Scheduler::run_until(Time until) {
   while (!heap_.empty() && heap_[0].when <= until) step();
   if (now_ < until) now_ = until;
 }
 
-void Scheduler::run() {
+QOESIM_HOT void Scheduler::run() {
   while (step()) {
   }
 }

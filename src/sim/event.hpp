@@ -18,9 +18,9 @@
 // after their Scheduler has been destroyed.
 #pragma once
 
-#include <atomic>
 #include <cstddef>
 #include <cstdint>
+#include <mutex>
 #include <vector>
 
 #include "sim/callback.hpp"
@@ -66,15 +66,34 @@ class Scheduler {
  public:
   using Callback = SmallCallback;
 
-  /// Lifetime counters, kept per scheduler and folded into a process-wide
-  /// aggregate on destruction (see global_stats()) so benches can report
-  /// events/sec across the many short-lived Simulations of a sweep.
+  /// Lifetime counters, kept per scheduler and folded into the StatsFold
+  /// installed via set_stats_fold() (if any) on destruction, so benches can
+  /// report events/sec across the many short-lived Simulations of a sweep.
   struct Stats {
     std::uint64_t scheduled = 0;    ///< schedule_at/schedule_in calls
     std::uint64_t fired = 0;        ///< callbacks invoked
     std::uint64_t cancelled = 0;    ///< pending events removed via cancel()
     std::uint64_t rescheduled = 0;  ///< EventHandle::reschedule fast paths
     std::uint64_t peak_queue_depth = 0;  ///< max simultaneous pending events
+  };
+
+  /// Thread-safe accumulator for the Stats of many schedulers. Sweep cells
+  /// destroy one Scheduler each on worker threads, so fold() takes a mutex
+  /// (one lock per scheduler lifetime). There is deliberately no
+  /// process-wide instance: whoever wants aggregated counters owns a fold
+  /// (benches via core::StatsRegistry) and passes it down, which keeps the
+  /// engine free of shared mutable state (a PDES-sharding prerequisite).
+  /// Sums of per-cell counters are independent of worker count and
+  /// completion order, so snapshots are deterministic for a fixed seed;
+  /// peak_queue_depth aggregates as a max, the rest as sums.
+  class StatsFold {
+   public:
+    void fold(const Stats& s);
+    Stats snapshot() const;
+
+   private:
+    mutable std::mutex mutex_;
+    Stats total_;
   };
 
   Scheduler() = default;
@@ -133,11 +152,10 @@ class Scheduler {
   /// Lifetime counters for this scheduler instance.
   const Stats& stats() const { return stats_; }
 
-  /// Process-wide aggregate of the Stats of every Scheduler destroyed so
-  /// far (peak_queue_depth aggregates as a max, the rest as sums). Sums of
-  /// per-cell counters are independent of sweep thread count / completion
-  /// order, so the snapshot is deterministic for a fixed seed.
-  static Stats global_stats();
+  /// Install the accumulator this scheduler folds its lifetime Stats into
+  /// on destruction (nullptr = don't fold anywhere, the default). The fold
+  /// must outlive the scheduler.
+  void set_stats_fold(StatsFold* fold) { stats_fold_ = fold; }
 
  private:
   friend class EventHandle;
@@ -204,6 +222,7 @@ class Scheduler {
   Time now_;
   std::uint64_t next_seq_ = 0;
   Stats stats_;
+  StatsFold* stats_fold_ = nullptr;
   std::vector<Slot> slots_;
   std::vector<HeapEntry> heap_;
   std::uint32_t free_head_ = kNilIndex;

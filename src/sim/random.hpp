@@ -51,6 +51,9 @@ class RandomStream {
   std::mt19937_64& engine() { return engine_; }
 
  private:
+  // RandomStream IS the blessed entropy path: the member is always seeded
+  // by the constructor (derive_seed), never default-constructed.
+  // qoesim-lint: allow(determinism) -- always seeded by the constructor
   std::mt19937_64 engine_;
 };
 

@@ -1,8 +1,11 @@
 // qoesim -- top-level simulation context.
 //
 // A Simulation bundles the scheduler with a master seed and serves as the
-// root object every component hangs off. It is the only piece of global-ish
-// state; everything else takes a Simulation& (or Scheduler&) explicitly.
+// root object every component hangs off. It also owns every monotonic id
+// counter (packet uids, transport flow ids): nothing in the engine keeps
+// process-wide mutable state, so arbitrarily many Simulations can run
+// concurrently (sweep cells today, PDES shards later) without sharing
+// anything. Everything else takes a Simulation& (or Scheduler&) explicitly.
 #pragma once
 
 #include <cstdint>
@@ -16,7 +19,14 @@ namespace qoesim {
 
 class Simulation {
  public:
-  explicit Simulation(std::uint64_t seed = 1) : seed_(seed) {}
+  /// `scheduler_stats` (optional) is the accumulator the scheduler folds
+  /// its lifetime counters into on destruction; benches pass one down (via
+  /// core::StatsRegistry) so sweeps can report aggregate events/sec.
+  explicit Simulation(std::uint64_t seed = 1,
+                      Scheduler::StatsFold* scheduler_stats = nullptr)
+      : seed_(seed) {
+    scheduler_.set_stats_fold(scheduler_stats);
+  }
 
   Simulation(const Simulation&) = delete;
   Simulation& operator=(const Simulation&) = delete;
@@ -32,6 +42,18 @@ class Simulation {
     return RandomStream::derive(seed_, label);
   }
 
+  /// Monotonically increasing packet uid, unique within this simulation
+  /// (diagnostics only; no simulation behaviour depends on it). Being
+  /// simulation-owned -- not a process-wide counter -- keeps uids
+  /// deterministic for a fixed seed regardless of how many cells run
+  /// concurrently.
+  std::uint64_t next_packet_uid() { return next_packet_uid_++; }
+
+  /// Monotonically increasing transport flow id (first flow = 1, so 0
+  /// stays the "no flow" sentinel in net::Packet). Simulation-owned for
+  /// the same determinism/sharding reasons as next_packet_uid().
+  std::uint64_t next_flow_id() { return next_flow_id_++; }
+
   EventHandle at(Time when, Scheduler::Callback cb) {
     return scheduler_.schedule_at(when, std::move(cb));
   }
@@ -44,6 +66,8 @@ class Simulation {
 
  private:
   std::uint64_t seed_;
+  std::uint64_t next_packet_uid_ = 0;
+  std::uint64_t next_flow_id_ = 1;
   Scheduler scheduler_;
 };
 

@@ -1,19 +1,11 @@
 #include "tcp/tcp_socket.hpp"
 
+#include "sim/annotations.hpp"
+
 #include <algorithm>
-#include <atomic>
 #include <sstream>
 
 namespace qoesim::tcp {
-
-namespace {
-
-net::FlowId next_flow_id() {
-  static std::atomic<net::FlowId> counter{1};
-  return counter.fetch_add(1, std::memory_order_relaxed);
-}
-
-}  // namespace
 
 TcpSocket::TcpSocket(net::Node& node, net::NodeId remote,
                      std::uint32_t local_port, std::uint32_t remote_port,
@@ -25,7 +17,7 @@ TcpSocket::TcpSocket(net::Node& node, net::NodeId remote,
       remote_port_(remote_port),
       config_(config),
       callbacks_(std::move(callbacks)),
-      flow_id_(next_flow_id()),
+      flow_id_(sim_.next_flow_id()),
       cc_(make_congestion_control(
           config.cc, static_cast<double>(config.mss),
           config.initial_cwnd_segments * static_cast<double>(config.mss))),
@@ -479,7 +471,7 @@ void TcpSocket::retransmit_head() {
   }
 }
 
-void TcpSocket::maybe_send_data() {
+QOESIM_HOT void TcpSocket::maybe_send_data() {
   if (state_ != State::kEstablished && state_ != State::kFinWait) return;
 
   const std::uint64_t data_end = 1 + app_bytes_queued_;
@@ -596,10 +588,11 @@ void fill_sack(net::TcpSegment& seg,
 
 }  // namespace
 
-void TcpSocket::send_segment(std::uint64_t seq, std::uint32_t len, bool fin,
+QOESIM_HOT void TcpSocket::send_segment(std::uint64_t seq, std::uint32_t len,
+                                       bool fin,
                              bool is_retransmit) {
   net::Packet p;
-  p.uid = net::next_packet_uid();
+  p.uid = sim_.next_packet_uid();
   p.flow = flow_id_;
   p.src = node_.id();
   p.dst = remote_;
@@ -636,7 +629,7 @@ void TcpSocket::send_segment(std::uint64_t seq, std::uint32_t len, bool fin,
 
 void TcpSocket::send_control(bool syn, bool ack, bool fin) {
   net::Packet p;
-  p.uid = net::next_packet_uid();
+  p.uid = sim_.next_packet_uid();
   p.flow = flow_id_;
   p.src = node_.id();
   p.dst = remote_;
@@ -771,7 +764,7 @@ void TcpSocket::cancel_rto() {
   tlp_timer_.cancel();
 }
 
-void TcpSocket::arm_pacer(Time deadline) {
+QOESIM_HOT void TcpSocket::arm_pacer(Time deadline) {
   // Same re-arm idiom as the RTO: move the pending timer in place
   // (allocation-free fast path), rebuild only after it fired.
   if (!pacing_timer_.reschedule(deadline)) {

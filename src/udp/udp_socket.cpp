@@ -21,7 +21,7 @@ void UdpSocket::send_to(net::NodeId dst, std::uint32_t dst_port,
                         std::uint32_t payload_bytes, const net::AppTag& tag,
                         std::uint32_t extra_header_bytes) {
   net::Packet p;
-  p.uid = net::next_packet_uid();
+  p.uid = node_.sim().next_packet_uid();
   p.src = node_.id();
   p.dst = dst;
   p.proto = net::Protocol::kUdp;

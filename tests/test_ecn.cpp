@@ -21,6 +21,10 @@
 namespace qoesim {
 namespace {
 
+// Packet uids are diagnostics-only and simulation-owned; tests that
+// build raw packets stamp them from a file-local counter.
+std::uint64_t test_uid = 1;
+
 using net::CoDelQueue;
 using net::Ecn;
 using net::Packet;
@@ -28,7 +32,7 @@ using net::RedQueue;
 
 Packet make_packet(Ecn ecn, std::uint32_t size = net::kMtuBytes) {
   Packet p;
-  p.uid = net::next_packet_uid();
+  p.uid = test_uid++;
   p.proto = net::Protocol::kTcp;
   p.ecn = ecn;
   p.size_bytes = size;

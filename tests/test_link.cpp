@@ -13,9 +13,13 @@
 namespace qoesim::net {
 namespace {
 
+// Packet uids are diagnostics-only and simulation-owned; tests that
+// build raw packets stamp them from a file-local counter.
+std::uint64_t test_uid = 1;
+
 Packet make_packet(std::uint32_t size) {
   Packet p;
-  p.uid = next_packet_uid();
+  p.uid = test_uid++;
   p.size_bytes = size;
   return p;
 }

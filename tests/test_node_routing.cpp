@@ -8,10 +8,14 @@
 namespace qoesim::net {
 namespace {
 
+// Packet uids are diagnostics-only and simulation-owned; tests that
+// build raw packets stamp them from a file-local counter.
+std::uint64_t test_uid = 1;
+
 Packet udp_packet(NodeId src, NodeId dst, std::uint32_t sport,
                   std::uint32_t dport) {
   Packet p;
-  p.uid = next_packet_uid();
+  p.uid = test_uid++;
   p.src = src;
   p.dst = dst;
   p.proto = Protocol::kUdp;

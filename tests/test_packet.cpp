@@ -3,6 +3,8 @@
 
 #include <gtest/gtest.h>
 
+#include "sim/simulation.hpp"
+
 namespace qoesim::net {
 namespace {
 
@@ -16,9 +18,21 @@ TEST(Packet, HeaderConstantsMatchWireFormats) {
 }
 
 TEST(Packet, UidsMonotone) {
-  const auto a = next_packet_uid();
-  const auto b = next_packet_uid();
+  Simulation sim;
+  const auto a = sim.next_packet_uid();
+  const auto b = sim.next_packet_uid();
   EXPECT_LT(a, b);
+}
+
+// Ids are simulation-owned (not process-wide counters), so two simulations
+// with the same seed mint identical sequences: uids/flow-ids are
+// deterministic no matter how many other cells run concurrently.
+TEST(Packet, IdsAreSimulationLocalAndDeterministic) {
+  Simulation a(42);
+  Simulation b(42);
+  EXPECT_EQ(a.next_packet_uid(), b.next_packet_uid());
+  EXPECT_EQ(a.next_flow_id(), b.next_flow_id());
+  EXPECT_EQ(a.next_flow_id(), 2u);  // flow ids start at 1; 0 = "no flow"
 }
 
 TEST(Packet, DescribeTcp) {

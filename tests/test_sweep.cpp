@@ -153,15 +153,16 @@ TEST(SweepRunner, ActuallyRunsConcurrently) {
 }
 
 // The scheduler counters a bench prints (sums of per-cell Stats, folded
-// into the process-wide aggregate when each cell's Scheduler is destroyed)
+// into the bench-owned StatsFold when each cell's Scheduler is destroyed)
 // must not depend on how many workers ran the sweep.
 TEST(SweepRunner, SchedulerStatsAreThreadCountInvariant) {
   auto run_cells = [](unsigned jobs) {
-    const Scheduler::Stats before = Scheduler::global_stats();
-    SweepRunner(jobs).for_each(24, [](std::size_t i) {
+    Scheduler::StatsFold fold;
+    SweepRunner(jobs).for_each(24, [&fold](std::size_t i) {
       // Deterministic per-cell event workload: i+1 events, one cancel,
       // one reschedule.
       Scheduler sched;
+      sched.set_stats_fold(&fold);
       for (std::size_t k = 0; k <= i; ++k) {
         sched.schedule_at(Time::milliseconds(static_cast<double>(k)), [] {});
       }
@@ -171,14 +172,12 @@ TEST(SweepRunner, SchedulerStatsAreThreadCountInvariant) {
       moved.reschedule(Time::seconds(1));
       sched.run();
     });
-    const Scheduler::Stats after = Scheduler::global_stats();
+    const Scheduler::Stats after = fold.snapshot();
     struct Delta {
       std::uint64_t scheduled, fired, cancelled, rescheduled;
     };
-    return Delta{after.scheduled - before.scheduled,
-                 after.fired - before.fired,
-                 after.cancelled - before.cancelled,
-                 after.rescheduled - before.rescheduled};
+    return Delta{after.scheduled, after.fired, after.cancelled,
+                 after.rescheduled};
   };
 
   const auto serial = run_cells(1);

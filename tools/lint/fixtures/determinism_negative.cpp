@@ -1,0 +1,38 @@
+// Known-negative cases for the `determinism` check: seeded engines, the
+// steady clock (allowed for measuring host wall time), identifiers that
+// merely contain banned substrings, and member functions that shadow
+// banned names. Any finding here is a fixture failure.
+#include <chrono>
+#include <cstdint>
+#include <random>
+#include <string>
+
+// Seeded engine construction is the blessed pattern.
+std::uint64_t seeded_draw(std::uint64_t seed) {
+  std::mt19937_64 engine(seed);
+  std::mt19937 engine32{static_cast<std::uint32_t>(seed)};
+  std::minstd_rand lcg(static_cast<std::uint32_t>(seed ^ 0x9e3779b9u));
+  return engine() + engine32() + lcg();
+}
+
+// steady_clock measures host time without affecting simulated results
+// (benches report wall-clock throughput with it).
+double measure_wall_seconds() {
+  const auto t0 = std::chrono::steady_clock::now();
+  const auto t1 = std::chrono::steady_clock::now();
+  return std::chrono::duration<double>(t1 - t0).count();
+}
+
+// Identifiers merely containing "rand"/"time" are not findings.
+struct Timer {
+  int time_ms = 0;
+  int time() const { return time_ms; }  // declaration, not a call
+};
+
+int operand_strands(int rand_index, int strand) {
+  Timer timer;
+  const int uptime = timer.time();  // member call named `time`
+  std::string brand = "rand() and time() in a string literal";
+  // rand() and random_device in a comment
+  return rand_index + strand + uptime + static_cast<int>(brand.size());
+}

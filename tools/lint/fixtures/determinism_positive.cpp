@@ -1,0 +1,40 @@
+// Known-positive cases for the `determinism` check: every banned entropy
+// or wall-clock source must be reported.
+#include <chrono>
+#include <cstdlib>
+#include <ctime>
+#include <random>
+
+int c_library_prng() {
+  std::srand(7);        // LINT-EXPECT: determinism
+  return std::rand();   // LINT-EXPECT: determinism
+}
+
+unsigned hardware_entropy() {
+  std::random_device rd;  // LINT-EXPECT: determinism
+  return rd();
+}
+
+long wall_clock_seed() {
+  return std::time(nullptr);  // LINT-EXPECT: determinism
+}
+
+long processor_time() {
+  return std::clock();  // LINT-EXPECT: determinism
+}
+
+double chrono_wall_clock() {
+  const auto t0 = std::chrono::system_clock::now();  // LINT-EXPECT: determinism
+  const auto t1 =
+      std::chrono::high_resolution_clock::now();  // LINT-EXPECT: determinism
+  return std::chrono::duration<double>(t1 - t0).count();
+}
+
+int unseeded_engines() {
+  std::mt19937 default_seeded;          // LINT-EXPECT: determinism
+  std::mt19937_64 empty_braces{};       // LINT-EXPECT: determinism
+  std::default_random_engine legacy;    // LINT-EXPECT: determinism
+  std::minstd_rand lcg{};               // LINT-EXPECT: determinism
+  return static_cast<int>(default_seeded() + empty_braces() + legacy() +
+                          lcg());
+}

@@ -1,0 +1,57 @@
+// Known-negative cases for the `global-state` check: everything here is
+// legal under the determinism & shared-state contract, so ANY finding in
+// this file is a fixture failure (spurious).
+#include <cstdint>
+#include <string>
+
+constexpr int kAnswer = 42;
+const double kPi = 3.14159;
+
+namespace demo {
+
+inline constexpr std::uint64_t kMask = 0xffu;
+constexpr char kName[] = "qoesim";
+
+// Function declarations and definitions are not variables.
+int free_function(int x);
+static int internal_linkage_helper(int x);
+int free_function(int x) { return x + kAnswer; }
+static int internal_linkage_helper(int x) { return x - 1; }
+
+struct Config {
+  static constexpr int kDefaultCapacity = 64;
+  static const int kLimit;
+  int mutable_member = 0;  // instance state: owned by whoever owns Config
+};
+const int Config::kLimit = 9;
+
+class Counter {
+ public:
+  void bump() { ++count_; }
+  int count() const { return count_; }
+
+ private:
+  int count_ = 0;  // instance member, not shared state
+};
+
+int uses_local_static_const() {
+  static const int kTable[3] = {1, 2, 3};
+  static constexpr double kScale = 2.0;
+  // A local mentioning "static" in a string or comment is not state:
+  // static static static
+  const std::string s = "static int fake = 0;";
+  return kTable[1] + static_cast<int>(kScale) + static_cast<int>(s.size());
+}
+
+enum class Mode { kOff, kOn };
+enum LegacyMode { kLegacyOff = 0, kLegacyOn = 1 };
+
+using Alias = std::uint64_t;
+typedef int OtherAlias;
+
+template <typename T>
+T identity(T v) {
+  return v;
+}
+
+}  // namespace demo

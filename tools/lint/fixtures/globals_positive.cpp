@@ -1,0 +1,34 @@
+// Known-positive cases for the `global-state` check. Every line tagged
+// LINT-EXPECT must be reported; the fixture ctest fails if the check
+// goes blind (missed positive) or noisy (finding on an untagged line).
+#include <cstdint>
+
+int g_mutable_counter = 0;  // LINT-EXPECT: global-state
+
+double g_uninitialized;  // LINT-EXPECT: global-state
+
+namespace demo {
+
+std::uint64_t namespace_scope_state = 7;  // LINT-EXPECT: global-state
+
+namespace {
+long anon_namespace_state{42};  // LINT-EXPECT: global-state
+}  // namespace
+
+thread_local int per_thread_cache = 0;  // LINT-EXPECT: global-state
+
+struct Widget {
+  static int live_count;  // LINT-EXPECT: global-state
+  int per_instance = 0;   // fine: instance member
+};
+
+inline int config_flag = 1;  // LINT-EXPECT: global-state
+
+int bump() {
+  static int calls = 0;  // LINT-EXPECT: global-state
+  thread_local int tls_calls = 0;  // LINT-EXPECT: global-state
+  ++tls_calls;
+  return ++calls;
+}
+
+}  // namespace demo

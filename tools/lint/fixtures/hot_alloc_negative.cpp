@@ -1,0 +1,78 @@
+// Known-negative cases for the `hot-alloc` check: allocation-free hot
+// functions, allocations in functions that are NOT hot (and not called
+// from hot ones), and a justified inline suppression. Any finding in
+// this file is a fixture failure.
+#include <algorithm>
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#define QOESIM_HOT
+
+struct Packet {
+  int size = 0;
+};
+
+class Pool {
+ public:
+  // Hot, but allocation-free: free-list reuse, moves, arithmetic.
+  QOESIM_HOT int acquire(Packet&& p) {
+    if (free_top_ > 0) {
+      const int slot = free_[--free_top_];
+      slots_[static_cast<std::size_t>(slot)] = std::move(p);
+      return slot;
+    }
+    // Growth is amortized and justified, so it is suppressed:
+    // qoesim-lint: allow(hot-alloc) -- fixture: slab growth, steady-state free
+    slots_.push_back(std::move(p));
+    return static_cast<int>(slots_.size()) - 1;
+  }
+
+  QOESIM_HOT Packet release(int slot) {
+    free_[free_top_++] = slot;
+    return std::move(slots_[static_cast<std::size_t>(slot)]);
+  }
+
+  // Cold setup path: allocations here are fine because no QOESIM_HOT
+  // function calls it.
+  void preallocate(std::size_t n) {
+    slots_.resize(n);
+    free_.resize(n);
+    for (std::size_t i = 0; i < n; ++i)
+      free_[i] = static_cast<int>(n - 1 - i);
+    free_top_ = static_cast<int>(n);
+  }
+
+ private:
+  std::vector<Packet> slots_;
+  std::vector<int> free_;
+  int free_top_ = 0;
+};
+
+class FastPath {
+ public:
+  QOESIM_HOT void forward(Packet&& p) {
+    // Pointer/reference uses of container types do not allocate.
+    std::vector<Packet>* lane = &lane_a_;
+    if (p.size > cutoff_) lane = &lane_b_;
+    count_ += 1;
+    peak_ = std::max(peak_, count_);
+    last_ = std::move(p);
+    (void)lane;
+  }
+
+  QOESIM_HOT int drain() {
+    // Calls into an allocation-free helper: nothing to report.
+    return visit_last();
+  }
+
+ private:
+  int visit_last() { return last_.size + count_; }
+
+  std::vector<Packet> lane_a_;
+  std::vector<Packet> lane_b_;
+  Packet last_;
+  int cutoff_ = 1500;
+  int count_ = 0;
+  int peak_ = 0;
+};

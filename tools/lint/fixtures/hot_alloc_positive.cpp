@@ -1,0 +1,61 @@
+// Known-positive cases for the `hot-alloc` check: direct allocations in
+// QOESIM_HOT functions, plus an allocation one call level away. The
+// fixture is linted standalone, so QOESIM_HOT only needs to be a visible
+// token -- the macro definition lives behind the preprocessor, which the
+// tokenizer skips.
+#include <cstdlib>
+#include <memory>
+#include <string>
+#include <vector>
+
+#define QOESIM_HOT
+
+struct Packet {
+  int size = 0;
+};
+
+struct Ring {
+  std::vector<Packet> buf;
+
+  // Not annotated, but called from a hot function below: its direct
+  // allocations must still be reported (one-level-deep analysis).
+  void grow_backing() {
+    buf.resize(buf.size() * 2 + 8);  // LINT-EXPECT: hot-alloc
+  }
+};
+
+class FastPath {
+ public:
+  QOESIM_HOT void forward(Packet p) {
+    auto* copy = new Packet(p);  // LINT-EXPECT: hot-alloc
+    scratch_.push_back(*copy);   // LINT-EXPECT: hot-alloc
+    ring_.grow_backing();
+  }
+
+  QOESIM_HOT void deliver() {
+    void* raw = std::malloc(64);            // LINT-EXPECT: hot-alloc
+    auto shared = std::make_shared<Packet>();  // LINT-EXPECT: hot-alloc
+    auto owned = std::make_unique<Packet>();   // LINT-EXPECT: hot-alloc
+    std::string label = describe_locally();  // LINT-EXPECT: hot-alloc
+    std::free(raw);
+    (void)shared;
+    (void)owned;
+    (void)label;
+  }
+
+  QOESIM_HOT void enqueue(const Packet& p) {
+    std::vector<Packet> burst(4);  // LINT-EXPECT: hot-alloc
+    burst[0] = p;
+    pending_.insert(pending_.begin(), p);  // LINT-EXPECT: hot-alloc
+  }
+
+ private:
+  // Allocates, and is called from the hot deliver() above.
+  std::string describe_locally() {
+    return std::to_string(42);  // LINT-EXPECT: hot-alloc
+  }
+
+  Ring ring_;
+  std::vector<Packet> scratch_;
+  std::vector<Packet> pending_;
+};
