@@ -1,0 +1,298 @@
+#include "conformance/harness.hpp"
+
+#include <cinttypes>
+#include <cstdio>
+#include <memory>
+#include <sstream>
+
+#include "net/link.hpp"
+#include "net/node.hpp"
+#include "net/queue.hpp"
+#include "sim/simulation.hpp"
+#include "tcp/tcp_server.hpp"
+#include "tcp/tcp_socket.hpp"
+
+namespace qoesim::conformance {
+
+namespace {
+
+constexpr net::NodeId kTutNode = 0;   ///< node under test
+constexpr net::NodeId kPeerNode = 1;  ///< scripted peer (no real node)
+constexpr std::uint32_t kServerPort = 80;
+constexpr std::uint32_t kPeerClientPort = 40000;
+/// Fast enough that a full-MTU serialization rounds to 0 ns: captured
+/// timestamps are exactly the instants the socket emitted the segments.
+constexpr double kCaptureRate = 1e15;
+
+std::string fmt_time(Time t) {
+  char buf[40];
+  std::snprintf(buf, sizeof(buf), "%" PRId64 ".%09" PRId64 "s",
+                t.ns() / 1000000000, t.ns() % 1000000000);
+  return buf;
+}
+
+struct Harness {
+  Simulation sim;
+  net::Node tut{sim, kTutNode, "tut"};
+  net::Link capture_link;
+  std::vector<CapturedSegment> captured;
+  std::shared_ptr<tcp::TcpSocket> socket;
+  std::unique_ptr<tcp::TcpServer> server;
+  std::vector<std::string> setup_diffs;  ///< script/state errors at runtime
+
+  Harness()
+      : capture_link(sim, "capture", kCaptureRate, Time::zero(),
+                     net::make_queue(net::QueueKind::kDropTail, 4096)) {
+    tut.add_port(&capture_link);
+    tut.set_default_route(0);
+    capture_link.set_sink([this](net::Packet&& p) {
+      captured.push_back(CapturedSegment{sim.now(), std::move(p)});
+    });
+  }
+
+  std::uint32_t peer_src_port(const Script& script) const {
+    return script.passive ? kPeerClientPort : kServerPort;
+  }
+
+  void inject(const Script& script, const Step& step) {
+    if (!socket && !server) {
+      std::ostringstream out;
+      out << script.name << ":" << step.line
+          << ": inject before connect/listen took effect";
+      setup_diffs.push_back(out.str());
+      return;
+    }
+    net::Packet p;
+    p.uid = sim.next_packet_uid();
+    p.flow = 0;
+    p.src = kPeerNode;
+    p.dst = kTutNode;
+    p.proto = net::Protocol::kTcp;
+    p.ecn = step.seg.ecn;  // kNotEct unless the script says otherwise
+    p.size_bytes = step.seg.len + net::kTcpHeaderBytes;
+    p.tcp.src_port = peer_src_port(script);
+    p.tcp.dst_port = socket ? socket->local_port() : kServerPort;
+    p.tcp.seq = step.seg.seq;
+    p.tcp.ack = step.seg.ack;
+    p.tcp.payload = step.seg.len;
+    p.tcp.syn = step.seg.syn;
+    p.tcp.fin = step.seg.fin;
+    p.tcp.has_ack = step.seg.ack_flag;
+    p.tcp.ece = step.seg.ece;
+    p.tcp.cwr = step.seg.cwr;
+    p.tcp.sack_count = step.seg.sack_count;
+    for (std::uint8_t i = 0; i < step.seg.sack_count; ++i) {
+      p.tcp.sack[i] = step.seg.sack[i];
+    }
+    tut.receive(std::move(p));
+  }
+
+  void need_socket(const Script& script, const Step& step, const char* what) {
+    std::ostringstream out;
+    out << script.name << ":" << step.line << ": " << what
+        << " but no socket exists yet";
+    setup_diffs.push_back(out.str());
+  }
+};
+
+std::string flags_of(const net::TcpSegment& seg) {
+  std::string flags = "-----";
+  if (seg.syn) flags[0] = 'S';
+  if (seg.has_ack) flags[1] = 'A';
+  if (seg.fin) flags[2] = 'F';
+  if (seg.ece) flags[3] = 'E';
+  if (seg.cwr) flags[4] = 'W';
+  return flags;
+}
+
+std::string flags_of(const SegmentSpec& seg) {
+  std::string flags = "-----";
+  if (seg.syn) flags[0] = 'S';
+  if (seg.ack_flag) flags[1] = 'A';
+  if (seg.fin) flags[2] = 'F';
+  if (seg.ece) flags[3] = 'E';
+  if (seg.cwr) flags[4] = 'W';
+  return flags;
+}
+
+const char* ecn_name(net::Ecn e) {
+  switch (e) {
+    case net::Ecn::kNotEct: return "notect";
+    case net::Ecn::kEct1: return "ect1";
+    case net::Ecn::kEct0: return "ect0";
+    case net::Ecn::kCe: return "ce";
+  }
+  return "?";
+}
+
+void append_sack(std::ostringstream& out, const net::SackBlock* blocks,
+                 std::uint8_t count) {
+  out << " sack=";
+  for (std::uint8_t i = 0; i < count; ++i) {
+    if (i) out << ',';
+    out << blocks[i].start << '-' << blocks[i].end;
+  }
+}
+
+/// Compare one emitted segment against an expect step; appends "field:
+/// want X got Y" fragments to `fields` for every deviation.
+void diff_segment(const Step& step, const CapturedSegment& got,
+                  std::vector<std::string>& fields) {
+  const SegmentSpec& want = step.seg;
+  const net::TcpSegment& seg = got.packet.tcp;
+  std::ostringstream f;
+  if (got.at < step.at - step.tolerance || got.at > step.at + step.tolerance) {
+    f << "time: want " << fmt_time(step.at);
+    if (step.tolerance > Time::zero()) {
+      f << " (+/- " << fmt_time(step.tolerance) << ")";
+    }
+    f << " got " << fmt_time(got.at);
+    fields.push_back(f.str());
+  }
+  if (flags_of(want) != flags_of(seg)) {
+    fields.push_back("flags: want " + flags_of(want) + " got " +
+                     flags_of(seg));
+  }
+  auto number = [&fields](const char* name, std::uint64_t w, std::uint64_t g) {
+    if (w == g) return;
+    std::ostringstream out;
+    out << name << ": want " << w << " got " << g;
+    fields.push_back(out.str());
+  };
+  if (want.has_seq) number("seq", want.seq, seg.seq);
+  if (want.has_ack) number("ack", want.ack, seg.ack);
+  if (want.has_len) number("len", want.len, seg.payload);
+  if (want.has_ecn && want.ecn != got.packet.ecn) {
+    fields.push_back(std::string("ecn: want ") + ecn_name(want.ecn) +
+                     " got " + ecn_name(got.packet.ecn));
+  }
+  if (want.has_sack) {
+    bool same = want.sack_count == seg.sack_count;
+    for (std::uint8_t i = 0; same && i < want.sack_count; ++i) {
+      same = want.sack[i].start == seg.sack[i].start &&
+             want.sack[i].end == seg.sack[i].end;
+    }
+    if (!same) {
+      std::ostringstream out;
+      out << "sack: want";
+      append_sack(out, want.sack, want.sack_count);
+      out << " got";
+      append_sack(out, seg.sack, seg.sack_count);
+      fields.push_back(out.str());
+    }
+  }
+}
+
+}  // namespace
+
+std::string describe_segment(const net::Packet& p) {
+  std::ostringstream out;
+  out << "flags=" << flags_of(p.tcp) << " seq=" << p.tcp.seq
+      << " ack=" << p.tcp.ack << " len=" << p.tcp.payload
+      << " ecn=" << ecn_name(p.ecn);
+  if (p.tcp.sack_count > 0) append_sack(out, p.tcp.sack, p.tcp.sack_count);
+  return out.str();
+}
+
+std::string RunResult::summary() const {
+  std::string out;
+  for (const auto& d : diffs) {
+    if (!out.empty()) out += '\n';
+    out += d;
+  }
+  return out;
+}
+
+RunResult run_script(const Script& script) {
+  RunResult result;
+  auto harness = std::make_unique<Harness>();
+  Harness* h = harness.get();
+
+  // Schedule every step up front, in script order: the scheduler breaks
+  // same-timestamp ties FIFO, so steps sharing an instant execute exactly
+  // in line order.
+  Time end;
+  for (const Step& step : script.steps) {
+    const Time step_end = step.at + step.tolerance;
+    if (step_end > end) end = step_end;
+    switch (step.kind) {
+      case Step::Kind::kConnect:
+        h->sim.at(step.at, [h, &script] {
+          h->socket = tcp::TcpSocket::connect(h->tut, kPeerNode, kServerPort,
+                                              script.config);
+        });
+        break;
+      case Step::Kind::kListen:
+        h->sim.at(step.at, [h, &script] {
+          h->server = std::make_unique<tcp::TcpServer>(
+              h->tut, kServerPort, script.config,
+              [h](std::shared_ptr<tcp::TcpSocket> accepted) {
+                h->socket = std::move(accepted);
+              });
+        });
+        break;
+      case Step::Kind::kSend:
+        h->sim.at(step.at, [h, &script, &step] {
+          if (h->socket) {
+            h->socket->send(step.bytes);
+          } else {
+            h->need_socket(script, step, "send");
+          }
+        });
+        break;
+      case Step::Kind::kClose:
+        h->sim.at(step.at, [h, &script, &step] {
+          if (h->socket) {
+            h->socket->close();
+          } else {
+            h->need_socket(script, step, "close");
+          }
+        });
+        break;
+      case Step::Kind::kInject:
+        h->sim.at(step.at, [h, &script, &step] { h->inject(script, step); });
+        break;
+      case Step::Kind::kExpect:
+      case Step::Kind::kRun:
+        break;  // post-run matching / horizon only
+    }
+  }
+  h->sim.run_until(end + Time::nanoseconds(1));
+
+  result.captured = std::move(h->captured);
+  result.diffs = std::move(h->setup_diffs);
+
+  // Strict ordered matching: emitted segment i against expect i.
+  std::size_t got_i = 0;
+  for (const Step& step : script.steps) {
+    if (step.kind != Step::Kind::kExpect) continue;
+    std::ostringstream out;
+    out << script.name << ":" << step.line << ": ";
+    if (got_i >= result.captured.size()) {
+      out << "missing segment: want flags=" << flags_of(step.seg) << " at "
+          << fmt_time(step.at) << ", socket sent nothing further";
+      result.diffs.push_back(out.str());
+      continue;
+    }
+    const CapturedSegment& got = result.captured[got_i++];
+    std::vector<std::string> fields;
+    diff_segment(step, got, fields);
+    if (fields.empty()) continue;
+    out << "segment " << got_i << " mismatch (got "
+        << describe_segment(got.packet) << " at " << fmt_time(got.at) << ")";
+    for (const auto& field : fields) out << "\n    " << field;
+    result.diffs.push_back(out.str());
+  }
+  for (; got_i < result.captured.size(); ++got_i) {
+    const CapturedSegment& extra = result.captured[got_i];
+    std::ostringstream out;
+    out << script.name << ": unexpected segment " << got_i + 1 << " at "
+        << fmt_time(extra.at) << ": " << describe_segment(extra.packet);
+    result.diffs.push_back(out.str());
+  }
+
+  result.passed = result.diffs.empty();
+  return result;
+}
+
+}  // namespace qoesim::conformance

@@ -1,0 +1,49 @@
+// qoesim -- conformance script replay harness.
+//
+// Runs a parsed Script against a single TcpSocket: the socket under test
+// sits on a node whose only link is an instant capture wire (10^15 bps, so
+// serialization rounds to 0 ns; zero propagation), and the scripted peer
+// is pure injection -- packets fabricated from inject steps and delivered
+// straight into the node, with no transport state of their own. Every
+// segment the socket emits is captured with its exact simulated timestamp
+// and compared, strictly and in order, against the expect steps.
+//
+// Failures are reported as segment-level diffs (script line, field, want
+// vs got), not just a boolean, so a regression names the exact deviation.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "conformance/script.hpp"
+#include "net/packet.hpp"
+#include "sim/time.hpp"
+
+namespace qoesim::conformance {
+
+/// One segment emitted by the socket under test.
+struct CapturedSegment {
+  Time at;
+  net::Packet packet;
+};
+
+struct RunResult {
+  bool passed = false;
+  /// Human-readable segment-level diffs (empty when passed). Each entry
+  /// names the script line, the offending field(s), and want vs got.
+  std::vector<std::string> diffs;
+  /// Everything the socket emitted, in order (for tooling/debugging).
+  std::vector<CapturedSegment> captured;
+
+  /// All diffs joined with newlines (empty when passed).
+  std::string summary() const;
+};
+
+/// "flags=SA--- seq=0 ack=1 len=0 ecn=notect" -- used in diff output.
+std::string describe_segment(const net::Packet& p);
+
+/// Replay `script`; never throws on assertion failure (diffs instead).
+RunResult run_script(const Script& script);
+
+}  // namespace qoesim::conformance

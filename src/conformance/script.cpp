@@ -1,0 +1,298 @@
+#include "conformance/script.hpp"
+
+#include <cctype>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+
+namespace qoesim::conformance {
+
+namespace {
+
+std::vector<std::string> tokenize(const std::string& line) {
+  std::vector<std::string> tokens;
+  std::istringstream in(line);
+  std::string tok;
+  while (in >> tok) {
+    if (tok[0] == '#') break;  // trailing comment
+    tokens.push_back(tok);
+  }
+  return tokens;
+}
+
+bool parse_u64(const std::string& s, std::uint64_t* out) {
+  if (s.empty()) return false;
+  char* end = nullptr;
+  const unsigned long long v = std::strtoull(s.c_str(), &end, 10);
+  if (end != s.c_str() + s.size()) return false;
+  *out = v;
+  return true;
+}
+
+/// `<number><ns|us|ms|s>`; the number may be fractional (e.g. 2.5ms).
+bool parse_time(const std::string& s, Time* out) {
+  std::size_t i = 0;
+  while (i < s.size() &&
+         (std::isdigit(static_cast<unsigned char>(s[i])) || s[i] == '.')) {
+    ++i;
+  }
+  if (i == 0) return false;
+  char* end = nullptr;
+  const double value = std::strtod(s.c_str(), &end);
+  if (end != s.c_str() + i) return false;
+  const std::string unit = s.substr(i);
+  double scale_ns = 0;
+  if (unit == "ns") scale_ns = 1;
+  else if (unit == "us") scale_ns = 1e3;
+  else if (unit == "ms") scale_ns = 1e6;
+  else if (unit == "s") scale_ns = 1e9;
+  else if (unit.empty() && value == 0) scale_ns = 1;  // bare 0 is unambiguous
+  else return false;
+  *out = Time::nanoseconds(static_cast<std::int64_t>(value * scale_ns + 0.5));
+  return true;
+}
+
+bool parse_flags(const std::string& s, SegmentSpec* seg) {
+  if (s == "-") return true;  // no flags
+  for (char c : s) {
+    switch (c) {
+      case 'S': seg->syn = true; break;
+      case 'A': seg->ack_flag = true; break;
+      case 'F': seg->fin = true; break;
+      case 'E': seg->ece = true; break;
+      case 'W': seg->cwr = true; break;
+      default: return false;
+    }
+  }
+  return true;
+}
+
+bool parse_ecn(const std::string& s, net::Ecn* out) {
+  if (s == "notect") *out = net::Ecn::kNotEct;
+  else if (s == "ect0") *out = net::Ecn::kEct0;
+  else if (s == "ect1") *out = net::Ecn::kEct1;
+  else if (s == "ce") *out = net::Ecn::kCe;
+  else return false;
+  return true;
+}
+
+/// `a-b[,c-d[,e-f]]`
+bool parse_sack(const std::string& s, SegmentSpec* seg) {
+  std::istringstream in(s);
+  std::string block;
+  while (std::getline(in, block, ',')) {
+    if (seg->sack_count >= 3) return false;
+    const auto dash = block.find('-');
+    if (dash == std::string::npos) return false;
+    std::uint64_t start = 0;
+    std::uint64_t end = 0;
+    if (!parse_u64(block.substr(0, dash), &start) ||
+        !parse_u64(block.substr(dash + 1), &end) || end <= start) {
+      return false;
+    }
+    seg->sack[seg->sack_count++] = net::SackBlock{start, end};
+  }
+  return seg->sack_count > 0;
+}
+
+/// Parse segment fields from tokens[i..); stops at "within".
+bool parse_segment(const std::vector<std::string>& tokens, std::size_t* i,
+                   SegmentSpec* seg, std::string* why) {
+  bool have_flags = false;
+  for (; *i < tokens.size(); ++*i) {
+    const std::string& tok = tokens[*i];
+    if (tok == "within") break;
+    const auto eq = tok.find('=');
+    if (eq == std::string::npos) {
+      *why = "expected key=value, got '" + tok + "'";
+      return false;
+    }
+    const std::string key = tok.substr(0, eq);
+    const std::string value = tok.substr(eq + 1);
+    std::uint64_t n = 0;
+    if (key == "flags") {
+      if (!parse_flags(value, seg)) { *why = "bad flags '" + value + "'"; return false; }
+      have_flags = true;
+    } else if (key == "seq") {
+      if (!parse_u64(value, &n)) { *why = "bad seq"; return false; }
+      seg->seq = n;
+      seg->has_seq = true;
+    } else if (key == "ack") {
+      if (!parse_u64(value, &n)) { *why = "bad ack"; return false; }
+      seg->ack = n;
+      seg->has_ack = true;
+    } else if (key == "len") {
+      if (!parse_u64(value, &n)) { *why = "bad len"; return false; }
+      seg->len = static_cast<std::uint32_t>(n);
+      seg->has_len = true;
+    } else if (key == "ecn") {
+      if (!parse_ecn(value, &seg->ecn)) { *why = "bad ecn '" + value + "'"; return false; }
+      seg->has_ecn = true;
+    } else if (key == "sack") {
+      if (!parse_sack(value, seg)) { *why = "bad sack '" + value + "'"; return false; }
+      seg->has_sack = true;
+    } else {
+      *why = "unknown field '" + key + "'";
+      return false;
+    }
+  }
+  if (!have_flags) {
+    *why = "segment needs flags=...";
+    return false;
+  }
+  return true;
+}
+
+bool apply_opt(const std::vector<std::string>& tokens, tcp::TcpConfig* cfg,
+               std::string* why) {
+  if (tokens.size() != 3) {
+    *why = "opt takes exactly two arguments";
+    return false;
+  }
+  const std::string& key = tokens[1];
+  const std::string& value = tokens[2];
+  std::uint64_t n = 0;
+  const bool on = value == "on";
+  if (key == "mss") {
+    if (!parse_u64(value, &n) || n == 0) { *why = "bad mss"; return false; }
+    cfg->mss = static_cast<std::uint32_t>(n);
+  } else if (key == "iw") {
+    if (!parse_u64(value, &n) || n == 0) { *why = "bad iw"; return false; }
+    cfg->initial_cwnd_segments = static_cast<double>(n);
+  } else if (key == "dupthresh") {
+    if (!parse_u64(value, &n) || n == 0) { *why = "bad dupthresh"; return false; }
+    cfg->dupack_threshold = static_cast<std::uint32_t>(n);
+  } else if (key == "burst") {
+    if (!parse_u64(value, &n) || n == 0) { *why = "bad burst"; return false; }
+    cfg->max_burst_segments = static_cast<std::uint32_t>(n);
+  } else if (key == "cc") {
+    if (value == "reno") cfg->cc = tcp::CcKind::kReno;
+    else if (value == "bic") cfg->cc = tcp::CcKind::kBic;
+    else if (value == "cubic") cfg->cc = tcp::CcKind::kCubic;
+    else if (value == "vegas") cfg->cc = tcp::CcKind::kVegas;
+    else if (value == "bbr") cfg->cc = tcp::CcKind::kBbr;
+    else { *why = "unknown cc '" + value + "'"; return false; }
+  } else if (key == "tlp") {
+    if (value != "on" && value != "off") { *why = "tlp takes on|off"; return false; }
+    cfg->enable_tlp = on;
+  } else if (key == "ecn") {
+    if (value != "on" && value != "off") { *why = "ecn takes on|off"; return false; }
+    cfg->ecn = on;
+  } else if (key == "delack") {
+    if (value != "on" && value != "off") { *why = "delack takes on|off"; return false; }
+    cfg->delayed_ack = on;
+  } else {
+    *why = "unknown option '" + key + "'";
+    return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+bool parse_script(const std::string& text, const std::string& name,
+                  Script* out, std::string* error) {
+  out->name = name;
+  out->steps.clear();
+  auto fail = [&](int line, const std::string& why) {
+    if (error) *error = name + ":" + std::to_string(line) + ": " + why;
+    return false;
+  };
+
+  std::istringstream in(text);
+  std::string raw;
+  int lineno = 0;
+  Time prev_at;
+  bool have_open = false;
+  while (std::getline(in, raw)) {
+    ++lineno;
+    const std::vector<std::string> tokens = tokenize(raw);
+    if (tokens.empty()) continue;
+
+    if (tokens[0] == "opt") {
+      if (have_open) return fail(lineno, "opt must precede connect/listen");
+      std::string why;
+      if (!apply_opt(tokens, &out->config, &why)) return fail(lineno, why);
+      continue;
+    }
+
+    Step step;
+    step.line = lineno;
+    const bool relative = tokens[0][0] == '+';
+    const std::string time_tok =
+        relative ? tokens[0].substr(1) : tokens[0];
+    if (!parse_time(time_tok, &step.at)) {
+      return fail(lineno, "bad time '" + tokens[0] + "'");
+    }
+    if (relative) step.at = prev_at + step.at;
+    if (step.at < prev_at) {
+      return fail(lineno, "time goes backwards");
+    }
+    prev_at = step.at;
+
+    if (tokens.size() < 2) return fail(lineno, "missing command");
+    const std::string& cmd = tokens[1];
+    std::size_t i = 2;
+    std::string why;
+    if (cmd == "connect") {
+      step.kind = Step::Kind::kConnect;
+      have_open = true;
+    } else if (cmd == "listen") {
+      step.kind = Step::Kind::kListen;
+      out->passive = true;
+      have_open = true;
+    } else if (cmd == "send") {
+      step.kind = Step::Kind::kSend;
+      if (tokens.size() != 3 || !parse_u64(tokens[2], &step.bytes) ||
+          step.bytes == 0) {
+        return fail(lineno, "send takes a positive byte count");
+      }
+    } else if (cmd == "close") {
+      step.kind = Step::Kind::kClose;
+    } else if (cmd == "run") {
+      step.kind = Step::Kind::kRun;
+    } else if (cmd == "inject" || cmd == "expect") {
+      step.kind = cmd == "inject" ? Step::Kind::kInject : Step::Kind::kExpect;
+      if (!parse_segment(tokens, &i, &step.seg, &why)) {
+        return fail(lineno, why);
+      }
+      if (i < tokens.size()) {
+        if (cmd != "expect") return fail(lineno, "within is expect-only");
+        if (i + 2 != tokens.size() || tokens[i] != "within" ||
+            !parse_time(tokens[i + 1], &step.tolerance)) {
+          return fail(lineno, "trailing tokens (expected: within <time>)");
+        }
+      }
+    } else {
+      return fail(lineno, "unknown command '" + cmd + "'");
+    }
+    if (step.kind != Step::Kind::kConnect && step.kind != Step::Kind::kListen &&
+        !have_open) {
+      return fail(lineno, "script must connect or listen first");
+    }
+    out->steps.push_back(step);
+  }
+  if (!have_open) {
+    if (error) *error = name + ": script has no connect/listen step";
+    return false;
+  }
+  return true;
+}
+
+bool load_script(const std::string& path, Script* out, std::string* error) {
+  std::ifstream in(path);
+  if (!in) {
+    if (error) *error = path + ": cannot open";
+    return false;
+  }
+  std::ostringstream text;
+  text << in.rdbuf();
+  // Use the basename as the script name for diff messages.
+  const auto slash = path.find_last_of('/');
+  return parse_script(text.str(), slash == std::string::npos
+                                      ? path
+                                      : path.substr(slash + 1),
+                      out, error);
+}
+
+}  // namespace qoesim::conformance

@@ -1,0 +1,93 @@
+// qoesim -- packetdrill-style conformance script model + parser.
+//
+// A .pkt script drives one TcpSocket over a scripted peer: every line is
+// `<time> <command> [args]`, commands inject peer segments into the socket
+// under test or assert -- at exact simulated time -- the segments it emits:
+//
+//   # client-side fast retransmit
+//   opt mss 1000
+//   0ms   connect
+//   0ms   expect flags=S seq=0
+//   50ms  inject flags=SA seq=0 ack=1
+//   50ms  expect flags=A seq=1 ack=1
+//   50ms  send 3000
+//   50ms  expect flags=A seq=1 ack=1 len=1000
+//   ...
+//   +0    inject flags=A ack=1 sack=1001-2001
+//   100ms expect flags=A seq=1 len=1000 within 1us
+//
+// Grammar (see README "Writing conformance scripts" for the narrative):
+//   time      := <number><ns|us|ms|s>; a `+` prefix is relative to the
+//                previous step's time (`+0` = same instant, later in order)
+//   command   := connect | listen | send <bytes> | close | run
+//              | inject <segment> | expect <segment> [within <time>]
+//   segment   := flags=<[S][A][F][E][W]|-> [seq=N] [ack=N] [len=N]
+//                [ecn=notect|ect0|ect1|ce] [sack=a-b[,c-d[,e-f]]]
+//   opt       := opt mss|iw|dupthresh|burst <n> | opt cc reno|bic|cubic|
+//                vegas|bbr | opt tlp|ecn|delack on|off
+//
+// `connect` makes the socket under test the active opener (peer port 80);
+// `listen` makes it the passive endpoint (scripted peer connects from
+// port 40000). `run` extends the simulation horizon without asserting.
+// Expect matching is strict and ordered: segment i emitted by the socket
+// is compared against expect i; unspecified fields (except flags, always
+// compared) are ignored; any extra or missing segment fails.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "net/packet.hpp"
+#include "sim/time.hpp"
+#include "tcp/tcp_socket.hpp"
+
+namespace qoesim::conformance {
+
+/// A segment pattern: values plus per-field presence for expect matching.
+struct SegmentSpec {
+  bool syn = false;
+  bool ack_flag = false;
+  bool fin = false;
+  bool ece = false;
+  bool cwr = false;
+
+  bool has_seq = false;
+  bool has_ack = false;
+  bool has_len = false;
+  bool has_ecn = false;
+  bool has_sack = false;
+  std::uint64_t seq = 0;
+  std::uint64_t ack = 0;
+  std::uint32_t len = 0;
+  net::Ecn ecn = net::Ecn::kNotEct;
+  std::uint8_t sack_count = 0;
+  net::SackBlock sack[3];
+};
+
+struct Step {
+  enum class Kind { kConnect, kListen, kSend, kClose, kInject, kExpect, kRun };
+  Kind kind = Kind::kRun;
+  Time at;
+  int line = 0;           ///< 1-based source line (for diffs)
+  std::uint64_t bytes = 0;  ///< send
+  SegmentSpec seg;          ///< inject / expect
+  Time tolerance;           ///< expect: |emitted - at| <= tolerance
+};
+
+struct Script {
+  std::string name;
+  tcp::TcpConfig config;
+  bool passive = false;  ///< listen script (socket under test accepts)
+  std::vector<Step> steps;
+};
+
+/// Parse script text. On failure returns false and sets `error` to
+/// "<name>:<line>: <message>".
+bool parse_script(const std::string& text, const std::string& name,
+                  Script* out, std::string* error);
+
+/// Load and parse a script file.
+bool load_script(const std::string& path, Script* out, std::string* error);
+
+}  // namespace qoesim::conformance

@@ -13,6 +13,7 @@
 #include "qoe/http_video_qoe.hpp"
 #include "core/testbed.hpp"
 #include "core/workloads.hpp"
+#include "net/trace_binary.hpp"
 #include "qoe/g1030.hpp"
 #include "qoe/video_quality.hpp"
 
@@ -66,9 +67,14 @@ double VideoCell::median_mos() const { return mos.median_or(1.0); }
 double WebCell::median_plt_s() const { return plt_s.median_or(0.0); }
 double WebCell::median_mos() const { return mos.median_or(1.0); }
 
-QosCell ExperimentRunner::run_qos(const ScenarioConfig& config) const {
+QosCell ExperimentRunner::run_qos(const ScenarioConfig& config,
+                                  net::BinaryTracer* tracer) const {
   Testbed testbed(config, stats_);
   Workload workload(testbed);
+  if (tracer != nullptr) {
+    tracer->observe_link(testbed.bottleneck_down(), 0);
+    tracer->observe_link(testbed.bottleneck_up(), 1);
+  }
 
   const Time end = budget_.warmup + budget_.qos_duration;
   testbed.sim().run_until(end);

@@ -17,6 +17,10 @@
 #include "qoe/voip_qoe.hpp"
 #include "stats/summary.hpp"
 
+namespace qoesim::net {
+class BinaryTracer;
+}  // namespace qoesim::net
+
 namespace qoesim::core {
 
 struct StatsRegistry;
@@ -108,8 +112,14 @@ class ExperimentRunner {
 
   const ProbeBudget& budget() const { return budget_; }
 
-  /// Background-traffic-only measurement (no probes).
-  QosCell run_qos(const ScenarioConfig& config) const;
+  /// Background-traffic-only measurement (no probes). `tracer` (optional)
+  /// observes the cell's bottleneck links for the whole run -- downlink as
+  /// point 0, uplink as point 1 (net/trace_binary.hpp). Parallel sweeps
+  /// must pass one tracer per cell: a cell's packet stream is
+  /// deterministic, so per-cell bodies concatenated in sweep order are
+  /// byte-identical regardless of --jobs.
+  QosCell run_qos(const ScenarioConfig& config,
+                  net::BinaryTracer* tracer = nullptr) const;
 
   /// Bidirectional VoIP call probes. On the backbone the paper streams
   /// one direction only; pass bidirectional=false to match.

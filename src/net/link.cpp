@@ -79,6 +79,7 @@ QOESIM_HOT void Link::drain_wire() {
   const PacketPool::SlotId slot = wire_.front().slot;
   wire_.pop();
   Packet p = pool_.release(slot);
+  for (const auto& observer : rx_observers_) observer(p, sim_.now());
   if (sink_) sink_(std::move(p));
   if (!wire_.empty()) arm_delivery(wire_.front());
 }

@@ -46,6 +46,12 @@ class Link {
   void add_tx_observer(TxObserver obs) {
     tx_observers_.push_back(std::move(obs));
   }
+  /// Register a delivery observer, invoked when a packet finishes
+  /// propagation, just before it is handed to the sink (the receive-side
+  /// tap point tracers use to measure one-way link latency).
+  void add_rx_observer(TxObserver obs) {
+    rx_observers_.push_back(std::move(obs));
+  }
   [[deprecated("use add_tx_observer")]] void set_tx_observer(TxObserver obs) {
     add_tx_observer(std::move(obs));
   }
@@ -89,6 +95,7 @@ class Link {
   std::unique_ptr<QueueDiscipline> queue_;
   DeliverFn sink_;
   std::vector<TxObserver> tx_observers_;
+  std::vector<TxObserver> rx_observers_;
 
   PacketPool pool_;  // packets serializing or on the wire
   WireRing wire_;    // FIFO of propagating packets

@@ -1,0 +1,41 @@
+// qoesim -- binary trace converters: pcap export and text dump.
+//
+// pcap: classic nanosecond-resolution pcap (magic 0xa1b23c4d, LINKTYPE_RAW)
+// with synthesized IPv4 + TCP/UDP headers, so bench traces open directly in
+// Wireshark/tcpdump. The simulator models payload as byte counts only, so
+// captured frames are header-only: incl_len covers the synthesized headers,
+// orig_len reports the true wire size. Node ids map to 10.x.x.x addresses;
+// 64-bit sequence numbers truncate to the 32-bit header fields.
+//
+// text: one line per record, fixed field order -- the diffable form the
+// determinism gate and the golden-file tests compare.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <vector>
+
+#include "net/trace_binary.hpp"
+
+namespace qoesim::net {
+
+/// Which trace events become pcap packets. Transmit-only is the default:
+/// a tx+deliver trace would show every packet twice (once per interface).
+struct PcapOptions {
+  bool transmit = true;
+  bool deliver = false;
+  bool include(TraceEvent e) const {
+    return (e == TraceEvent::kTransmit && transmit) ||
+           (e == TraceEvent::kDeliver && deliver);
+  }
+};
+
+/// Write `records` as a pcap stream; returns packets written.
+std::size_t write_pcap(const std::vector<BinRecord>& records,
+                       std::ostream& out, PcapOptions opts = {});
+
+/// Write `records` as the diff-friendly text dump, one line per record.
+void write_trace_text(const std::vector<BinRecord>& records,
+                      std::ostream& out);
+
+}  // namespace qoesim::net

@@ -8,6 +8,7 @@ const char* to_string(TraceEvent e) {
     case TraceEvent::kDrop: return "drop";
     case TraceEvent::kTransmit: return "transmit";
     case TraceEvent::kMark: return "mark";
+    case TraceEvent::kDeliver: return "deliver";
   }
   return "?";
 }

@@ -19,7 +19,13 @@
 
 namespace qoesim::net {
 
-enum class TraceEvent : std::uint8_t { kEnqueue, kDrop, kTransmit, kMark };
+enum class TraceEvent : std::uint8_t {
+  kEnqueue,
+  kDrop,
+  kTransmit,  ///< serialization complete, packet on the wire
+  kMark,      ///< AQM applied an ECN CE mark
+  kDeliver,   ///< propagation complete, packet handed to the link sink
+};
 
 const char* to_string(TraceEvent e);
 

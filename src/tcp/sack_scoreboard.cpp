@@ -1,0 +1,84 @@
+#include "tcp/sack_scoreboard.hpp"
+
+#include <algorithm>
+
+namespace qoesim::tcp {
+
+std::uint64_t SackScoreboard::add_block(std::uint64_t start, std::uint64_t end,
+                                  std::uint64_t una, std::uint64_t limit) {
+  start = std::max(start, una);
+  end = std::min(end, limit);
+  if (end <= start) return 0;
+  const std::uint64_t bytes_before = bytes_;
+  // Merge [start, end) into the interval map; absorb a predecessor that
+  // overlaps or exactly abuts, then every successor starting at/below end.
+  auto it = blocks_.upper_bound(start);
+  if (it != blocks_.begin()) {
+    auto prev = std::prev(it);
+    if (prev->second >= start) {
+      start = prev->first;
+      end = std::max(end, prev->second);
+      bytes_ -= prev->second - prev->first;
+      it = blocks_.erase(prev);
+    }
+  }
+  while (it != blocks_.end() && it->first <= end) {
+    end = std::max(end, it->second);
+    bytes_ -= it->second - it->first;
+    it = blocks_.erase(it);
+  }
+  blocks_.emplace(start, end);
+  bytes_ += end - start;
+  high_ = std::max(high_, end);
+  return bytes_ - bytes_before;
+}
+
+void SackScoreboard::prune(std::uint64_t una) {
+  for (auto it = blocks_.begin(); it != blocks_.end();) {
+    if (it->second <= una) {
+      bytes_ -= it->second - it->first;
+      it = blocks_.erase(it);
+    } else if (it->first < una) {
+      bytes_ -= una - it->first;
+      const auto end = it->second;
+      blocks_.erase(it);
+      blocks_.emplace(una, end);
+      break;
+    } else {
+      break;
+    }
+  }
+  if (blocks_.empty()) high_ = 0;
+}
+
+void SackScoreboard::clear() {
+  blocks_.clear();
+  bytes_ = 0;
+  high_ = 0;
+}
+
+std::uint64_t SackScoreboard::covered(std::uint64_t lo,
+                                      std::uint64_t hi) const {
+  std::uint64_t covered = 0;
+  for (const auto& [start, end] : blocks_) {
+    const std::uint64_t olo = std::max(lo, start);
+    const std::uint64_t ohi = std::min(hi, end);
+    if (ohi > olo) covered += ohi - olo;
+  }
+  return covered;
+}
+
+std::pair<std::uint64_t, std::uint64_t> SackScoreboard::hole_at_or_above(
+    std::uint64_t pos) const {
+  std::uint64_t hole_end = high_;
+  for (const auto& [start, end] : blocks_) {
+    if (pos < start) {
+      hole_end = start;
+      break;
+    }
+    if (pos < end) pos = end;
+  }
+  return {pos, hole_end};
+}
+
+}  // namespace qoesim::tcp

@@ -1,0 +1,61 @@
+// qoesim -- sender-side SACK scoreboard (RFC 2018/6675).
+//
+// Tracks selectively acknowledged intervals above the cumulative ACK point
+// as a sorted interval map. Split out of TcpSocket so the merge and pruning
+// edge cases the conformance scripts exercise (overlapping/adjacent blocks,
+// duplicate reports, cumulative ACKs landing inside a block) are directly
+// unit-testable against a reference model. D-SACK filtering (blocks at or
+// below the packet's own cumulative ACK, RFC 2883) is the caller's job:
+// such blocks report duplicate receipt, not new delivery, and must never
+// reach add().
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <utility>
+
+namespace qoesim::tcp {
+
+class SackScoreboard {
+ public:
+  /// Sorted disjoint intervals [start -> end), never touching: adjacent
+  /// blocks coalesce on insert.
+  using Blocks = std::map<std::uint64_t, std::uint64_t>;
+
+  /// Merge [start, end) clamped to [una, limit). Overlapping and adjacent
+  /// blocks coalesce into one interval. Returns the number of newly
+  /// covered bytes (0 for duplicates and fully clamped-away blocks).
+  std::uint64_t add_block(std::uint64_t start, std::uint64_t end, std::uint64_t una,
+                    std::uint64_t limit);
+
+  /// Drop state at/below the new cumulative ACK. A block the ACK lands
+  /// inside is trimmed, so bytes() never counts cumulatively acked bytes
+  /// (the pipe estimate would otherwise leak them).
+  void prune(std::uint64_t una);
+
+  void clear();
+
+  bool empty() const { return blocks_.empty(); }
+  /// Total selectively acked bytes above the cumulative ACK point.
+  std::uint64_t bytes() const { return bytes_; }
+  /// Highest SACKed sequence + 1 (0 when the scoreboard is empty).
+  std::uint64_t high() const { return high_; }
+  const Blocks& blocks() const { return blocks_; }
+
+  /// Bytes of [lo, hi) covered by SACKed intervals.
+  std::uint64_t covered(std::uint64_t lo, std::uint64_t hi) const;
+
+  /// First un-SACKed hole at/above `pos`: advances pos past any block
+  /// containing it and returns {hole_start, hole_end} where hole_end is
+  /// the start of the next block above (or high()). When no hole remains
+  /// below high(), hole_start >= high().
+  std::pair<std::uint64_t, std::uint64_t> hole_at_or_above(
+      std::uint64_t pos) const;
+
+ private:
+  Blocks blocks_;
+  std::uint64_t bytes_ = 0;
+  std::uint64_t high_ = 0;
+};
+
+}  // namespace qoesim::tcp

@@ -4,6 +4,7 @@
 
 #include <algorithm>
 #include <sstream>
+#include <tuple>
 
 namespace qoesim::tcp {
 
@@ -175,62 +176,26 @@ void TcpSocket::on_packet(net::Packet&& p) {
   check_done();
 }
 
-void TcpSocket::add_sack_block(std::uint64_t start, std::uint64_t end) {
-  start = std::max(start, snd_una_);
-  end = std::min<std::uint64_t>(end, snd_max_ + 1);  // +1 covers a FIN seq
-  if (end <= start) return;
-  // Merge [start, end) into the interval map.
-  auto it = sacked_.upper_bound(start);
-  if (it != sacked_.begin()) {
-    auto prev = std::prev(it);
-    if (prev->second >= start) {
-      start = prev->first;
-      end = std::max(end, prev->second);
-      sacked_bytes_ -= prev->second - prev->first;
-      it = sacked_.erase(prev);
-    }
-  }
-  while (it != sacked_.end() && it->first <= end) {
-    end = std::max(end, it->second);
-    sacked_bytes_ -= it->second - it->first;
-    it = sacked_.erase(it);
-  }
-  sacked_.emplace(start, end);
-  sacked_bytes_ += end - start;
-  high_sack_ = std::max(high_sack_, end);
-}
-
-void TcpSocket::prune_sacked() {
-  for (auto it = sacked_.begin(); it != sacked_.end();) {
-    if (it->second <= snd_una_) {
-      sacked_bytes_ -= it->second - it->first;
-      it = sacked_.erase(it);
-    } else if (it->first < snd_una_) {
-      sacked_bytes_ -= snd_una_ - it->first;
-      auto end = it->second;
-      sacked_.erase(it);
-      it = sacked_.emplace(snd_una_, end).first;
-      break;
-    } else {
-      break;
-    }
-  }
-  if (sacked_.empty()) high_sack_ = 0;
-}
-
 void TcpSocket::handle_ack(const net::Packet& p) {
   const std::uint64_t ack = p.tcp.ack;
   const std::uint64_t una_before = snd_una_;
-  const std::uint64_t sacked_before = sacked_bytes_;
+  std::uint64_t newly_sacked = 0;
   for (std::uint8_t i = 0; i < p.tcp.sack_count; ++i) {
-    add_sack_block(p.tcp.sack[i].start, p.tcp.sack[i].end);
+    // RFC 2883 D-SACK: a block at/below the packet's own cumulative ACK
+    // reports duplicate receipt, not new delivery. It must not enter the
+    // scoreboard -- the blocks are processed before snd_una advances to
+    // `ack`, so without this filter the duplicate bytes would count as
+    // newly SACKed and double into the delivery rate and the conservation
+    // credit below (sack-dsack-ignored.pkt pins the visible effect).
+    if (p.tcp.sack[i].end <= ack) continue;
+    newly_sacked +=
+        sacked_.add_block(p.tcp.sack[i].start, p.tcp.sack[i].end, snd_una_,
+                    snd_max_ + 1);  // +1 covers a FIN seq
   }
   // Conservation of packets: what this ACK reports as delivered may be
   // re-spent on retransmissions by maybe_send_data (PRR-style), keeping
   // the link busy through recovery even when the pipe estimate is stuck.
   const std::uint64_t cum_advance = ack > una_before ? ack - una_before : 0;
-  const std::uint64_t newly_sacked =
-      sacked_bytes_ > sacked_before ? sacked_bytes_ - sacked_before : 0;
   conservation_credit_ = static_cast<double>(cum_advance + newly_sacked);
   // Rate estimators see true delivery on every ACK -- recovery included,
   // uncapped by the ABC credit below.
@@ -257,8 +222,15 @@ void TcpSocket::handle_ack(const net::Packet& p) {
     dupack_count_ = 0;
     consecutive_timeouts_ = 0;
     rtt_.reset_backoff();
-    tlp_allowed_ = true;
-    prune_sacked();
+    // New ACK progress re-opens the probe epoch -- but only once the ACK
+    // covers everything outstanding when the last probe fired (RFC 8985
+    // TLPHighRxt). An ACK for pre-probe data says nothing about the
+    // probed tail; re-arming on it sent a duplicate probe 2*sRTT later.
+    if (ack >= tlp_high_seq_) {
+      tlp_allowed_ = true;
+      tlp_high_seq_ = 0;
+    }
+    sacked_.prune(snd_una_);
     rtx_next_ = std::max(rtx_next_, snd_una_);
     // Retransmitted holes below the new ack are resolved.
     for (auto it = rtx_marked_.begin(); it != rtx_marked_.end();) {
@@ -345,7 +317,7 @@ void TcpSocket::handle_ack(const net::Packet& p) {
       }
       maybe_send_data();
     } else if (dupack_count_ >= config_.dupack_threshold ||
-               sacked_bytes_ >= 3ull * config_.mss) {
+               sacked_.bytes() >= 3ull * config_.mss) {
       enter_recovery();
     }
   }
@@ -379,59 +351,38 @@ double TcpSocket::outstanding_estimate() const {
   // SACK high-water mark that are neither SACKed nor freshly
   // retransmitted are presumed lost and leave the pipe, so hole
   // retransmissions are never starved by dead bytes.
-  if (!in_recovery_ || high_sack_ <= snd_una_) {
+  if (!in_recovery_ || sacked_.high() <= snd_una_) {
     return static_cast<double>(flight_bytes());
   }
-  const std::uint64_t upper = std::max(snd_nxt_data_, high_sack_);
-  std::uint64_t pipe = upper > high_sack_ ? upper - high_sack_ : 0;
+  const std::uint64_t high_sack = sacked_.high();
+  const std::uint64_t upper = std::max(snd_nxt_data_, high_sack);
+  std::uint64_t pipe = upper > high_sack ? upper - high_sack : 0;
   // Add retransmitted holes still awaiting acknowledgement, minus any
   // parts the receiver has meanwhile SACKed.
   for (const auto& [start, end] : rtx_marked_) {
-    std::uint64_t lo = std::max(start, snd_una_);
-    const std::uint64_t hi = std::min(end, high_sack_);
+    const std::uint64_t lo = std::max(start, snd_una_);
+    const std::uint64_t hi = std::min(end, high_sack);
     if (hi <= lo) continue;
-    std::uint64_t covered = 0;
-    for (const auto& [ss, se] : sacked_) {
-      const std::uint64_t olo = std::max(lo, ss);
-      const std::uint64_t ohi = std::min(hi, se);
-      if (ohi > olo) covered += ohi - olo;
-    }
-    pipe += (hi - lo) - covered;
+    pipe += (hi - lo) - sacked_.covered(lo, hi);
   }
   return static_cast<double>(pipe);
 }
 
 bool TcpSocket::retransmit_next_hole() {
-  if (!in_recovery_ || high_sack_ <= snd_una_) return false;
-  std::uint64_t pos = std::max(rtx_next_, snd_una_);
-  std::uint64_t hole_end = high_sack_;
-  for (const auto& [start, end] : sacked_) {
-    if (pos < start) {
-      hole_end = start;
-      break;
-    }
-    if (pos < end) pos = end;
-  }
-  if (pos >= high_sack_) {
+  if (!in_recovery_ || sacked_.high() <= snd_una_) return false;
+  auto [pos, hole_end] = sacked_.hole_at_or_above(std::max(rtx_next_, snd_una_));
+  if (pos >= sacked_.high()) {
     rtx_next_ = pos;
     // Every hole was retransmitted once this pass. Retransmissions can be
     // lost too; after roughly one RTT without the scoreboard resolving,
     // start a new pass from the bottom (rescue retransmission).
     if (sim_.now() - rtx_pass_started_ > rtt_.srtt() &&
-        snd_una_ < high_sack_) {
+        snd_una_ < sacked_.high()) {
       rtx_pass_started_ = sim_.now();
       rtx_next_ = snd_una_;
       rtx_marked_.clear();  // earlier retransmissions presumed lost too
-      pos = snd_una_;
-      hole_end = high_sack_;
-      for (const auto& [start, end] : sacked_) {
-        if (pos < start) {
-          hole_end = start;
-          break;
-        }
-        if (pos < end) pos = end;
-      }
-      if (pos >= high_sack_) return false;
+      std::tie(pos, hole_end) = sacked_.hole_at_or_above(snd_una_);
+      if (pos >= sacked_.high()) return false;
     } else {
       return false;
     }
@@ -776,7 +727,10 @@ QOESIM_HOT void TcpSocket::arm_pacer(Time deadline) {
 }
 
 void TcpSocket::arm_tlp() {
-  if (!config_.enable_tlp || !tlp_allowed_ || !rtt_.has_samples() ||
+  // No probe during fast recovery: loss is already being repaired, so a
+  // pending timer would only fire into the on_tlp() recovery guard.
+  if (!config_.enable_tlp || !tlp_allowed_ || in_recovery_ ||
+      !rtt_.has_samples() ||
       (state_ != State::kEstablished && state_ != State::kFinWait)) {
     tlp_timer_.cancel();
     return;
@@ -804,6 +758,7 @@ void TcpSocket::on_tlp() {
   // probe's (duplicate) arrival produces SACK information that starts
   // normal fast recovery instead of waiting for the RTO.
   tlp_allowed_ = false;
+  tlp_high_seq_ = snd_nxt_data_;
   ++stats_.tlp_probes;
   const std::uint64_t data_end = 1 + app_bytes_queued_;
   const std::uint64_t upper = std::min(snd_nxt_data_, data_end);
@@ -824,6 +779,12 @@ void TcpSocket::on_rto() {
   if (state_ == State::kClosed) return;
   ++stats_.timeouts;
   rtt_.backoff();
+  // RFC 8985 §7.3: the RTO ends the probe epoch. Without this, arm_rto()
+  // below re-arms the TLP timer whenever PTO < backed-off RTO, and the
+  // probe fires 2*sRTT after the timeout retransmission, racing the
+  // retransmission timer before any new ACK progress (tlp-and-rto.pkt).
+  // handle_ack re-enables the probe on the next cumulative advance.
+  tlp_allowed_ = false;
 
   // Give up on connections making no progress (peer gone / persistent
   // blackhole), like a kernel's retransmission limit.
@@ -854,8 +815,6 @@ void TcpSocket::on_rto() {
       in_recovery_ = false;
       recovery_inflation_ = 0.0;
       sacked_.clear();
-      sacked_bytes_ = 0;
-      high_sack_ = 0;
       maybe_send_data();
       if (flight_bytes() > 0 || (fin_sent_ && !our_fin_acked_)) arm_rto();
     }
@@ -869,8 +828,6 @@ void TcpSocket::on_rto() {
   rtt_probe_armed_ = false;  // Karn
   // Conservatively forget SACK state (the scoreboard may be stale).
   sacked_.clear();
-  sacked_bytes_ = 0;
-  high_sack_ = 0;
   rtx_marked_.clear();
 
   const std::uint64_t data_end = 1 + app_bytes_queued_;

@@ -21,6 +21,7 @@
 #include "sim/simulation.hpp"
 #include "tcp/congestion_control.hpp"
 #include "tcp/rtt_estimator.hpp"
+#include "tcp/sack_scoreboard.hpp"
 
 namespace qoesim::tcp {
 
@@ -152,10 +153,6 @@ class TcpSocket : public std::enable_shared_from_this<TcpSocket> {
   double outstanding_estimate() const;
   /// Retransmit the first un-sacked hole at/above rtx_next_; false if none.
   bool retransmit_next_hole();
-  /// Merge a SACK block into the scoreboard; returns newly covered bytes.
-  void add_sack_block(std::uint64_t start, std::uint64_t end);
-  /// Drop scoreboard state at/below the new cumulative ack.
-  void prune_sacked();
   void send_segment(std::uint64_t seq, std::uint32_t len, bool fin,
                     bool is_retransmit);
   void send_control(bool syn, bool ack, bool fin);
@@ -207,11 +204,10 @@ class TcpSocket : public std::enable_shared_from_this<TcpSocket> {
   double recovery_inflation_ = 0.0;
 
   // SACK scoreboard (RFC 2018/6675): selectively acked intervals above
-  // snd_una, the highest sacked sequence, and per-episode retransmission
-  // progress for the pipe algorithm.
-  std::map<std::uint64_t, std::uint64_t> sacked_;  ///< [start -> end)
-  std::uint64_t sacked_bytes_ = 0;
-  std::uint64_t high_sack_ = 0;
+  // snd_una plus per-episode retransmission progress for the pipe
+  // algorithm. The interval bookkeeping lives in SackScoreboard so its
+  // merge/prune edge cases are unit-testable in isolation.
+  SackScoreboard sacked_;
   std::uint64_t rtx_next_ = 0;           ///< next hole candidate this episode
   /// Hole bytes retransmitted and presumed back in flight ([start -> end)).
   /// Counted into the pipe until cumulatively acked, SACKed, or given up.
@@ -231,6 +227,10 @@ class TcpSocket : public std::enable_shared_from_this<TcpSocket> {
   EventHandle delack_timer_;
   EventHandle tlp_timer_;
   bool tlp_allowed_ = true;  ///< one probe per ACK-progress epoch
+  /// snd_nxt at the moment the last probe fired (RFC 8985's TLPHighRxt):
+  /// the episode stays closed until the cumulative ACK reaches it, so an
+  /// ACK for pre-probe data cannot re-arm a second probe of the same tail.
+  std::uint64_t tlp_high_seq_ = 0;
 
   // ---- ECN (RFC 3168) ----
   bool ecn_ok_ = false;           ///< negotiated on the handshake

@@ -1,0 +1,146 @@
+// Conformance engine self-test: the parser's field handling and error
+// reporting, and -- the part that keeps the corpus honest -- proof that
+// a deviating script FAILS with a segment-level diff naming the script
+// line, the field, and want/got values (a runner that silently passes
+// everything would make the whole corpus worthless).
+#include <gtest/gtest.h>
+
+#include "conformance/harness.hpp"
+#include "conformance/script.hpp"
+
+namespace qoesim {
+namespace {
+
+using conformance::Script;
+using conformance::Step;
+
+bool parse(const std::string& text, Script* out, std::string* error) {
+  return conformance::parse_script(text, "self-test", out, error);
+}
+
+TEST(ConformanceScript, ParsesSegmentFields) {
+  Script s;
+  std::string error;
+  ASSERT_TRUE(parse("opt mss 1000\n"
+                    "0ms  connect\n"
+                    "50ms inject flags=SAFEW seq=5 ack=7 len=9 ecn=ce "
+                    "sack=10-20,30-40\n"
+                    "+1ms expect flags=- within 2us\n",
+                    &s, &error))
+      << error;
+  EXPECT_EQ(s.config.mss, 1000u);
+  ASSERT_EQ(s.steps.size(), 3u);
+
+  const Step& inj = s.steps[1];
+  EXPECT_EQ(inj.kind, Step::Kind::kInject);
+  EXPECT_EQ(inj.at, Time::milliseconds(50));
+  EXPECT_TRUE(inj.seg.syn && inj.seg.ack_flag && inj.seg.fin && inj.seg.ece &&
+              inj.seg.cwr);
+  EXPECT_EQ(inj.seg.seq, 5u);
+  EXPECT_EQ(inj.seg.ack, 7u);
+  EXPECT_EQ(inj.seg.len, 9u);
+  EXPECT_EQ(inj.seg.ecn, net::Ecn::kCe);
+  ASSERT_EQ(inj.seg.sack_count, 2u);
+  EXPECT_EQ(inj.seg.sack[0].start, 10u);
+  EXPECT_EQ(inj.seg.sack[1].end, 40u);
+
+  const Step& exp = s.steps[2];
+  EXPECT_EQ(exp.kind, Step::Kind::kExpect);
+  EXPECT_EQ(exp.at, Time::milliseconds(51));  // relative to previous step
+  EXPECT_FALSE(exp.seg.syn || exp.seg.ack_flag);  // flags=- means none
+  EXPECT_FALSE(exp.seg.has_seq);
+  EXPECT_EQ(exp.tolerance, Time::microseconds(2));
+}
+
+TEST(ConformanceScript, ErrorsNameTheLine) {
+  Script s;
+  std::string error;
+
+  EXPECT_FALSE(parse("0ms frobnicate\n", &s, &error));
+  EXPECT_NE(error.find("self-test:1"), std::string::npos) << error;
+
+  EXPECT_FALSE(parse("0ms connect\n5parsecs run\n", &s, &error));
+  EXPECT_NE(error.find("self-test:2"), std::string::npos) << error;
+
+  // Times must be monotonically non-decreasing.
+  EXPECT_FALSE(parse("10ms connect\n5ms run\n", &s, &error));
+  EXPECT_NE(error.find("self-test:2"), std::string::npos) << error;
+
+  // Options configure the socket and must precede connect/listen.
+  EXPECT_FALSE(parse("0ms connect\nopt mss 1000\n", &s, &error));
+  EXPECT_NE(error.find("self-test:2"), std::string::npos) << error;
+
+  // Segments require the flags field.
+  EXPECT_FALSE(parse("0ms inject seq=1\n", &s, &error));
+  EXPECT_NE(error.find("flags"), std::string::npos) << error;
+}
+
+TEST(ConformanceRun, PassingHandshake) {
+  Script s;
+  std::string error;
+  ASSERT_TRUE(parse("0ms  connect\n"
+                    "0ms  expect flags=S seq=0\n"
+                    "50ms inject flags=SA seq=0 ack=1\n"
+                    "50ms expect flags=A seq=1 ack=1\n",
+                    &s, &error))
+      << error;
+  const conformance::RunResult r = conformance::run_script(s);
+  EXPECT_TRUE(r.passed) << r.summary();
+  EXPECT_EQ(r.captured.size(), 2u);
+}
+
+TEST(ConformanceRun, DeviationReportsFieldLevelDiff) {
+  // Same handshake but expecting ack=2: the runner must fail and say
+  // which script line, which field, and want vs got -- not just "failed".
+  Script s;
+  std::string error;
+  ASSERT_TRUE(parse("0ms  connect\n"
+                    "0ms  expect flags=S seq=0\n"
+                    "50ms inject flags=SA seq=0 ack=1\n"
+                    "50ms expect flags=A seq=1 ack=2\n",
+                    &s, &error))
+      << error;
+  const conformance::RunResult r = conformance::run_script(s);
+  ASSERT_FALSE(r.passed);
+  const std::string diff = r.summary();
+  EXPECT_NE(diff.find("self-test:4"), std::string::npos) << diff;
+  EXPECT_NE(diff.find("ack: want 2 got 1"), std::string::npos) << diff;
+}
+
+TEST(ConformanceRun, UnexpectedAndMissingSegmentsFail) {
+  Script s;
+  std::string error;
+  // The SYN is emitted but never expected: strict matching flags it.
+  ASSERT_TRUE(parse("0ms connect\n", &s, &error)) << error;
+  conformance::RunResult r = conformance::run_script(s);
+  ASSERT_FALSE(r.passed);
+  EXPECT_NE(r.summary().find("unexpected segment"), std::string::npos)
+      << r.summary();
+
+  // An expect with no matching emission reports the missing segment.
+  ASSERT_TRUE(parse("0ms connect\n"
+                    "0ms expect flags=S seq=0\n"
+                    "9ms expect flags=A ack=1\n",
+                    &s, &error))
+      << error;
+  r = conformance::run_script(s);
+  ASSERT_FALSE(r.passed);
+  EXPECT_NE(r.summary().find("missing"), std::string::npos) << r.summary();
+}
+
+TEST(ConformanceRun, TimeMismatchIsReported) {
+  // The SYN goes out at 0ms; expecting it at 1ms with default (zero)
+  // tolerance must produce a time diff.
+  Script s;
+  std::string error;
+  ASSERT_TRUE(parse("0ms connect\n"
+                    "1ms expect flags=S seq=0\n",
+                    &s, &error))
+      << error;
+  const conformance::RunResult r = conformance::run_script(s);
+  ASSERT_FALSE(r.passed);
+  EXPECT_NE(r.summary().find("time: want"), std::string::npos) << r.summary();
+}
+
+}  // namespace
+}  // namespace qoesim

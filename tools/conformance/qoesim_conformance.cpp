@@ -1,0 +1,62 @@
+// qoesim_conformance -- run packetdrill-style TCP conformance scripts.
+//
+//   qoesim_conformance <script.pkt> [more.pkt ...]     run, report diffs
+//   qoesim_conformance --dump <script.pkt>             run, print capture
+//
+// Exit status: 0 when every script passes, 1 on any mismatch or parse
+// error. Failures print segment-level diffs (script line, field, want vs
+// got); --dump prints every captured segment with its timestamp, which is
+// how expected times are derived when writing new scripts.
+#include <cstring>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "conformance/harness.hpp"
+#include "conformance/script.hpp"
+
+int main(int argc, char** argv) {
+  using namespace qoesim::conformance;
+  bool dump = false;
+  std::vector<const char*> paths;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--dump") == 0) {
+      dump = true;
+    } else {
+      paths.push_back(argv[i]);
+    }
+  }
+  if (paths.empty()) {
+    std::cerr << "usage: qoesim_conformance [--dump] <script.pkt>...\n";
+    return 2;
+  }
+
+  int failures = 0;
+  for (const char* path : paths) {
+    Script script;
+    std::string error;
+    if (!load_script(path, &script, &error)) {
+      std::cerr << "PARSE FAIL " << error << "\n";
+      ++failures;
+      continue;
+    }
+    const RunResult result = run_script(script);
+    if (dump) {
+      std::cout << "# " << script.name << ": " << result.captured.size()
+                << " segment(s)\n";
+      for (std::size_t i = 0; i < result.captured.size(); ++i) {
+        const auto& c = result.captured[i];
+        std::cout << i + 1 << "  t=" << c.at.sec() << "s  "
+                  << describe_segment(c.packet) << "\n";
+      }
+    }
+    if (result.passed) {
+      std::cout << "PASS " << script.name << " (" << result.captured.size()
+                << " segments)\n";
+    } else {
+      ++failures;
+      std::cout << "FAIL " << script.name << "\n" << result.summary() << "\n";
+    }
+  }
+  return failures == 0 ? 0 : 1;
+}

@@ -4,6 +4,8 @@
 // this file is a fixture failure.
 #include <algorithm>
 #include <cstdint>
+#include <ostream>
+#include <sstream>
 #include <utility>
 #include <vector>
 
@@ -64,6 +66,19 @@ class FastPath {
   QOESIM_HOT int drain() {
     // Calls into an allocation-free helper: nothing to report.
     return visit_last();
+  }
+
+  // Stream *references* passed through a hot function do not construct a
+  // stream; only local construction allocates.
+  QOESIM_HOT void record_to(std::ostream& out, const Packet& p) {
+    out.write(reinterpret_cast<const char*>(&p.size), sizeof(p.size));
+  }
+
+  // Cold conversion path: stream construction is fine when no QOESIM_HOT
+  // function reaches it.
+  void dump_text() {
+    std::ostringstream line;
+    line << count_;
   }
 
  private:

@@ -4,7 +4,9 @@
 // token -- the macro definition lives behind the preprocessor, which the
 // tokenizer skips.
 #include <cstdlib>
+#include <fstream>
 #include <memory>
+#include <sstream>
 #include <string>
 #include <vector>
 
@@ -47,6 +49,15 @@ class FastPath {
     std::vector<Packet> burst(4);  // LINT-EXPECT: hot-alloc
     burst[0] = p;
     pending_.insert(pending_.begin(), p);  // LINT-EXPECT: hot-alloc
+  }
+
+  // Text formatting on a per-packet path: stream construction allocates
+  // its buffer (the binary trace writer exists so hot code never does
+  // this).
+  QOESIM_HOT void trace(const Packet& p) {
+    std::ostringstream line;  // LINT-EXPECT: hot-alloc
+    line << p.size;
+    std::ofstream out("trace.txt");  // LINT-EXPECT: hot-alloc
   }
 
  private:

@@ -815,6 +815,12 @@ class Analyzer {
         "vector", "string", "deque",         "list",
         "map",    "set",    "unordered_map", "unordered_set",
         "multimap", "multiset", "basic_string"};
+    // Stream construction allocates (stringstream buffers, ofstream file
+    // state) and formatted insertion allocates under the hood; the binary
+    // trace write path exists precisely so hot code never formats text.
+    static const std::set<std::string> streams = {
+        "stringstream", "ostringstream", "istringstream",
+        "ofstream",     "ifstream",      "fstream"};
     std::vector<DirectAlloc> out;
     const auto& toks = f.toks;
     for (std::size_t k = begin; k < end && k < toks.size(); ++k) {
@@ -852,7 +858,8 @@ class Analyzer {
       // Local std:: container construction: `std :: vector < ... > name`.
       // Pointer/reference declarations and nested-type uses
       // (`std::deque<P>* q`, `std::vector<T>::iterator`) do not allocate.
-      if (containers.count(t.text) > 0 && k >= 2 &&
+      if ((containers.count(t.text) > 0 || streams.count(t.text) > 0) &&
+          k >= 2 &&
           toks[k - 1].kind == TokKind::kPunct && toks[k - 1].text == "::" &&
           toks[k - 2].kind == TokKind::kIdent && toks[k - 2].text == "std") {
         std::size_t j = k + 1;
@@ -873,7 +880,11 @@ class Analyzer {
             (toks[j].text == "*" || toks[j].text == "&" ||
              toks[j].text == "::");
         if (!non_owning) {
-          out.push_back({t.line, "std::" + t.text + " construction"});
+          out.push_back({t.line, streams.count(t.text) > 0
+                                     ? "std::" + t.text +
+                                           " construction (stream buffers "
+                                           "allocate; emit binary records)"
+                                     : "std::" + t.text + " construction"});
         }
         continue;
       }
