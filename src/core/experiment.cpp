@@ -26,7 +26,9 @@ ProbeBudget ProbeBudget::from_env() {
   constexpr double kMaxScale = 1e3;
 
   ProbeBudget b;
-  const char* scale_env = std::getenv("QOESIM_SCALE");
+  // Read once at startup, before any sweep worker exists; no concurrent
+  // setenv in this process.
+  const char* scale_env = std::getenv("QOESIM_SCALE");  // NOLINT(concurrency-mt-unsafe)
   if (!scale_env || *scale_env == '\0') return b;
 
   char* end = nullptr;

@@ -16,10 +16,13 @@
 namespace qoesim::core {
 
 /// One accumulator per engine layer. Both folds are internally mutex
-/// guarded (one lock per Scheduler/Node lifetime), so a registry can be
-/// shared by every worker thread of a sweep; snapshots are sums (and a max
-/// for peak_queue_depth) of per-cell counters, hence deterministic for a
-/// fixed seed regardless of worker count.
+/// guarded (one lock per Scheduler/Node lifetime) -- and since PR 8 the
+/// guard relation is stated with QOESIM_GUARDED_BY capability annotations
+/// (core/annotations.hpp), so the clang CI jobs reject any new unlocked
+/// access path statically. A registry can be shared by every worker thread
+/// of a sweep; snapshots are sums (and a max for peak_queue_depth) of
+/// per-cell counters, hence deterministic for a fixed seed regardless of
+/// worker count.
 struct StatsRegistry {
   Scheduler::StatsFold scheduler;
   net::Node::StatsFold nodes;

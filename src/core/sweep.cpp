@@ -2,10 +2,12 @@
 
 #include <algorithm>
 #include <atomic>
+#include <cstdint>
 #include <exception>
-#include <mutex>
 #include <system_error>
 #include <thread>
+
+#include "core/annotations.hpp"
 
 namespace qoesim::core {
 
@@ -31,28 +33,34 @@ void SweepRunner::for_each(std::size_t count,
     return;
   }
 
+  // Failure bookkeeping shared by the workers, with its guard relation
+  // stated as a capability so the clang CI jobs reject an unlocked access.
+  struct FailureSlot {
+    Mutex mutex;
+    std::size_t index QOESIM_GUARDED_BY(mutex) = SIZE_MAX;
+    std::exception_ptr error QOESIM_GUARDED_BY(mutex);
+  };
+
   std::atomic<std::size_t> next{0};
-  std::mutex error_mutex;
-  std::size_t error_index = count;
-  std::exception_ptr error;
+  FailureSlot failure;
 
   auto work = [&] {
     for (;;) {
       const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
       if (i >= count) return;
       {
-        std::lock_guard<std::mutex> lock(error_mutex);
-        if (error) return;  // abandon remaining items after a failure
+        const MutexLock lock(failure.mutex);
+        if (failure.error) return;  // abandon remaining items after a failure
       }
       try {
         fn(i);
       } catch (...) {
-        std::lock_guard<std::mutex> lock(error_mutex);
+        const MutexLock lock(failure.mutex);
         // Keep the lowest-indexed failure so the rethrown exception does
         // not depend on which worker hit its error first.
-        if (i < error_index) {
-          error_index = i;
-          error = std::current_exception();
+        if (i < failure.index) {
+          failure.index = i;
+          failure.error = std::current_exception();
         }
       }
     }
@@ -69,6 +77,14 @@ void SweepRunner::for_each(std::size_t count,
   }
   work();
   for (auto& thread : threads) thread.join();
+  // All workers have joined, but read under the lock anyway: the guard
+  // relation holds unconditionally (and the previous unlocked read here is
+  // exactly what -Wthread-safety now rejects).
+  std::exception_ptr error;
+  {
+    const MutexLock lock(failure.mutex);
+    error = failure.error;
+  }
   if (error) std::rethrow_exception(error);
 }
 

@@ -23,6 +23,8 @@
 #include <utility>
 #include <vector>
 
+#include "core/annotations.hpp"
+
 namespace qoesim::net {
 
 /// Transport demux key: {proto, local_port, remote node, remote_port}
@@ -66,8 +68,12 @@ inline std::uint64_t demux_hash(const DemuxKey& k) {
   return x;
 }
 
+/// Shard-plane: a table is owned by one Node and mutated only from the
+/// owning shard (bind/unbind on connection churn, find on every delivery).
+/// All structure-touching operations require the shard capability; the
+/// const counters (size/capacity/rehashes) do not.
 template <typename V>
-class FlatTable {
+class QOESIM_SHARD_PLANE FlatTable {
  public:
   struct Slot {
     DemuxKey key;
@@ -91,7 +97,7 @@ class FlatTable {
   std::uint64_t rehashes() const { return rehashes_; }
 
   /// Grow so `n` entries fit without rehashing.
-  void reserve(std::size_t n) {
+  void reserve(std::size_t n) QOESIM_REQUIRES(::qoesim::shard_plane) {
     std::size_t cap = kMinCapacity;
     while (n * 4 > cap * 3) cap <<= 1;
     if (cap > slots_.size()) grow_to(cap);
@@ -100,7 +106,8 @@ class FlatTable {
   /// Insert or replace. Returns the entry's fresh generation stamp and
   /// whether the key was newly inserted (false = an existing binding was
   /// replaced in place).
-  std::pair<std::uint64_t, bool> bind(const DemuxKey& key, V&& value) {
+  std::pair<std::uint64_t, bool> bind(const DemuxKey& key, V&& value)
+      QOESIM_REQUIRES(::qoesim::shard_plane) {
     if (slots_.empty()) grow_to(kMinCapacity);
     const std::uint64_t gen = ++next_gen_;
     // One scan does both jobs: tombstone-free probing means the first
@@ -130,7 +137,7 @@ class FlatTable {
 
   /// Lookup; nullptr on miss. The pointer is invalidated by any bind or
   /// erase (growth or backward-shift may relocate entries).
-  Slot* find(const DemuxKey& key) {
+  Slot* find(const DemuxKey& key) QOESIM_REQUIRES(::qoesim::shard_plane) {
     if (slots_.empty()) return nullptr;
     const std::size_t mask = slots_.size() - 1;
     std::size_t i = demux_hash(key) & mask;
@@ -144,7 +151,7 @@ class FlatTable {
   /// Remove a key; false if absent. Backward-shift: members of the probe
   /// chain after the hole move back one step when doing so does not place
   /// them before their home slot, so no tombstone is left behind.
-  bool erase(const DemuxKey& key) {
+  bool erase(const DemuxKey& key) QOESIM_REQUIRES(::qoesim::shard_plane) {
     Slot* s = find(key);
     if (s == nullptr) return false;
     const std::size_t mask = slots_.size() - 1;
@@ -171,7 +178,7 @@ class FlatTable {
  private:
   static constexpr std::size_t kMinCapacity = 16;
 
-  void grow_to(std::size_t cap) {
+  void grow_to(std::size_t cap) QOESIM_REQUIRES(::qoesim::shard_plane) {
     std::vector<Slot> old = std::move(slots_);
     slots_.clear();
     slots_.resize(cap);

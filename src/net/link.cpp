@@ -20,6 +20,7 @@ Link::Link(Simulation& sim, std::string name, double rate_bps, Time prop_delay,
 }
 
 QOESIM_HOT void Link::send(Packet&& p) {
+  sim_.shard().assert_held();
   queue_->enqueue(std::move(p), sim_.now());
   maybe_start_tx();
 }
@@ -34,7 +35,10 @@ QOESIM_HOT void Link::maybe_start_tx() {
   // The packet moves into a pooled slot; the completion event captures only
   // {this, slot}, which stays inside SmallCallback's inline buffer.
   const PacketPool::SlotId slot = pool_.acquire(std::move(*next));
-  sim_.after(tx, [this, slot] { on_tx_complete(slot); });
+  sim_.after(tx, [this, slot] {
+    sim_.shard().assert_held();  // event fires inside the owning epoch
+    on_tx_complete(slot);
+  });
 }
 
 QOESIM_HOT void Link::on_tx_complete(PacketPool::SlotId slot) {
@@ -67,8 +71,10 @@ QOESIM_HOT void Link::arm_delivery(const WireRing::Entry& entry) {
   // cannot be rescheduled. The entry's reserved seq fixes the FIFO
   // position; the handle is not kept because the event is never moved or
   // cancelled.
-  sim_.scheduler().schedule_at_seq(entry.deliver_at, entry.seq,
-                                   [this] { drain_wire(); });
+  sim_.scheduler().schedule_at_seq(entry.deliver_at, entry.seq, [this] {
+    sim_.shard().assert_held();  // event fires inside the owning epoch
+    drain_wire();
+  });
 }
 
 QOESIM_HOT void Link::drain_wire() {

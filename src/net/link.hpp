@@ -18,6 +18,7 @@
 #include <memory>
 #include <string>
 
+#include "core/annotations.hpp"
 #include "net/packet.hpp"
 #include "net/packet_pool.hpp"
 #include "net/queue.hpp"
@@ -26,7 +27,10 @@
 
 namespace qoesim::net {
 
-class Link {
+/// Shard-plane: a link's pool, ring, and queue discipline belong to the
+/// shard running its simulation. send() asserts the capability; the
+/// internal tx/delivery machinery requires it statically.
+class QOESIM_SHARD_PLANE Link {
  public:
   using DeliverFn = std::function<void(Packet&&)>;
   /// Observer invoked when a packet finishes serialization (tx'd onto the
@@ -83,10 +87,10 @@ class Link {
   std::size_t wire_depth() const { return wire_.size(); }
 
  private:
-  void maybe_start_tx();
-  void on_tx_complete(PacketPool::SlotId slot);
-  void arm_delivery(const WireRing::Entry& entry);
-  void drain_wire();
+  void maybe_start_tx() QOESIM_REQUIRES_SHARD;
+  void on_tx_complete(PacketPool::SlotId slot) QOESIM_REQUIRES_SHARD;
+  void arm_delivery(const WireRing::Entry& entry) QOESIM_REQUIRES_SHARD;
+  void drain_wire() QOESIM_REQUIRES_SHARD;
 
   Simulation& sim_;
   std::string name_;

@@ -2,7 +2,6 @@
 
 #include "sim/annotations.hpp"
 
-#include <mutex>
 #include <stdexcept>
 
 namespace qoesim::net {
@@ -16,12 +15,12 @@ std::uint8_t proto_byte(Protocol proto) {
 }  // namespace
 
 void Node::StatsFold::fold(const Stats& s) {
-  const std::lock_guard<std::mutex> lock(mutex_);
+  const MutexLock lock(mutex_);
   total_ += s;
 }
 
 Node::Stats Node::StatsFold::snapshot() const {
-  const std::lock_guard<std::mutex> lock(mutex_);
+  const MutexLock lock(mutex_);
   return total_;
 }
 
@@ -57,6 +56,7 @@ void Node::set_default_route(std::size_t port) {
 }
 
 QOESIM_HOT void Node::receive(Packet&& p) {
+  sim_.shard().assert_held();
   if (p.dst == id_) {
     deliver_local(std::move(p));
   } else {
@@ -65,6 +65,7 @@ QOESIM_HOT void Node::receive(Packet&& p) {
 }
 
 QOESIM_HOT void Node::send(Packet&& p) {
+  sim_.shard().assert_held();
   std::ptrdiff_t port =
       p.dst < routes_.size() ? routes_[p.dst] : std::ptrdiff_t{-1};
   if (port < 0) port = default_route_;
@@ -123,6 +124,7 @@ QOESIM_HOT void Node::deliver_local(Packet&& p) {
 void Node::bind_connection(Protocol proto, std::uint32_t local_port,
                            NodeId remote, std::uint32_t remote_port,
                            Handler h) {
+  sim_.shard().assert_held();
   ++stats_.binds;
   const auto [gen, inserted] = demux_.bind(
       DemuxKey::pack(proto_byte(proto), local_port, remote, remote_port),
@@ -133,6 +135,7 @@ void Node::bind_connection(Protocol proto, std::uint32_t local_port,
 
 void Node::unbind_connection(Protocol proto, std::uint32_t local_port,
                              NodeId remote, std::uint32_t remote_port) {
+  sim_.shard().assert_held();
   if (demux_.erase(DemuxKey::pack(proto_byte(proto), local_port, remote,
                                   remote_port))) {
     ++stats_.unbinds;
@@ -141,6 +144,7 @@ void Node::unbind_connection(Protocol proto, std::uint32_t local_port,
 }
 
 void Node::bind_listener(Protocol proto, std::uint32_t local_port, Handler h) {
+  sim_.shard().assert_held();
   ++stats_.binds;
   const auto [gen, inserted] =
       demux_.bind(DemuxKey::wildcard(proto_byte(proto), local_port),
@@ -150,6 +154,7 @@ void Node::bind_listener(Protocol proto, std::uint32_t local_port, Handler h) {
 }
 
 void Node::unbind_listener(Protocol proto, std::uint32_t local_port) {
+  sim_.shard().assert_held();
   if (demux_.erase(DemuxKey::wildcard(proto_byte(proto), local_port))) {
     ++stats_.unbinds;
     note_unbound(local_port);

@@ -15,10 +15,10 @@
 #pragma once
 
 #include <cstdint>
-#include <mutex>
 #include <string>
 #include <vector>
 
+#include "core/annotations.hpp"
 #include "net/flat_table.hpp"
 #include "net/link.hpp"
 #include "net/packet.hpp"
@@ -27,7 +27,11 @@
 
 namespace qoesim::net {
 
-class Node {
+/// Shard-plane: a node (its demux table, routes, counters) belongs to the
+/// shard running its simulation. Public entry points assert the capability
+/// through the simulation's ShardAffinity; the inner delivery path
+/// requires it statically (see core/annotations.hpp).
+class QOESIM_SHARD_PLANE Node {
  public:
   using Handler = SmallFunction<void(Packet&&)>;
 
@@ -75,8 +79,8 @@ class Node {
     Stats snapshot() const;
 
    private:
-    mutable std::mutex mutex_;
-    Stats total_;
+    mutable Mutex mutex_;
+    Stats total_ QOESIM_GUARDED_BY(mutex_);
   };
 
   Node(Simulation& sim, NodeId id, std::string name)
@@ -146,7 +150,7 @@ class Node {
   void set_stats_fold(StatsFold* fold) { stats_fold_ = fold; }
 
  private:
-  void deliver_local(Packet&& p);
+  void deliver_local(Packet&& p) QOESIM_REQUIRES_SHARD;
   void note_bound(std::uint32_t local_port);
   void note_unbound(std::uint32_t local_port);
   bool port_in_use(std::uint32_t port) const;

@@ -24,12 +24,16 @@
 #include <deque>
 #include <vector>
 
+#include "core/annotations.hpp"
 #include "net/packet.hpp"
 #include "sim/time.hpp"
 
 namespace qoesim::net {
 
-class PacketPool {
+/// Shard-plane: a pool belongs to one Link and is only touched from the
+/// owning shard's event loop; the mutating operations require the shard
+/// capability (Link's entry points assert it; see core/annotations.hpp).
+class QOESIM_SHARD_PLANE PacketPool {
  public:
   using SlotId = std::uint32_t;
   static constexpr SlotId kNil = 0xffffffffu;
@@ -44,17 +48,19 @@ class PacketPool {
   };
 
   /// Store `p` in a pooled slot; reuses a free slot when available.
-  SlotId acquire(Packet&& p);
+  SlotId acquire(Packet&& p) QOESIM_REQUIRES_SHARD;
 
   /// Move the packet out of `slot` and return the slot to the free list.
-  Packet release(SlotId slot);
+  Packet release(SlotId slot) QOESIM_REQUIRES_SHARD;
 
   /// References returned here stay valid across acquire()/release(): the
   /// slab is a deque, so growth never relocates existing slots. A Link
   /// iterates its tx observers over such a reference while an observer
   /// could reenter Link::send (and thus acquire()).
-  Packet& at(SlotId slot) { return slots_[slot]; }
-  const Packet& at(SlotId slot) const { return slots_[slot]; }
+  Packet& at(SlotId slot) QOESIM_REQUIRES_SHARD { return slots_[slot]; }
+  const Packet& at(SlotId slot) const QOESIM_REQUIRES_SHARD {
+    return slots_[slot];
+  }
 
   std::size_t in_flight() const {
     return static_cast<std::size_t>(stats_.acquired - stats_.released);
@@ -70,8 +76,9 @@ class PacketPool {
 
 /// FIFO ring buffer of packets on the wire. Capacity grows by doubling
 /// (never shrinks), so like the pool it stops allocating once the link has
-/// seen its peak in-flight population.
-class WireRing {
+/// seen its peak in-flight population. Shard-plane like the pool: mutation
+/// requires the shard capability, const inspection does not.
+class QOESIM_SHARD_PLANE WireRing {
  public:
   struct Entry {
     PacketPool::SlotId slot = PacketPool::kNil;
@@ -88,8 +95,8 @@ class WireRing {
 
   const Entry& front() const { return buf_[head_]; }
 
-  void push(Entry e);
-  void pop();
+  void push(Entry e) QOESIM_REQUIRES_SHARD;
+  void pop() QOESIM_REQUIRES_SHARD;
 
  private:
   std::vector<Entry> buf_;  // power-of-two capacity circular buffer

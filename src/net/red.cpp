@@ -19,6 +19,9 @@ void RedQueue::set_drain_rate(double bps) {
 }
 
 QOESIM_HOT bool RedQueue::do_enqueue(Packet&& p, Time now) {
+  // Static-only bridge (the override's base declaration carries no shard
+  // annotation): callers were dynamically checked upstream in Link::send.
+  shard_plane.assert_held();
   // Update the average queue estimate on every arrival. Across an idle
   // period the estimate decays as if m empty-queue samples had been taken
   // (Floyd & Jacobson eq. 3) instead of freezing at its last busy value.

@@ -14,6 +14,7 @@
 
 #include <deque>
 
+#include "core/annotations.hpp"
 #include "net/queue.hpp"
 #include "sim/random.hpp"
 
@@ -30,7 +31,12 @@ struct RedParams {
   Time mean_pkt_time = Time::milliseconds(1);
 };
 
-class RedQueue final : public QueueDiscipline {
+/// Shard-plane: the per-link RNG stream draws in FIFO arrival order, so a
+/// cross-shard enqueue would silently perturb the drop sequence (and with
+/// it every figure) long before it corrupted memory. The draw site asserts
+/// the shard capability statically; do_enqueue's caller chain (Link::send)
+/// carries the dynamic thread check.
+class QOESIM_SHARD_PLANE RedQueue final : public QueueDiscipline {
  public:
   explicit RedQueue(std::size_t capacity_packets, RedParams params = {},
                     std::uint64_t seed = kDefaultSeed);
@@ -59,7 +65,7 @@ class RedQueue final : public QueueDiscipline {
   // Idle tracking for the (1-w)^m decay: the queue starts idle at t=0.
   bool idle_ = true;
   Time idle_since_;
-  RandomStream rng_;
+  RandomStream rng_ QOESIM_GUARDED_BY(::qoesim::shard_plane);
 };
 
 }  // namespace qoesim::net

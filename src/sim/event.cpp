@@ -10,7 +10,7 @@
 namespace qoesim {
 
 void Scheduler::StatsFold::fold(const Stats& s) {
-  const std::lock_guard<std::mutex> lock(mutex_);
+  const MutexLock lock(mutex_);
   total_.scheduled += s.scheduled;
   total_.fired += s.fired;
   total_.cancelled += s.cancelled;
@@ -20,7 +20,7 @@ void Scheduler::StatsFold::fold(const Stats& s) {
 }
 
 Scheduler::Stats Scheduler::StatsFold::snapshot() const {
-  const std::lock_guard<std::mutex> lock(mutex_);
+  const MutexLock lock(mutex_);
   return total_;
 }
 
@@ -39,6 +39,7 @@ std::uint32_t Scheduler::acquire_slot() {
     throw std::length_error(
         "Scheduler: more than 2^24 simultaneously pending events");
   }
+  // qoesim-lint: allow(hot-call-graph) -- arena growth; free-list recycling makes steady state allocation-free
   slots_.emplace_back();
   return static_cast<std::uint32_t>(slots_.size() - 1);
 }
@@ -66,6 +67,7 @@ void Scheduler::release_slot(std::uint32_t slot) {
 }
 
 void Scheduler::heap_push(HeapEntry entry) {
+  // qoesim-lint: allow(hot-call-graph) -- capacity is pre-grown geometrically in schedule_with_seq; never reallocates here
   heap_.push_back(entry);
   slots_[entry.slot()].heap_index =
       static_cast<std::uint32_t>(heap_.size() - 1);
@@ -117,6 +119,7 @@ void Scheduler::heap_sift_down(std::size_t pos) {
 }
 
 EventHandle Scheduler::schedule_at(Time when, Callback cb) {
+  shard_.assert_held();
   if (when < now_) {
     throw std::invalid_argument("Scheduler::schedule_at: time in the past");
   }
@@ -130,6 +133,7 @@ EventHandle Scheduler::schedule_at(Time when, Callback cb) {
 
 EventHandle Scheduler::schedule_at_seq(Time when, std::uint64_t seq,
                                        Callback cb) {
+  shard_.assert_held();
   if (when < now_) {
     throw std::invalid_argument("Scheduler::schedule_at_seq: time in the past");
   }
@@ -156,6 +160,7 @@ EventHandle Scheduler::schedule_at_seq(Time when, std::uint64_t seq,
 EventHandle Scheduler::schedule_with_seq(Time when, std::uint64_t seq,
                                          Callback cb) {
   if (heap_.size() == heap_.capacity()) {
+    // qoesim-lint: allow(hot-call-graph) -- geometric heap growth, steady-state free once peak depth is reached
     heap_.reserve(heap_.capacity() == 0 ? 64 : heap_.capacity() * 2);
   }
   const std::uint32_t slot = acquire_slot();
@@ -166,6 +171,7 @@ EventHandle Scheduler::schedule_with_seq(Time when, std::uint64_t seq,
 }
 
 void Scheduler::handle_cancel(std::uint32_t slot, std::uint64_t generation) {
+  shard_.assert_held();
   if (!handle_pending(slot, generation)) return;  // fired or already cancelled
   heap_remove(slots_[slot].heap_index);
   release_slot(slot);
@@ -174,6 +180,7 @@ void Scheduler::handle_cancel(std::uint32_t slot, std::uint64_t generation) {
 
 bool Scheduler::handle_reschedule(std::uint32_t slot, std::uint64_t generation,
                                   Time when) {
+  shard_.assert_held();
   if (!handle_pending(slot, generation)) return false;
   // Take the sequence first: if it throws, the entry's key is untouched
   // and the heap invariant still holds.
@@ -193,6 +200,9 @@ bool Scheduler::handle_reschedule(std::uint32_t slot, std::uint64_t generation,
 }
 
 QOESIM_HOT bool Scheduler::step() {
+  // A bare step() is a one-event epoch: adopt the calling thread (aborts
+  // in debug builds if another thread's epoch is live).
+  shard_.begin_epoch();
   if (heap_.empty()) return false;
   const HeapEntry head = heap_[0];
   heap_remove(0);
@@ -210,11 +220,16 @@ QOESIM_HOT bool Scheduler::step() {
 }
 
 QOESIM_HOT void Scheduler::run_until(Time until) {
+  // Epoch scope: the calling thread owns this shard until the driver
+  // returns; ownership is released at exit so the simulation may resume
+  // on a different thread later (sweep-cell handoff).
+  const ShardGuard epoch(&shard_);
   while (!heap_.empty() && heap_[0].when <= until) step();
   if (now_ < until) now_ = until;
 }
 
 QOESIM_HOT void Scheduler::run() {
+  const ShardGuard epoch(&shard_);
   while (step()) {
   }
 }

@@ -20,9 +20,9 @@
 
 #include <cstddef>
 #include <cstdint>
-#include <mutex>
 #include <vector>
 
+#include "core/annotations.hpp"
 #include "sim/callback.hpp"
 #include "sim/time.hpp"
 
@@ -61,8 +61,11 @@ class EventHandle {
   std::uint64_t generation_ = 0;
 };
 
-/// Deterministic discrete-event scheduler.
-class Scheduler {
+/// Deterministic discrete-event scheduler. Marked shard-plane: one shard
+/// owns a Scheduler for the duration of an epoch (run/run_until/step);
+/// the internal arena/heap operations require the shard capability and
+/// the public API asserts it (see core/annotations.hpp).
+class QOESIM_SHARD_PLANE Scheduler {
  public:
   using Callback = SmallCallback;
 
@@ -92,8 +95,8 @@ class Scheduler {
     Stats snapshot() const;
 
    private:
-    mutable std::mutex mutex_;
-    Stats total_;
+    mutable Mutex mutex_;
+    Stats total_ QOESIM_GUARDED_BY(mutex_);
   };
 
   Scheduler() = default;
@@ -114,7 +117,10 @@ class Scheduler {
   /// wire ring uses this to collapse per-packet propagation events into
   /// one delivery event per link while keeping event order exactly as if
   /// each packet had scheduled its own event.
-  std::uint64_t allocate_seq() { return next_seq(); }
+  std::uint64_t allocate_seq() {
+    shard_.assert_held();
+    return next_seq();
+  }
 
   /// Schedule `cb` at `when` with the FIFO position `seq`, which must
   /// have been obtained from allocate_seq() and used by at most one event
@@ -157,6 +163,12 @@ class Scheduler {
   /// must outlive the scheduler.
   void set_stats_fold(StatsFold* fold) { stats_fold_ = fold; }
 
+  /// The shard-ownership checker for this scheduler's engine objects
+  /// (debug-only thread-id assertions; see core/annotations.hpp). Every
+  /// component hanging off this scheduler's Simulation asserts through it
+  /// on its hot entry points.
+  ShardAffinity& shard() { return shard_; }
+
  private:
   friend class EventHandle;
 
@@ -196,11 +208,12 @@ class Scheduler {
   void handle_cancel(std::uint32_t slot, std::uint64_t generation);
   bool handle_reschedule(std::uint32_t slot, std::uint64_t generation,
                          Time when);
-  EventHandle schedule_with_seq(Time when, std::uint64_t seq, Callback cb);
+  EventHandle schedule_with_seq(Time when, std::uint64_t seq, Callback cb)
+      QOESIM_REQUIRES_SHARD;
 
-  std::uint32_t acquire_slot();
-  void release_slot(std::uint32_t slot);
-  std::uint64_t next_seq();
+  std::uint32_t acquire_slot() QOESIM_REQUIRES_SHARD;
+  void release_slot(std::uint32_t slot) QOESIM_REQUIRES_SHARD;
+  std::uint64_t next_seq() QOESIM_REQUIRES_SHARD;
 
   // Indexed 4-ary min-heap keyed by (when, seq). Comparing the combined
   // seq_slot word is equivalent to comparing seq: among equal timestamps
@@ -210,17 +223,19 @@ class Scheduler {
     if (a.when != b.when) return a.when < b.when;
     return a.seq_slot < b.seq_slot;
   }
-  void heap_place(std::size_t pos, const HeapEntry& entry) {
+  void heap_place(std::size_t pos, const HeapEntry& entry)
+      QOESIM_REQUIRES_SHARD {
     heap_[pos] = entry;
     slots_[entry.slot()].heap_index = static_cast<std::uint32_t>(pos);
   }
-  void heap_push(HeapEntry entry);
-  void heap_remove(std::size_t pos);
-  void heap_sift_up(std::size_t pos);
-  void heap_sift_down(std::size_t pos);
+  void heap_push(HeapEntry entry) QOESIM_REQUIRES_SHARD;
+  void heap_remove(std::size_t pos) QOESIM_REQUIRES_SHARD;
+  void heap_sift_up(std::size_t pos) QOESIM_REQUIRES_SHARD;
+  void heap_sift_down(std::size_t pos) QOESIM_REQUIRES_SHARD;
 
   Time now_;
   std::uint64_t next_seq_ = 0;
+  ShardAffinity shard_;
   Stats stats_;
   StatsFold* stats_fold_ = nullptr;
   std::vector<Slot> slots_;

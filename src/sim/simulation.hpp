@@ -34,6 +34,11 @@ class Simulation {
   Scheduler& scheduler() { return scheduler_; }
   const Scheduler& scheduler() const { return scheduler_; }
 
+  /// Shard-ownership checker shared by every engine object of this
+  /// simulation (nodes, links, pools all assert through it on their hot
+  /// entry points; see core/annotations.hpp).
+  ShardAffinity& shard() { return scheduler_.shard(); }
+
   Time now() const { return scheduler_.now(); }
   std::uint64_t seed() const { return seed_; }
 

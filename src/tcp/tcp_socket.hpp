@@ -16,6 +16,7 @@
 #include <memory>
 #include <string>
 
+#include "core/annotations.hpp"
 #include "net/node.hpp"
 #include "net/packet.hpp"
 #include "sim/simulation.hpp"
@@ -71,7 +72,13 @@ struct TcpStats {
   bool aborted = false;
 };
 
-class TcpSocket : public std::enable_shared_from_this<TcpSocket> {
+/// Shard-plane: a socket is driven entirely by its node's shard (timers
+/// fire inside the owning epoch, segments arrive through Node's demux,
+/// whose entry points carry the dynamic thread check). Marked so
+/// qoesim_lint's shard-state check patrols new members for unannotated
+/// shared-ownership state.
+class QOESIM_SHARD_PLANE TcpSocket
+    : public std::enable_shared_from_this<TcpSocket> {
  public:
   /// Callbacks an application can hook. All optional.
   struct Callbacks {

@@ -11,6 +11,7 @@
 #include <tuple>
 #include <vector>
 
+#include "core/annotations.hpp"
 #include "net/flat_table.hpp"
 #include "net/node.hpp"
 #include "net/topology.hpp"
@@ -270,6 +271,9 @@ TEST(NodeRoutesTest, NoRouteNoDefaultCountsUnrouted) {
 // ---- flat-table fuzz vs std::map reference --------------------------------
 
 TEST(FlatTableTest, FuzzAgainstMapReference) {
+  // Driving the shard-plane table directly: hold the shard capability
+  // for the test body (no affinity -- there is no scheduler epoch here).
+  const ShardGuard shard;
   using Key = std::tuple<std::uint8_t, std::uint32_t, std::uint32_t,
                          std::uint32_t>;
   std::mt19937_64 rng(0xf1a7);
@@ -327,6 +331,7 @@ TEST(FlatTableTest, FuzzAgainstMapReference) {
 }
 
 TEST(FlatTableTest, GenerationsAreUniqueAndSurviveGrowth) {
+  const ShardGuard shard;
   FlatTable<int> table;
   const auto [gen1, ins1] = table.bind(DemuxKey::pack(0, 1, 2, 3), 1);
   EXPECT_TRUE(ins1);
@@ -354,6 +359,7 @@ TEST(FlatTableTest, RebindAtGrowthThresholdDoesNotRehash) {
   // never trigger a growth rehash, even with the table right at the
   // load-factor threshold (the counter is asserted flat by the
   // steady-state churn tests).
+  const ShardGuard shard;
   FlatTable<int> table;
   std::uint32_t n = 0;
   while ((table.size() + 1) * 4 <= table.capacity() * 3 ||
@@ -369,6 +375,7 @@ TEST(FlatTableTest, RebindAtGrowthThresholdDoesNotRehash) {
 }
 
 TEST(FlatTableTest, ReserveAvoidsRehash) {
+  const ShardGuard shard;
   FlatTable<int> table;
   table.reserve(1000);
   const std::uint64_t before = table.rehashes();

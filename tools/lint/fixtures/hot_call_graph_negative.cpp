@@ -1,0 +1,64 @@
+// Known-negative cases for `hot-call-graph`: allocation-free deep
+// chains, a justified suppression two levels down (allow(hot-alloc)
+// also silences the transitive check), and call sites the strict walk
+// refuses to follow past depth one -- ambiguous names and member calls.
+// Any finding in this file is a fixture failure.
+#include <string>
+#include <vector>
+
+#define QOESIM_HOT
+
+// ---- allocation-free deep chain ------------------------------------
+inline void bump(long& counter) { counter += 1; }
+
+inline void advance(long& counter) { bump(counter); }
+
+// ---- suppressed growth two levels down -----------------------------
+struct Slab {
+  std::vector<int> cells;
+};
+
+inline void grow_stage(Slab& slab, int v) {
+  // qoesim-lint: allow(hot-alloc) -- fixture: amortized slab growth, steady-state free
+  slab.cells.push_back(v);
+}
+
+// ---- ambiguous name: two project functions called `add` ------------
+struct Histogram {
+  long count = 0;
+  void add(int) { count += 1; }
+};
+
+struct Journal {
+  std::vector<int> entries;
+  void add(int v) { entries.push_back(v); }
+};
+
+// ---- member call past depth one is not followed --------------------
+struct Sink {
+  std::string text;
+  void log(int v) { text += std::to_string(v); }
+};
+
+// Depth 1 below the hot root: calls from here are walked strictly.
+// `add(v)` matches two project functions -> not followed; `sink.log(v)`
+// is a member call -> not followed; `grow_stage` is unique and free ->
+// followed, but its allocation carries a justification.
+inline void sample_stage(Slab& slab, Sink& sink, long& counter, int v) {
+  advance(counter);
+  add(v);
+  sink.log(v);
+  grow_stage(slab, v);
+}
+
+void add(int);  // free declaration keeps the ambiguous call compiling
+
+class Poller {
+ public:
+  QOESIM_HOT void poll(int v) { sample_stage(slab_, sink_, ticks_, v); }
+
+ private:
+  Slab slab_;
+  Sink sink_;
+  long ticks_ = 0;
+};

@@ -1,0 +1,44 @@
+// Fixture: value-keyed containers and comparator-driven pointer sorts are
+// deterministic.
+#include <algorithm>
+#include <cstdint>
+#include <map>
+#include <set>
+#include <vector>
+
+namespace fixture {
+
+struct Flow {
+  std::uint64_t id = 0;
+};
+
+inline bool by_id(const Flow* a, const Flow* b) { return a->id < b->id; }
+
+struct Tracker {
+  // Value keys: iteration order is the key order, not addresses.
+  std::map<std::uint64_t, Flow*> by_flow_id;
+  std::set<std::uint64_t> live_ids;
+
+  void drain() {
+    // Sorting pointers WITH a stable-id comparator is fine (three args).
+    std::vector<Flow*> ready;
+    std::sort(ready.begin(), ready.end(), by_id);
+  }
+
+  void order_values() {
+    // Sorting values with the default comparator is fine.
+    std::vector<std::uint64_t> ids;
+    std::sort(ids.begin(), ids.end());
+  }
+};
+
+// Suppressed with justification (e.g. order consumed only as a set).
+struct Dedup {
+  void run() {
+    // qoesim-lint: allow(pointer-order) -- order discarded, only uniqueness is used
+    std::set<Flow*> seen;
+    (void)seen;
+  }
+};
+
+}  // namespace fixture

@@ -1,0 +1,33 @@
+// Fixture: address-dependent ordering -- pointer-keyed ordered containers
+// and default-comparator sorts of pointer sequences.
+#include <algorithm>
+#include <map>
+#include <set>
+#include <vector>
+
+namespace fixture {
+
+struct Flow {
+  int id = 0;
+};
+
+struct Tracker {
+  void observe() {
+    std::map<Flow*, int> refcounts;  // LINT-EXPECT: pointer-order
+    std::set<const Flow*> live;      // LINT-EXPECT: pointer-order
+    (void)refcounts;
+    (void)live;
+  }
+
+  void drain() {
+    std::vector<Flow*> ready;
+    std::sort(ready.begin(), ready.end());  // LINT-EXPECT: pointer-order
+  }
+
+  void drain_stable() {
+    std::vector<const Flow*> batch;
+    std::stable_sort(batch.begin(), batch.end());  // LINT-EXPECT: pointer-order
+  }
+};
+
+}  // namespace fixture

@@ -1,0 +1,42 @@
+// Known-negative cases for `shard-state`: guarded members inside a
+// marked class, plain value members inside a marked class, and mutable /
+// shared_ptr members in classes that are NOT part of the shard plane.
+// Any finding in this file is a fixture failure.
+#include <memory>
+
+#define QOESIM_SHARD_PLANE
+#define QOESIM_GUARDED_BY(x)
+#define QOESIM_PT_GUARDED_BY(x)
+
+struct Mutex {};
+
+struct Buffer {
+  int bytes = 0;
+};
+
+class QOESIM_SHARD_PLANE HotTable {
+ public:
+  int lookups() const { return lookups_; }
+  // Methods returning shared_ptr are declarations, not members.
+  std::shared_ptr<Buffer> take_spill() { return spill_; }
+
+ private:
+  Mutex mutex_;
+  mutable int lookups_ QOESIM_GUARDED_BY(mutex_) = 0;
+  std::shared_ptr<Buffer> spill_ QOESIM_PT_GUARDED_BY(mutex_);
+  int slots_ = 0;
+};
+
+// Unmarked classes may hold whatever they like.
+class ColdCache {
+ private:
+  mutable int hits_ = 0;
+  std::shared_ptr<Buffer> backing_;
+};
+
+// Suppressed with justification inside a marked class.
+class QOESIM_SHARD_PLANE Tracer {
+ private:
+  // qoesim-lint: allow(shard-state) -- fixture: written only at teardown, after the epoch ends
+  mutable long flushes_ = 0;
+};

@@ -1,0 +1,23 @@
+// Known-positive cases for `shard-state`: a QOESIM_SHARD_PLANE class
+// with a `mutable` member and shared-ownership members that do not state
+// who guards them. The fixture is linted standalone, so the markers only
+// need to be visible tokens.
+#include <memory>
+
+#define QOESIM_SHARD_PLANE
+#define QOESIM_GUARDED_BY(x)
+
+struct Buffer {
+  int bytes = 0;
+};
+
+class QOESIM_SHARD_PLANE HotTable {
+ public:
+  int lookups() const { return lookups_; }
+
+ private:
+  mutable int lookups_ = 0;             // LINT-EXPECT: shard-state
+  std::shared_ptr<Buffer> spill_;       // LINT-EXPECT: shard-state
+  std::weak_ptr<Buffer> parent_;        // LINT-EXPECT: shard-state
+  int slots_ = 0;                       // plain value member: fine
+};

@@ -1,0 +1,51 @@
+// Fixture: ordered iteration and non-iterating unordered use are fine.
+#include <cstdint>
+#include <map>
+#include <unordered_map>
+#include <vector>
+
+namespace fixture {
+
+struct Ledger {
+  std::unordered_map<std::uint64_t, double> per_flow_delay;
+  std::map<std::uint64_t, double> sorted_delay;
+
+  // Filling an unordered container is order-independent.
+  void record(std::uint64_t flow, double delay) {
+    per_flow_delay[flow] = delay;
+  }
+
+  // Point lookups do not observe iteration order.
+  double lookup(std::uint64_t flow) const {
+    const auto it = per_flow_delay.find(flow);
+    return it == per_flow_delay.end() ? 0.0 : it->second;
+  }
+
+  // Iterating the *ordered* mirror is deterministic.
+  double total() const {
+    double sum = 0.0;
+    for (const auto& entry : sorted_delay) sum += entry.second;
+    return sum;
+  }
+};
+
+// Classic for loops and range-fors over sequences stay untouched.
+inline double sum(const std::vector<double>& xs) {
+  double s = 0.0;
+  for (std::size_t i = 0; i < xs.size(); ++i) s += xs[i];
+  for (double x : xs) s += x;
+  return s / 2.0;
+}
+
+// Suppressed with justification: order-independent fold (sum).
+struct Fold {
+  std::unordered_map<int, int> cells;
+  int run() const {
+    int sum = 0;
+    // qoesim-lint: allow(unordered-iteration) -- commutative sum, order cannot leak
+    for (const auto& [k, v] : cells) sum += v;
+    return sum;
+  }
+};
+
+}  // namespace fixture

@@ -1,0 +1,39 @@
+// Fixture: iterating unordered containers folds hash order into results.
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+
+namespace fixture {
+
+struct FlowStats {
+  std::unordered_map<std::uint64_t, double> per_flow_delay;
+  std::unordered_set<std::uint32_t> live_ports;
+
+  double total() const {
+    double sum = 0.0;
+    for (const auto& entry : per_flow_delay) {  // LINT-EXPECT: unordered-iteration
+      sum += entry.second;
+    }
+    return sum;
+  }
+
+  std::size_t count_live() const {
+    std::size_t n = 0;
+    for (std::uint32_t port : live_ports) {  // LINT-EXPECT: unordered-iteration
+      n += port != 0 ? 1 : 0;
+    }
+    return n;
+  }
+};
+
+// A local declared inline in the range expression is just as hashed.
+inline int sum_values(const std::unordered_map<int, int>& table) {
+  int sum = 0;
+  for (const auto& [key, value] : table) {  // LINT-EXPECT: unordered-iteration
+    sum += value;
+  }
+  return sum;
+}
+
+}  // namespace fixture

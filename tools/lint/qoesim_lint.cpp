@@ -1,10 +1,10 @@
-// qoesim_lint -- project-specific static analysis for the qoesim engine.
+// qoesim_lint v2 -- project-specific static analysis for the qoesim engine.
 //
-// Three check families, all enforcing the determinism & shared-state
-// contract documented in README.md:
+// Seven checks, all enforcing the determinism & shared-state contract and
+// the shard-ownership contract documented in README.md:
 //
-//   global-state   No new process-wide mutable state in src/: namespace-
-//                  scope non-const variables, mutable static data members,
+//   global-state   No new process-wide mutable state: namespace-scope
+//                  non-const variables, mutable static data members,
 //                  function-local `static` mutables, and `thread_local`
 //                  anywhere all fail. Shared state is what forbids
 //                  sharding the simulator across threads (the PDES
@@ -17,26 +17,60 @@
 //                  no operator new, malloc-family calls,
 //                  make_shared/make_unique, allocating container member
 //                  calls (push_back, insert, resize, ...), or local
-//                  std:: container construction -- directly or in any
-//                  same-project function they call (one level deep,
-//                  resolved by name over every linted file).
+//                  std:: container construction -- directly or in a
+//                  function they call (one level, resolved by name over
+//                  every linted file).
 //
-//   determinism    Banned entropy/wall-clock sources in src/: rand(),
-//                  srand(), std::random_device, time(), clock(),
-//                  system_clock / high_resolution_clock, and
-//                  default-constructed <random> engines. The blessed
-//                  path is sim/random.hpp (RandomStream::derive_seed);
-//                  steady_clock is allowed for wall-clock *measurement*.
+//   hot-call-graph The transitive extension of hot-alloc: allocations
+//                  two to four calls deep from a QOESIM_HOT root, found
+//                  by a breadth-first walk of the same-project call
+//                  graph. Beyond the first level only unambiguous
+//                  non-member call sites are followed (common member
+//                  names like `.at()` resolve to the wrong class too
+//                  often for deeper union-chasing). Reported with the
+//                  discovery path so the chain is auditable. A site
+//                  suppressed for hot-alloc is also exempt here (same
+//                  contract, deeper evidence).
 //
-// The tool is deliberately self-contained (a C++ tokenizer, no libclang
-// dependency) so it builds and runs anywhere the project does; the
-// token-level approach is conservative where noted in checks below.
+//   determinism    Banned entropy/wall-clock sources: rand(), srand(),
+//                  std::random_device, time(), clock(), system_clock /
+//                  high_resolution_clock, and default-constructed
+//                  <random> engines. The blessed path is sim/random.hpp
+//                  (RandomStream::derive_seed); steady_clock is allowed
+//                  for wall-clock *measurement*.
+//
+//   unordered-iteration  Range-for over a std::unordered_* container.
+//                  Iteration order depends on hash seeding, load factor
+//                  history, and the standard library, so any fold or
+//                  emission over it is nondeterministic across runs and
+//                  toolchains. Iterate a sorted view, or keep a
+//                  deterministic index alongside.
+//
+//   pointer-order  Address-dependent ordering: std::map/std::set keyed
+//                  by a pointer type, and std::sort/std::stable_sort of
+//                  a vector/deque of pointers without a comparator.
+//                  Allocation addresses vary run to run, so the order is
+//                  nondeterministic; key and compare by stable ids.
+//
+//   shard-state    Members of a class marked QOESIM_SHARD_PLANE (see
+//                  src/core/annotations.hpp) that smell shared --
+//                  `mutable` members and shared_ptr/weak_ptr members --
+//                  must carry QOESIM_GUARDED_BY / QOESIM_PT_GUARDED_BY
+//                  stating who guards them. Per-shard classes otherwise
+//                  accrete quietly-shared state that blocks PDES.
+//
+// The tool is deliberately self-contained (a C++ tokenizer with a scope
+// tracker and a name-resolved call graph, no libclang dependency) so it
+// builds and runs anywhere the project does; the token-level approach is
+// conservative where noted in checks below.
 //
 // Modes:
-//   qoesim_lint --compdb build/compile_commands.json --root <repo> ...
+//   qoesim_lint --root <repo> [--compdb build/compile_commands.json]
 //               [--allowlist tools/lint/allowlist.txt]
-//       Lint every TU under <repo>/src listed in the compilation database
-//       plus every header under <repo>/src. Exit 1 on any finding.
+//       Lint every *.cpp / *.hpp / *.h under <repo>/src, <repo>/bench,
+//       and <repo>/tools (tools/lint/fixtures excluded -- they are
+//       deliberate violations). Exit 1 on any finding, 2 on usage or
+//       allowlist errors.
 //
 //   qoesim_lint --fixtures <dir>
 //       Self-test: lint each *.cpp in <dir> standalone and compare the
@@ -46,7 +80,8 @@
 // Suppressions: `// qoesim-lint: allow(<check>[,<check>]) -- <reason>`
 // applies to its own line and the next. The allowlist file holds
 // `<path-suffix> <check> <identifier>` triples for findings that cannot
-// carry an inline comment.
+// carry an inline comment; malformed lines and unknown check names are
+// hard errors (exit 2) so a typo cannot silently disable a suppression.
 
 #include <algorithm>
 #include <cctype>
@@ -57,6 +92,7 @@
 #include <set>
 #include <sstream>
 #include <string>
+#include <tuple>
 #include <unordered_map>
 #include <unordered_set>
 #include <vector>
@@ -444,6 +480,8 @@ class Analyzer {
   void run() {
     for (auto& f : files_) structural_pass(f);
     for (auto& f : files_) determinism_pass(f);
+    for (auto& f : files_) unordered_pass(f);
+    for (auto& f : files_) pointer_order_pass(f);
     hot_alloc_pass();
   }
 
@@ -454,6 +492,9 @@ class Analyzer {
   struct Scope {
     ScopeKind kind;
     std::vector<Tok> stmt;  // statement being accumulated at this level
+    // For kClass scopes: the class head carried QOESIM_SHARD_PLANE, so
+    // the shard-state member checks apply inside it.
+    bool shard_plane = false;
   };
 
   void report(const LexedFile& f, int line, const std::string& check,
@@ -509,11 +550,31 @@ class Analyzer {
     }
     if (scope == ScopeKind::kEnum || scope == ScopeKind::kInit) return;
 
-    // Class / struct scope: mutable static data members.
+    // Class / struct scope: mutable static data members, and -- inside a
+    // QOESIM_SHARD_PLANE class -- shared-smelling members that lack an
+    // ownership annotation.
     if (scope == ScopeKind::kClass) {
       if (has_static && !has_const && !is_declaration_function_like(stmt)) {
         report(f, line, "global-state", decl_name(stmt),
                "mutable static data member (class-wide shared state)");
+        return;  // already flagged; shard-state would double-report
+      }
+      if (scopes.back().shard_plane && !has_static &&
+          !is_declaration_function_like(stmt)) {
+        const bool shared_owner = stmt_has_ident(stmt, "shared_ptr") ||
+                                  stmt_has_ident(stmt, "weak_ptr");
+        const bool is_mutable = stmt_has_ident(stmt, "mutable");
+        const bool annotated = stmt_has_ident(stmt, "QOESIM_GUARDED_BY") ||
+                               stmt_has_ident(stmt, "QOESIM_PT_GUARDED_BY");
+        if ((is_mutable || shared_owner) && !annotated) {
+          report(f, line, "shard-state", decl_name(stmt),
+                 is_mutable
+                     ? "mutable member of a QOESIM_SHARD_PLANE class "
+                       "without QOESIM_GUARDED_BY (state who guards it)"
+                     : "shared-ownership member of a QOESIM_SHARD_PLANE "
+                       "class without QOESIM_PT_GUARDED_BY (shared_ptr "
+                       "crosses shard lifetimes; state who guards it)");
+        }
       }
       return;
     }
@@ -640,7 +701,10 @@ class Analyzer {
           scopes.push_back({kind, {}});
           continue;
         }
-        scopes.push_back({kind, {}});
+        Scope sc{kind, {}};
+        if (kind == ScopeKind::kClass)
+          sc.shard_plane = stmt_has_ident(stmt, "QOESIM_SHARD_PLANE");
+        scopes.push_back(std::move(sc));
         stmt.clear();
         continue;
       }
@@ -653,6 +717,16 @@ class Analyzer {
       }
       if (t.kind == TokKind::kPunct && t.text == ";") {
         check_statement(f, scopes, stmt);
+        stmt.clear();
+        continue;
+      }
+      // An access specifier ends no statement (no `;`), so without this
+      // split the member declared right after `private:` would accumulate
+      // behind the specifier and dodge the member checks above.
+      if (t.kind == TokKind::kPunct && t.text == ":" && stmt.size() == 1 &&
+          stmt.front().kind == TokKind::kIdent &&
+          (stmt.front().text == "public" || stmt.front().text == "private" ||
+           stmt.front().text == "protected")) {
         stmt.clear();
         continue;
       }
@@ -792,6 +866,187 @@ class Analyzer {
     }
   }
 
+  // ---- check family: unordered-iteration ---------------------------
+  // Two token passes per file: first record every name declared as a
+  // std::unordered_* container (members and locals alike -- a name
+  // registry, not real type resolution, so collisions are conservative);
+  // then flag every range-for whose range expression mentions a recorded
+  // name or an unordered container type directly. Filling an unordered
+  // container is fine; iterating one folds hash order into results.
+  void unordered_pass(const LexedFile& f) {
+    static const std::set<std::string> unordered = {
+        "unordered_map", "unordered_set", "unordered_multimap",
+        "unordered_multiset"};
+    const auto& toks = f.toks;
+    std::set<std::string> names;
+    for (std::size_t k = 0; k < toks.size(); ++k) {
+      if (toks[k].kind != TokKind::kIdent || unordered.count(toks[k].text) == 0)
+        continue;
+      std::size_t j = skip_template_args(toks, k + 1);
+      while (j < toks.size() && toks[j].kind == TokKind::kPunct &&
+             (toks[j].text == "&" || toks[j].text == "*"))
+        ++j;
+      if (j < toks.size() && toks[j].kind == TokKind::kIdent &&
+          !is_keyword(toks[j].text))
+        names.insert(toks[j].text);
+    }
+    for (std::size_t k = 0; k + 1 < toks.size(); ++k) {
+      if (!(toks[k].kind == TokKind::kIdent && toks[k].text == "for")) continue;
+      if (!(toks[k + 1].kind == TokKind::kPunct && toks[k + 1].text == "("))
+        continue;
+      // Find the loop header's closing paren, its top-level `:` (range-for
+      // marker), and any top-level `;` (classic for -- not our business).
+      int depth = 0, angle = 0;
+      std::size_t close = toks.size(), colon = 0;
+      bool classic = false;
+      for (std::size_t j = k + 1; j < toks.size(); ++j) {
+        const Tok& u = toks[j];
+        if (u.kind != TokKind::kPunct) continue;
+        if (u.text == "(" || u.text == "[" || u.text == "{") ++depth;
+        if (u.text == ")" || u.text == "]" || u.text == "}") {
+          --depth;
+          if (depth == 0 && u.text == ")") {
+            close = j;
+            break;
+          }
+        }
+        if (depth != 1) continue;
+        if (u.text == "<") ++angle;
+        if (u.text == ">") angle = std::max(0, angle - 1);
+        if (u.text == ";") classic = true;
+        if (u.text == ":" && angle == 0 && colon == 0) colon = j;
+      }
+      if (classic || colon == 0 || close >= toks.size()) continue;
+      for (std::size_t j = colon + 1; j < close; ++j) {
+        const Tok& u = toks[j];
+        if (u.kind != TokKind::kIdent) continue;
+        if (names.count(u.text) > 0 || unordered.count(u.text) > 0) {
+          report(f, toks[k].line, "unordered-iteration", u.text,
+                 "range-for over unordered container '" + u.text +
+                     "' (hash order is run- and toolchain-dependent; "
+                     "iterate a sorted view or a deterministic index)");
+          break;
+        }
+      }
+    }
+  }
+
+  // ---- check family: pointer-order ---------------------------------
+  // Address-dependent ordering in two shapes: (a) an ordered associative
+  // container keyed by a pointer type (std::map<Foo*, ...>), where
+  // iteration order is allocation order; (b) std::sort/std::stable_sort
+  // over a vector/deque of pointers with the default operator< (exactly
+  // two arguments -- a third would be a comparator).
+  void pointer_order_pass(const LexedFile& f) {
+    static const std::set<std::string> assoc = {"map", "set", "multimap",
+                                                "multiset"};
+    static const std::set<std::string> seqs = {"vector", "deque"};
+    const auto& toks = f.toks;
+    std::set<std::string> ptr_seq_names;
+    for (std::size_t k = 0; k < toks.size(); ++k) {
+      const Tok& t = toks[k];
+      if (t.kind != TokKind::kIdent) continue;
+      const bool std_qualified =
+          k >= 2 && toks[k - 1].kind == TokKind::kPunct &&
+          toks[k - 1].text == "::" && toks[k - 2].kind == TokKind::kIdent &&
+          toks[k - 2].text == "std";
+      if (!std_qualified) continue;
+      const bool is_assoc = assoc.count(t.text) > 0;
+      const bool is_seq = seqs.count(t.text) > 0;
+      if (!is_assoc && !is_seq) continue;
+      if (k + 1 >= toks.size() || toks[k + 1].kind != TokKind::kPunct ||
+          toks[k + 1].text != "<")
+        continue;
+      // Does the FIRST template argument name a pointer type? A `*` at
+      // angle depth 1 before the first depth-1 comma.
+      int angle = 0;
+      bool first_arg_ptr = false, past_first_arg = false;
+      std::size_t j = k + 1;
+      for (; j < toks.size(); ++j) {
+        const Tok& u = toks[j];
+        if (u.kind != TokKind::kPunct) continue;
+        if (u.text == "<") {
+          ++angle;
+          continue;
+        }
+        if (u.text == ">") {
+          if (--angle == 0) {
+            ++j;
+            break;
+          }
+          continue;
+        }
+        if (angle != 1 || past_first_arg) continue;
+        if (u.text == ",") past_first_arg = true;
+        if (u.text == "*") first_arg_ptr = true;
+      }
+      if (!first_arg_ptr) continue;
+      if (is_assoc) {
+        report(f, t.line, "pointer-order", "std::" + t.text,
+               "ordered container keyed by a pointer (iteration order is "
+               "allocation-address order, which varies run to run; key by "
+               "a stable id)");
+        continue;
+      }
+      // Pointer-element sequence: record the declared name for the sort
+      // scan below (skip declarators).
+      while (j < toks.size() && toks[j].kind == TokKind::kPunct &&
+             (toks[j].text == "&" || toks[j].text == "*"))
+        ++j;
+      if (j < toks.size() && toks[j].kind == TokKind::kIdent &&
+          !is_keyword(toks[j].text))
+        ptr_seq_names.insert(toks[j].text);
+    }
+    if (ptr_seq_names.empty()) return;
+    for (std::size_t k = 0; k + 1 < toks.size(); ++k) {
+      const Tok& t = toks[k];
+      if (t.kind != TokKind::kIdent ||
+          (t.text != "sort" && t.text != "stable_sort"))
+        continue;
+      if (toks[k + 1].kind != TokKind::kPunct || toks[k + 1].text != "(")
+        continue;
+      const bool member = k > 0 && toks[k - 1].kind == TokKind::kPunct &&
+                          (toks[k - 1].text == "." || toks[k - 1].text == "->");
+      if (member) continue;  // list::sort etc.: out of scope
+      int depth = 0, commas = 0;
+      bool mentions = false;
+      for (std::size_t j = k + 1; j < toks.size(); ++j) {
+        const Tok& u = toks[j];
+        if (u.kind == TokKind::kIdent && ptr_seq_names.count(u.text) > 0)
+          mentions = true;
+        if (u.kind != TokKind::kPunct) continue;
+        if (u.text == "(" || u.text == "[" || u.text == "{") ++depth;
+        if (u.text == ")" || u.text == "]" || u.text == "}") {
+          --depth;
+          if (depth == 0 && u.text == ")") break;
+        }
+        if (u.text == "," && depth == 1) ++commas;
+      }
+      if (mentions && commas == 1) {
+        report(f, t.line, "pointer-order", t.text,
+               "sort of pointer elements with the default operator< "
+               "(address order varies run to run; pass a comparator over "
+               "a stable id)");
+      }
+    }
+  }
+
+  // Token index just past a `<...>` template argument group starting at
+  // `at` (returns `at` unchanged when there is none).
+  static std::size_t skip_template_args(const std::vector<Tok>& toks,
+                                        std::size_t at) {
+    if (at >= toks.size() || toks[at].kind != TokKind::kPunct ||
+        toks[at].text != "<")
+      return at;
+    int angle = 0;
+    for (std::size_t j = at; j < toks.size(); ++j) {
+      if (toks[j].kind != TokKind::kPunct) continue;
+      if (toks[j].text == "<") ++angle;
+      if (toks[j].text == ">" && --angle == 0) return j + 1;
+    }
+    return toks.size();
+  }
+
   // ---- check family: hot-alloc -------------------------------------
   struct DirectAlloc {
     int line;
@@ -892,9 +1147,13 @@ class Analyzer {
     return out;
   }
 
-  // Call sites (identifier followed by `(`) inside a body.
+  // Call sites (identifier followed by `(`) inside a body. With
+  // `non_member_only`, calls through `.` or `->` are skipped -- used by
+  // the deep call-graph walk, where `x.at(...)`-style member names are
+  // too ambiguous to resolve by name alone.
   std::vector<std::string> call_names(const LexedFile& f, std::size_t begin,
-                                      std::size_t end) const {
+                                      std::size_t end,
+                                      bool non_member_only) const {
     std::vector<std::string> out;
     std::set<std::string> seen;
     const auto& toks = f.toks;
@@ -904,36 +1163,90 @@ class Analyzer {
       if (k + 1 >= toks.size() || toks[k + 1].kind != TokKind::kPunct ||
           toks[k + 1].text != "(")
         continue;
+      if (non_member_only && k > 0 && toks[k - 1].kind == TokKind::kPunct &&
+          (toks[k - 1].text == "." || toks[k - 1].text == "->"))
+        continue;
       if (seen.insert(t.text).second) out.push_back(t.text);
     }
     return out;
   }
 
+  // Breadth-first walk of the same-project call graph from every
+  // QOESIM_HOT root. Depth 0 (the hot body) and depth 1 report as
+  // hot-alloc, exactly as v1 did (conservative union on name
+  // collisions, member calls included); depths 2..kMaxAllocDepth report
+  // as hot-call-graph with the discovery path. Beyond the first level
+  // the walk only follows non-member call sites that resolve to exactly
+  // one project function: `x.at(...)` / `add(...)`-style common names
+  // resolve to the wrong class's method often enough that deeper
+  // union-chasing reports phantom chains. Findings dedupe on
+  // (file, line, check) across roots.
+  static constexpr int kMaxAllocDepth = 4;
+
   void hot_alloc_pass() {
-    for (const FunctionDef& fn : functions_) {
-      if (!fn.hot) continue;
-      // Direct allocations in the hot body.
+    std::set<std::tuple<const LexedFile*, int, std::string>> dedup;
+    // A hot-call-graph site suppressed under allow(hot-alloc) stays
+    // suppressed: the inline justification covers the allocation itself,
+    // however deep the evidence chain that reached it.
+    auto emit = [&](const FunctionDef& target, const DirectAlloc& a,
+                    const std::string& check, const std::string& msg) {
+      if (suppressed(target.file->directives, a.line, check)) return;
+      if (check == "hot-call-graph" &&
+          suppressed(target.file->directives, a.line, "hot-alloc"))
+        return;
+      if (!dedup.insert({target.file, a.line, check}).second) return;
+      findings_.push_back({target.file->path, a.line, check, target.name, msg});
+    };
+    for (std::size_t root = 0; root < functions_.size(); ++root) {
+      const FunctionDef& hot = functions_[root];
+      if (!hot.hot) continue;
       for (const DirectAlloc& a :
-           direct_allocs(*fn.file, fn.body_begin, fn.body_end)) {
-        report(*fn.file, a.line, "hot-alloc", fn.name,
-               "allocation in QOESIM_HOT " + fn.qualified + ": " + a.what);
+           direct_allocs(*hot.file, hot.body_begin, hot.body_end)) {
+        emit(hot, a, "hot-alloc",
+             "allocation in QOESIM_HOT " + hot.qualified + ": " + a.what);
       }
-      // One level deep: every same-project function a call site can
-      // resolve to (conservative union on name collisions).
-      for (const std::string& callee : call_names(*fn.file, fn.body_begin,
-                                                  fn.body_end)) {
-        auto it = index_.find(callee);
-        if (it == index_.end()) continue;
-        for (std::size_t idx : it->second) {
-          const FunctionDef& target = functions_[idx];
-          if (&target == &fn) continue;
-          for (const DirectAlloc& a :
-               direct_allocs(*target.file, target.body_begin,
-                             target.body_end)) {
-            report(*target.file, a.line, "hot-alloc", target.name,
-                   "allocation in " + target.qualified + " (" + a.what +
-                       "), called from QOESIM_HOT " + fn.qualified);
+      struct QueueEntry {
+        std::size_t idx;
+        int depth;
+        std::string path;
+      };
+      std::vector<QueueEntry> queue;
+      std::set<std::size_t> visited{root};
+      auto expand = [&](const FunctionDef& fn, int depth,
+                        const std::string& path) {
+        const bool strict = depth >= 1;
+        for (const std::string& callee :
+             call_names(*fn.file, fn.body_begin, fn.body_end, strict)) {
+          auto it = index_.find(callee);
+          if (it == index_.end()) continue;
+          if (strict && it->second.size() > 1) continue;  // ambiguous name
+          for (std::size_t idx : it->second) {
+            if (!visited.insert(idx).second) continue;
+            queue.push_back(
+                {idx, depth + 1, path + " -> " + functions_[idx].qualified});
           }
+        }
+      };
+      expand(hot, 0, hot.qualified);
+      for (std::size_t qi = 0; qi < queue.size(); ++qi) {
+        const QueueEntry entry = queue[qi];
+        const FunctionDef& target = functions_[entry.idx];
+        for (const DirectAlloc& a :
+             direct_allocs(*target.file, target.body_begin,
+                           target.body_end)) {
+          if (entry.depth == 1) {
+            emit(target, a, "hot-alloc",
+                 "allocation in " + target.qualified + " (" + a.what +
+                     "), called from QOESIM_HOT " + hot.qualified);
+          } else {
+            emit(target, a, "hot-call-graph",
+                 "allocation in " + target.qualified + " (" + a.what +
+                     "), reachable from QOESIM_HOT " + hot.qualified +
+                     " via " + entry.path);
+          }
+        }
+        if (entry.depth < kMaxAllocDepth) {
+          expand(target, entry.depth, entry.path);
         }
       }
     }
@@ -953,16 +1266,49 @@ struct AllowEntry {
   std::string identifier;
 };
 
-std::vector<AllowEntry> load_allowlist(const std::string& path) {
+const std::set<std::string>& known_checks() {
+  static const std::set<std::string> checks = {
+      "global-state",  "determinism",         "hot-alloc",
+      "hot-call-graph", "unordered-iteration", "pointer-order",
+      "shard-state",   "*"};
+  return checks;
+}
+
+// Strict loader: a malformed line or unknown check name is a hard error
+// (reported with its line number, *ok cleared) instead of being skipped.
+// A silently-dropped entry used to mean a suppression quietly stopped
+// suppressing -- the lint then failed on a finding someone had already
+// justified, or worse, a typoed new entry never took effect.
+std::vector<AllowEntry> load_allowlist(const std::string& path, bool* ok) {
   std::vector<AllowEntry> out;
   std::ifstream in(path);
   std::string line;
+  int lineno = 0;
+  *ok = true;
   while (std::getline(in, line)) {
-    if (const auto hash = line.find('#'); hash != std::string::npos)
-      line = line.substr(0, hash);
-    std::stringstream ss(line);
+    ++lineno;
+    std::string body = line;
+    if (const auto hash = body.find('#'); hash != std::string::npos)
+      body = body.substr(0, hash);
+    std::stringstream ss(body);
     AllowEntry e;
-    if (ss >> e.path_suffix >> e.check >> e.identifier) out.push_back(e);
+    std::string extra;
+    if (!(ss >> e.path_suffix)) continue;  // blank or comment-only line
+    if (!(ss >> e.check >> e.identifier) || (ss >> extra)) {
+      std::fprintf(stderr,
+                   "qoesim_lint: %s:%d: malformed allowlist line (want "
+                   "'<path-suffix> <check> <identifier>'): %s\n",
+                   path.c_str(), lineno, line.c_str());
+      *ok = false;
+      continue;
+    }
+    if (known_checks().count(e.check) == 0) {
+      std::fprintf(stderr, "qoesim_lint: %s:%d: unknown check '%s'\n",
+                   path.c_str(), lineno, e.check.c_str());
+      *ok = false;
+      continue;
+    }
+    out.push_back(e);
   }
   return out;
 }
@@ -1068,9 +1414,12 @@ int main(int argc, char** argv) {
     else if (arg == "--fixtures") fixtures = next();
     else if (arg == "--help" || arg == "-h") {
       std::printf(
-          "usage: qoesim_lint --compdb <json> --root <dir> [--allowlist <f>]\n"
+          "usage: qoesim_lint --root <dir> [--compdb <json>] "
+          "[--allowlist <f>]\n"
           "       qoesim_lint --fixtures <dir>\n"
-          "       qoesim_lint <files...>\n");
+          "       qoesim_lint <files...>\n"
+          "checks: global-state hot-alloc hot-call-graph determinism\n"
+          "        unordered-iteration pointer-order shard-state\n");
       return 0;
     } else {
       explicit_files.push_back(arg);
@@ -1079,28 +1428,29 @@ int main(int argc, char** argv) {
 
   if (!fixtures.empty()) return run_fixtures(fixtures);
 
-  // Collect the file set: TUs under <root>/src from the compilation
-  // database, plus every header under <root>/src (headers hold inline
-  // hot-path definitions and are not compdb entries).
+  // Collect the file set: every TU and header under <root>/src, /bench,
+  // and /tools -- the lint patrols the engine, the figure benches, and
+  // its own tooling alike. tools/lint/fixtures are deliberate violations
+  // and are excluded. A compilation database may still be passed (its src
+  // TUs are unioned in, for compatibility with older drivers).
   std::set<std::string> files(explicit_files.begin(), explicit_files.end());
-  const std::string src_prefix =
-      root.empty() ? std::string("src/")
-                   : (fs::path(root) / "src").lexically_normal().string();
   if (!compdb.empty()) {
     for (const std::string& f : compdb_files(compdb)) {
       const std::string norm = fs::path(f).lexically_normal().string();
-      if (norm.find(src_prefix) == 0 ||
-          norm.find("/src/") != std::string::npos)
+      if (norm.find("/src/") != std::string::npos || norm.find("src/") == 0)
         files.insert(norm);
     }
   }
   if (!root.empty()) {
-    const fs::path src_dir = fs::path(root) / "src";
-    if (fs::exists(src_dir)) {
-      for (const auto& entry : fs::recursive_directory_iterator(src_dir)) {
+    for (const char* sub : {"src", "bench", "tools"}) {
+      const fs::path dir = fs::path(root) / sub;
+      if (!fs::exists(dir)) continue;
+      for (const auto& entry : fs::recursive_directory_iterator(dir)) {
+        if (!entry.is_regular_file()) continue;
+        const std::string norm = entry.path().lexically_normal().string();
+        if (norm.find("lint/fixtures") != std::string::npos) continue;
         const auto ext = entry.path().extension();
-        if (ext == ".hpp" || ext == ".h")
-          files.insert(entry.path().lexically_normal().string());
+        if (ext == ".cpp" || ext == ".hpp" || ext == ".h") files.insert(norm);
       }
     }
   }
@@ -1119,9 +1469,15 @@ int main(int argc, char** argv) {
   }
   az.run();
 
+  bool allowlist_ok = true;
   const auto allow = allowlist_path.empty()
                          ? std::vector<AllowEntry>{}
-                         : load_allowlist(allowlist_path);
+                         : load_allowlist(allowlist_path, &allowlist_ok);
+  if (!allowlist_ok) {
+    std::fprintf(stderr, "qoesim_lint: invalid allowlist %s\n",
+                 allowlist_path.c_str());
+    return 2;
+  }
   int reported = 0;
   for (const Finding& f : az.findings()) {
     if (allowlisted(allow, f)) continue;
