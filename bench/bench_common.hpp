@@ -4,6 +4,10 @@
 //   --scale <f>   scale probe repetitions / measurement durations (default 1)
 //   --seed <n>    master seed (default 1)
 //   --jobs <n>    worker threads for grid sweeps (default 1; 0 = all cores)
+//   --shards <n>  PDES engine shards within one scenario (default 0 =
+//                 bench-specific default: figure benches 1, bench_pdes its
+//                 full scaling curve). Stdout is byte-identical across
+//                 values -- the --shards determinism gate in CI pins it.
 //   --csv         also emit CSV after the rendered table
 //   --no-color    render tone tags instead of ANSI colors
 //   --quick       CI smoke mode: quarter probe budget on top of --scale
@@ -111,6 +115,9 @@ struct BenchOptions {
   double scale = 1.0;
   std::uint64_t seed = 1;
   unsigned jobs = 1;  ///< sweep worker threads; 0 = hardware concurrency
+  /// PDES shards per scenario; 0 = bench default (figure benches: 1,
+  /// bench_pdes: run its whole scaling curve).
+  unsigned shards = 0;
   bool csv = false;
   bool color = true;
   bool quick = false;  ///< CI smoke preset (see budget())
@@ -125,8 +132,8 @@ struct BenchOptions {
     BenchOptions opt;
     auto usage = [&](std::FILE* out) {
       std::fprintf(out,
-                   "usage: %s [--scale f] [--seed n] [--jobs n] [--csv]"
-                   " [--no-color] [--quick]",
+                   "usage: %s [--scale f] [--seed n] [--jobs n] [--shards n]"
+                   " [--csv] [--no-color] [--quick]",
                    argv[0]);
       for (const char* flag : extra_value_flags)
         std::fprintf(out, " [%s v]", flag);
@@ -167,6 +174,13 @@ struct BenchOptions {
         if (end == text || *end != '\0' || jobs > 4096)
           fail("--jobs expects an integer in [0, 4096]", text);
         opt.jobs = static_cast<unsigned>(jobs);
+      } else if (std::strcmp(argv[i], "--shards") == 0) {
+        const char* text = value_of(i);
+        char* end = nullptr;
+        const unsigned long shards = std::strtoul(text, &end, 10);
+        if (end == text || *end != '\0' || shards > 64)
+          fail("--shards expects an integer in [0, 64]", text);
+        opt.shards = static_cast<unsigned>(shards);
       } else if (std::strcmp(argv[i], "--csv") == 0) {
         opt.csv = true;
       } else if (std::strcmp(argv[i], "--no-color") == 0) {
@@ -239,13 +253,17 @@ inline core::ScenarioConfig make_scenario(core::TestbedType testbed,
                                           core::WorkloadType workload,
                                           core::CongestionDirection direction,
                                           std::size_t buffer,
-                                          std::uint64_t seed) {
+                                          std::uint64_t seed,
+                                          unsigned shards = 0) {
   core::ScenarioConfig cfg;
   cfg.testbed = testbed;
   cfg.workload = workload;
   cfg.direction = direction;
   cfg.buffer_packets = buffer;
   cfg.tcp_cc = core::default_cc(testbed);
+  // --shards plumbing: advisory for the dumbbell testbeds (see
+  // ScenarioConfig::shards), honored by engine-scale scenarios.
+  cfg.shards = shards == 0 ? 1 : shards;
   // Deterministic per-cell seed (direction as salt): structurally identical
   // cells (e.g. short-few vs short-many upstream-only) still see independent
   // stochastic runs, and the value never depends on evaluation order.
@@ -287,7 +305,7 @@ void run_ablation_grid(const BenchOptions& opt,
     auto cfg = make_scenario(core::TestbedType::kAccess,
                              core::WorkloadType::kLongFew,
                              core::CongestionDirection::kUpstream,
-                             cases[i].buffer, opt.seed);
+                             cases[i].buffer, opt.seed, opt.shards);
     mutate(cfg, cases[i].variant);
     return AblationCell{runner.run_qos(cfg), runner.run_voip(cfg, true),
                         runner.run_web(cfg)};

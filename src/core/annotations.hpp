@@ -78,6 +78,18 @@
 /// QOESIM_GUARDED_BY / QOESIM_PT_GUARDED_BY annotation.
 #define QOESIM_SHARD_PLANE
 
+/// Marks the one sanctioned cross-shard data structure family: SPSC batch
+/// buffers that carry value-type records between a producer shard's epoch
+/// and a consumer shard's barrier drain (net::ShardMailbox). Expands to
+/// nothing; qoesim_lint keys on the token and requires such a class to be
+/// pure data -- members that reference shard-plane engine state
+/// (Scheduler, Simulation, Node, Link, EventHandle, ...) are flagged,
+/// because a channel crossing shards must not reach into either shard's
+/// engine objects. Synchronization lives outside the channel (the PDES
+/// barrier provides the happens-before), so atomics/mutexes inside one are
+/// flagged by the same check.
+#define QOESIM_CROSS_SHARD_CHANNEL
+
 namespace qoesim {
 
 /// std::mutex with the capability annotations libstdc++ does not carry,

@@ -1,0 +1,144 @@
+#include "core/partition.hpp"
+
+#include <algorithm>
+#include <numeric>
+#include <stdexcept>
+#include <string>
+
+namespace qoesim::core {
+
+namespace {
+
+/// Plain union-find over node ids (path halving, union by smaller root id
+/// so representative choice is deterministic).
+class UnionFind {
+ public:
+  explicit UnionFind(std::size_t n) : parent_(n) {
+    std::iota(parent_.begin(), parent_.end(), 0);
+  }
+
+  std::size_t find(std::size_t x) {
+    while (parent_[x] != x) {
+      parent_[x] = parent_[parent_[x]];
+      x = parent_[x];
+    }
+    return x;
+  }
+
+  void unite(std::size_t a, std::size_t b) {
+    a = find(a);
+    b = find(b);
+    if (a == b) return;
+    if (b < a) std::swap(a, b);
+    parent_[b] = a;
+  }
+
+ private:
+  std::vector<std::size_t> parent_;
+};
+
+}  // namespace
+
+ShardPlan partition(const PartitionGraph& graph, unsigned requested_shards,
+                    Time lookahead_floor,
+                    const std::vector<std::int32_t>& pins) {
+  const std::size_t n = graph.node_count;
+  if (requested_shards == 0) {
+    throw std::invalid_argument("partition: requested_shards must be >= 1");
+  }
+  if (!graph.node_weight.empty() && graph.node_weight.size() != n) {
+    throw std::invalid_argument("partition: node_weight size mismatch");
+  }
+  if (!pins.empty() && pins.size() != n) {
+    throw std::invalid_argument("partition: pin map size mismatch");
+  }
+
+  // 1. Clusters: connected components over ineligible (short) edges.
+  //    Eligible edges also bound the quantum, whether or not the final
+  //    assignment cuts them -- mailbox discipline follows delay alone.
+  UnionFind uf(n);
+  Time quantum = Time::max();
+  for (const PartitionGraph::Edge& e : graph.edges) {
+    if (e.a >= n || e.b >= n) {
+      throw std::invalid_argument("partition: edge endpoint out of range");
+    }
+    if (e.delay < lookahead_floor) {
+      uf.unite(e.a, e.b);
+    } else {
+      quantum = std::min(quantum, e.delay);
+    }
+  }
+
+  ShardPlan plan;
+  plan.cluster_of.assign(n, 0);
+  std::vector<std::uint32_t> root_cluster(n, 0xffffffffu);
+  for (std::size_t i = 0; i < n; ++i) {
+    const std::size_t root = uf.find(i);
+    if (root_cluster[root] == 0xffffffffu) {
+      root_cluster[root] = static_cast<std::uint32_t>(plan.cluster_count++);
+    }
+    plan.cluster_of[i] = root_cluster[root];
+  }
+
+  // 2. Cluster weights and pins. A pinned node drags its whole cluster;
+  //    conflicting pins inside one cluster are a caller error.
+  std::vector<double> weight(plan.cluster_count, 0.0);
+  std::vector<std::int32_t> pinned(plan.cluster_count, kUnpinned);
+  for (std::size_t i = 0; i < n; ++i) {
+    const std::uint32_t c = plan.cluster_of[i];
+    weight[c] += graph.node_weight.empty() ? 1.0 : graph.node_weight[i];
+    if (pins.empty() || pins[i] == kUnpinned) continue;
+    if (pins[i] < 0 ||
+        static_cast<unsigned>(pins[i]) >= requested_shards) {
+      throw std::invalid_argument("partition: pin out of range for node " +
+                                  std::to_string(i));
+    }
+    if (pinned[c] != kUnpinned && pinned[c] != pins[i]) {
+      throw std::invalid_argument(
+          "partition: conflicting pins inside one short-link cluster (node " +
+          std::to_string(i) + ")");
+    }
+    pinned[c] = pins[i];
+  }
+
+  // 3. Greedy LPT: heaviest cluster first onto the least-loaded shard.
+  //    Ties break toward the lower cluster id / lower shard id, so the
+  //    result is a pure function of the input.
+  std::vector<std::uint32_t> order(plan.cluster_count);
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(),
+            [&](std::uint32_t x, std::uint32_t y) {
+              if (weight[x] != weight[y]) return weight[x] > weight[y];
+              return x < y;
+            });
+
+  std::vector<double> load(requested_shards, 0.0);
+  std::vector<std::uint32_t> shard_of_cluster(plan.cluster_count, 0);
+  for (const std::uint32_t c : order) {
+    if (pinned[c] != kUnpinned) {
+      shard_of_cluster[c] = static_cast<std::uint32_t>(pinned[c]);
+      load[shard_of_cluster[c]] += weight[c];
+    }
+  }
+  for (const std::uint32_t c : order) {
+    if (pinned[c] != kUnpinned) continue;
+    std::uint32_t best = 0;
+    for (std::uint32_t s = 1; s < requested_shards; ++s) {
+      if (load[s] < load[best]) best = s;
+    }
+    shard_of_cluster[c] = best;
+    load[best] += weight[c];
+  }
+
+  plan.shard_of.resize(n);
+  std::uint32_t max_shard = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    plan.shard_of[i] = shard_of_cluster[plan.cluster_of[i]];
+    max_shard = std::max(max_shard, plan.shard_of[i]);
+  }
+  plan.shard_count = n == 0 ? 1 : max_shard + 1;
+  plan.quantum = quantum;
+  return plan;
+}
+
+}  // namespace qoesim::core

@@ -1,0 +1,74 @@
+// qoesim -- topology partitioner for the conservative-PDES engine.
+//
+// Shards are cut at link boundaries: an (undirected) edge is
+// crossing-eligible iff the smaller of its two directions' propagation
+// delays clears the lookahead floor. Nodes connected by ineligible (short)
+// edges must land on one shard, so they are grouped into clusters first;
+// clusters are then balanced across the requested shards by greedy
+// longest-processing-time assignment on summed node weight -- a min-cut-ish
+// heuristic that is exact for the pod-shaped topologies the engine targets
+// (pods joined only by long backbone links).
+//
+// Everything here is deterministic for a fixed input: cluster ids are
+// assigned in node-id order, the greedy sorts with full tie-breaking, and
+// no randomness or address-ordered container is involved. The resulting
+// plan's quantum is the minimum delay over all *eligible* edges -- not
+// just the edges a particular assignment happens to cut -- so the barrier
+// schedule (and with it the event order) is a property of the topology,
+// never of the shard count. That is the core of the --shards determinism
+// contract.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "net/packet.hpp"
+#include "sim/time.hpp"
+
+namespace qoesim::core {
+
+/// Input graph: node weights (relative event-rate estimates; empty means
+/// uniform) and undirected edges carrying the min-direction propagation
+/// delay.
+struct PartitionGraph {
+  struct Edge {
+    net::NodeId a = 0;
+    net::NodeId b = 0;
+    /// min(delay a->b, delay b->a) of the duplex connection.
+    Time delay;
+  };
+
+  std::size_t node_count = 0;
+  std::vector<double> node_weight;  ///< empty = every node weighs 1.0
+  std::vector<Edge> edges;
+};
+
+/// Pin-map sentinel: node may go anywhere.
+inline constexpr std::int32_t kUnpinned = -1;
+
+/// A validated shard assignment.
+struct ShardPlan {
+  std::vector<std::uint32_t> shard_of;  ///< node -> shard
+  std::uint32_t shard_count = 1;        ///< shards actually populated
+  /// Barrier epoch length: min delay over all crossing-eligible edges
+  /// (Time::max() when none exist and the plan is single-shard). Every
+  /// edge an assignment cuts has delay >= quantum by construction.
+  Time quantum = Time::max();
+  /// Diagnostics / model tests: the short-edge connected component each
+  /// node belongs to (ids in first-seen node order) -- the atomic unit of
+  /// assignment.
+  std::vector<std::uint32_t> cluster_of;
+  std::size_t cluster_count = 0;
+};
+
+/// Partition `graph` into at most `requested_shards` shards. `pins` (if
+/// non-empty) must have one entry per node: kUnpinned, or a shard id in
+/// [0, requested_shards) that the node's whole cluster is forced onto.
+/// Throws std::invalid_argument on malformed input (edge ids out of
+/// range, zero shards, pin out of range, or two nodes of one cluster
+/// pinned to different shards).
+ShardPlan partition(const PartitionGraph& graph, unsigned requested_shards,
+                    Time lookahead_floor,
+                    const std::vector<std::int32_t>& pins = {});
+
+}  // namespace qoesim::core

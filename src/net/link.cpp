@@ -1,5 +1,6 @@
 #include "net/link.hpp"
 
+#include "net/mailbox.hpp"
 #include "sim/annotations.hpp"
 
 #include <stdexcept>
@@ -47,7 +48,14 @@ QOESIM_HOT void Link::on_tx_complete(PacketPool::SlotId slot) {
   ++delivered_packets_;
   delivered_bytes_ += p.size_bytes;
   for (const auto& observer : tx_observers_) observer(p, sim_.now());
-  if (sink_) {
+  if (mailbox_ != nullptr) {
+    // Cross-shard path: the packet leaves this shard's pool now and
+    // becomes a value-type record until the destination shard's barrier
+    // drain admits it. The mailbox's FIFO counter preserves this link's
+    // tx order; the delivery timestamp is fixed here so queueing and
+    // serialization dynamics stay identical to the WireRing path.
+    mailbox_->push(sim_.now() + prop_delay_, pool_.release(slot));
+  } else if (sink_) {
     // Serialization completions are ordered and prop_delay_ is constant,
     // so deliver_at is non-decreasing along the ring and one delivery
     // event per link suffices. Each packet still reserves its FIFO

@@ -27,6 +27,8 @@
 
 namespace qoesim::net {
 
+class ShardMailbox;
+
 /// Shard-plane: a link's pool, ring, and queue discipline belong to the
 /// shard running its simulation. send() asserts the capability; the
 /// internal tx/delivery machinery requires it statically.
@@ -45,6 +47,14 @@ class QOESIM_SHARD_PLANE Link {
 
   /// Bind the receiving side (typically Node::receive of the peer).
   void set_sink(DeliverFn sink) { sink_ = std::move(sink); }
+  /// Cross-shard (mailbox) delivery: packets that finish serialization
+  /// are released from the pool and pushed into `mailbox` with their
+  /// arrival timestamp instead of riding the in-scheduler WireRing; the
+  /// destination shard's barrier drain materializes the delivery events.
+  /// Takes precedence over the sink. rx observers do not fire on this
+  /// path (the receive-side tap lives in the destination shard's inbox,
+  /// which monitors don't hook; LinkMonitor needs only tx observers).
+  void set_mailbox(ShardMailbox* mailbox) { mailbox_ = mailbox; }
   /// Register an additional transmission observer (multiple supported:
   /// monitors and tracers can coexist).
   void add_tx_observer(TxObserver obs) {
@@ -98,6 +108,7 @@ class QOESIM_SHARD_PLANE Link {
   Time prop_delay_;
   std::unique_ptr<QueueDiscipline> queue_;
   DeliverFn sink_;
+  ShardMailbox* mailbox_ = nullptr;
   std::vector<TxObserver> tx_observers_;
   std::vector<TxObserver> rx_observers_;
 

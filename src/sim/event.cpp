@@ -228,6 +228,18 @@ QOESIM_HOT void Scheduler::run_until(Time until) {
   if (now_ < until) now_ = until;
 }
 
+QOESIM_HOT void Scheduler::run_before(Time until) {
+  // Same epoch scope as run_until, but the bound is exclusive: a shard's
+  // epoch [T, T+Q) must leave events at exactly T+Q unfired, because the
+  // barrier drain at T+Q may admit cross-shard deliveries for that very
+  // timestamp. Both sides then tie-break on sequence number alone (local
+  // events allocated during the epoch fire before barrier-admitted ones),
+  // which is the order a single-shard run produces too.
+  const ShardGuard epoch(&shard_);
+  while (!heap_.empty() && heap_[0].when < until) step();
+  if (now_ < until) now_ = until;
+}
+
 QOESIM_HOT void Scheduler::run() {
   const ShardGuard epoch(&shard_);
   while (step()) {

@@ -141,6 +141,13 @@ class QOESIM_SHARD_PLANE Scheduler {
   /// is advanced to `until` even if the queue drains earlier.
   void run_until(Time until);
 
+  /// Run events strictly before `until` (half-open epoch [now, until)),
+  /// then advance the clock to `until`. This is the conservative-PDES
+  /// epoch driver: events at exactly `until` stay pending, so a barrier
+  /// drain at `until` can still admit cross-shard deliveries that must
+  /// tie-break against them by sequence number alone.
+  void run_before(Time until);
+
   /// Run until the event queue is empty.
   void run();
 

@@ -1,0 +1,37 @@
+// Known-negative cases for `mailbox`: a compliant channel is plain data
+// (records, counters, capacity bookkeeping); engine types and locks are
+// fine in classes that are NOT marked as cross-shard channels, including
+// classes nested inside or declared next to a marked one. Any finding in
+// this file is a fixture failure.
+#include <cstdint>
+#include <mutex>
+#include <vector>
+
+#define QOESIM_CROSS_SHARD_CHANNEL
+
+class Scheduler {};
+struct Record {
+  std::int64_t when = 0;
+  std::uint64_t link_seq = 0;
+};
+
+class QOESIM_CROSS_SHARD_CHANNEL GoodMailbox {
+ public:
+  void push(Record r) { records_.push_back(r); }
+  // Methods may mention engine types (declarations, not members).
+  void bind(Scheduler& consumer);
+
+ private:
+  std::vector<Record> records_;
+  std::uint64_t next_link_seq_ = 0;
+  std::size_t high_water_ = 0;
+};
+
+// Unmarked classes may hold engine state and locks; that is what the
+// shard plane is made of.
+class Inbox {
+ private:
+  Scheduler* sched_ = nullptr;
+  std::mutex lock_;
+  std::vector<Record> pending_;
+};

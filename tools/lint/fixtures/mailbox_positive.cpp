@@ -1,0 +1,34 @@
+// Known-positive cases for `mailbox`: a QOESIM_CROSS_SHARD_CHANNEL class
+// holding engine-type members (a channel must never carry shard state
+// across the boundary) or private synchronization (the epoch barrier is
+// the only sanctioned cross-shard happens-before). The fixture is linted
+// standalone, so the marker only needs to be a visible token.
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <vector>
+
+#define QOESIM_CROSS_SHARD_CHANNEL
+
+class Scheduler {};
+class Node {};
+struct Record {
+  std::int64_t when = 0;
+};
+
+class QOESIM_CROSS_SHARD_CHANNEL LeakyMailbox {
+ public:
+  void push(Record r) { records_.push_back(r); }
+
+ private:
+  std::vector<Record> records_;
+  Scheduler* consumer_ = nullptr;       // LINT-EXPECT: mailbox
+  Node& destination_;                   // LINT-EXPECT: mailbox
+};
+
+class QOESIM_CROSS_SHARD_CHANNEL LockedMailbox {
+ private:
+  std::vector<Record> records_;
+  std::mutex lock_;                     // LINT-EXPECT: mailbox
+  std::atomic<std::uint64_t> size_{0};  // LINT-EXPECT: mailbox
+};

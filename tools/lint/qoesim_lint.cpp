@@ -1,6 +1,6 @@
-// qoesim_lint v2 -- project-specific static analysis for the qoesim engine.
+// qoesim_lint v3 -- project-specific static analysis for the qoesim engine.
 //
-// Seven checks, all enforcing the determinism & shared-state contract and
+// Eight checks, all enforcing the determinism & shared-state contract and
 // the shard-ownership contract documented in README.md:
 //
 //   global-state   No new process-wide mutable state: namespace-scope
@@ -58,6 +58,18 @@
 //                  must carry QOESIM_GUARDED_BY / QOESIM_PT_GUARDED_BY
 //                  stating who guards them. Per-shard classes otherwise
 //                  accrete quietly-shared state that blocks PDES.
+//
+//   mailbox        Classes marked QOESIM_CROSS_SHARD_CHANNEL (the SPSC
+//                  mailbox family in net/mailbox.hpp -- the ONE
+//                  sanctioned structure that two shards may both touch)
+//                  must be pure data: no members of engine types
+//                  (Scheduler, Simulation, Node, Link, EventHandle,
+//                  ShardAffinity, ShardGuard -- a channel holding one
+//                  reaches into a shard's private state from the wrong
+//                  thread), and no synchronization members (mutex /
+//                  atomic / condition_variable -- the epoch barrier is
+//                  the only cross-shard happens-before; private locks
+//                  hide ordering the determinism contract forbids).
 //
 // The tool is deliberately self-contained (a C++ tokenizer with a scope
 // tracker and a name-resolved call graph, no libclang dependency) so it
@@ -495,6 +507,9 @@ class Analyzer {
     // For kClass scopes: the class head carried QOESIM_SHARD_PLANE, so
     // the shard-state member checks apply inside it.
     bool shard_plane = false;
+    // For kClass scopes: the class head carried
+    // QOESIM_CROSS_SHARD_CHANNEL, so the mailbox member checks apply.
+    bool cross_channel = false;
   };
 
   void report(const LexedFile& f, int line, const std::string& check,
@@ -574,6 +589,39 @@ class Analyzer {
                      : "shared-ownership member of a QOESIM_SHARD_PLANE "
                        "class without QOESIM_PT_GUARDED_BY (shared_ptr "
                        "crosses shard lifetimes; state who guards it)");
+        }
+      }
+      if (scopes.back().cross_channel && !has_static &&
+          !is_declaration_function_like(stmt)) {
+        // A cross-shard channel is plain data in flight: a member of an
+        // engine type would let the producer shard reach into the
+        // consumer shard's private state (or vice versa), and private
+        // synchronization would introduce a happens-before edge the
+        // epoch barrier does not know about.
+        static constexpr const char* kEngineTypes[] = {
+            "Scheduler", "Simulation",    "Node",      "Link",
+            "EventHandle", "ShardAffinity", "ShardGuard"};
+        for (const char* type : kEngineTypes) {
+          if (stmt_has_ident(stmt, type)) {
+            report(f, line, "mailbox", decl_name(stmt),
+                   std::string("member of engine type '") + type +
+                       "' in a QOESIM_CROSS_SHARD_CHANNEL class (channels "
+                       "carry data between shards, never shard state)");
+            return;
+          }
+        }
+        static constexpr const char* kSyncTypes[] = {
+            "mutex", "shared_mutex", "atomic", "condition_variable",
+            "condition_variable_any"};
+        for (const char* type : kSyncTypes) {
+          if (stmt_has_ident(stmt, type)) {
+            report(f, line, "mailbox", decl_name(stmt),
+                   std::string("synchronization member ('") + type +
+                       "') in a QOESIM_CROSS_SHARD_CHANNEL class (the "
+                       "epoch barrier is the only sanctioned cross-shard "
+                       "happens-before)");
+            return;
+          }
         }
       }
       return;
@@ -702,8 +750,11 @@ class Analyzer {
           continue;
         }
         Scope sc{kind, {}};
-        if (kind == ScopeKind::kClass)
+        if (kind == ScopeKind::kClass) {
           sc.shard_plane = stmt_has_ident(stmt, "QOESIM_SHARD_PLANE");
+          sc.cross_channel =
+              stmt_has_ident(stmt, "QOESIM_CROSS_SHARD_CHANNEL");
+        }
         scopes.push_back(std::move(sc));
         stmt.clear();
         continue;
@@ -1270,7 +1321,7 @@ const std::set<std::string>& known_checks() {
   static const std::set<std::string> checks = {
       "global-state",  "determinism",         "hot-alloc",
       "hot-call-graph", "unordered-iteration", "pointer-order",
-      "shard-state",   "*"};
+      "shard-state",   "mailbox",             "*"};
   return checks;
 }
 
@@ -1419,7 +1470,7 @@ int main(int argc, char** argv) {
           "       qoesim_lint --fixtures <dir>\n"
           "       qoesim_lint <files...>\n"
           "checks: global-state hot-alloc hot-call-graph determinism\n"
-          "        unordered-iteration pointer-order shard-state\n");
+          "        unordered-iteration pointer-order shard-state mailbox\n");
       return 0;
     } else {
       explicit_files.push_back(arg);
