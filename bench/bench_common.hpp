@@ -101,6 +101,24 @@ inline void emit_node_summary() {
                static_cast<unsigned long long>(s.binds),
                static_cast<unsigned long long>(s.unbinds),
                static_cast<unsigned long long>(s.demux_rehashes));
+  // Per-flow memory contract (README "flow lifecycle & memory contract"):
+  // hot = pooled arena slot (control block + socket), cold = lazily
+  // attached loss/reorder block. cold_peak shows how many flows ever
+  // needed one at once; a steady-state flow costs hot bytes only.
+  if (s.flows_opened != 0) {
+    std::fprintf(stderr,
+                 "[flow] opened=%llu closed=%llu peak=%llu hot_bytes=%llu"
+                 " cold_bytes=%llu cold_allocs=%llu cold_frees=%llu"
+                 " cold_peak=%llu\n",
+                 static_cast<unsigned long long>(s.flows_opened),
+                 static_cast<unsigned long long>(s.flows_closed),
+                 static_cast<unsigned long long>(s.flow_peak_live),
+                 static_cast<unsigned long long>(s.flow_hot_bytes),
+                 static_cast<unsigned long long>(s.flow_cold_bytes),
+                 static_cast<unsigned long long>(s.flow_cold_allocs),
+                 static_cast<unsigned long long>(s.flow_cold_frees),
+                 static_cast<unsigned long long>(s.flow_cold_peak_live));
+  }
   if (s.undelivered != 0 || s.unrouted != 0) {
     std::fprintf(stderr,
                  "[node] ERROR: %llu undelivered / %llu unrouted packets"

@@ -25,12 +25,25 @@ Node::Stats Node::StatsFold::snapshot() const {
 }
 
 Node::~Node() {
+  // Drop the arena's socket refs first so teardown closes count into the
+  // folded stats (and bound sockets die even though their demux handlers
+  // are never individually unbound).
+  flows_.release_all();
   if (stats_fold_ != nullptr) stats_fold_->fold(stats());
 }
 
 Node::Stats Node::stats() const {
   Stats s = stats_;
   s.demux_rehashes = demux_.rehashes();
+  const core::FlowArena::Stats& f = flows_.stats();
+  s.flows_opened = f.flows_opened;
+  s.flows_closed = f.flows_closed;
+  s.flow_peak_live = f.peak_live;
+  s.flow_hot_bytes = f.slot_bytes;
+  s.flow_cold_allocs = f.cold_allocs;
+  s.flow_cold_frees = f.cold_frees;
+  s.flow_cold_peak_live = f.cold_peak_live;
+  s.flow_cold_bytes = f.cold_slot_bytes;
   return s;
 }
 
@@ -121,16 +134,16 @@ QOESIM_HOT void Node::deliver_local(Packet&& p) {
   }
 }
 
-void Node::bind_connection(Protocol proto, std::uint32_t local_port,
-                           NodeId remote, std::uint32_t remote_port,
-                           Handler h) {
+std::uint64_t Node::bind_connection(Protocol proto, std::uint32_t local_port,
+                                    NodeId remote, std::uint32_t remote_port,
+                                    Handler h) {
   sim_.shard().assert_held();
   ++stats_.binds;
   const auto [gen, inserted] = demux_.bind(
       DemuxKey::pack(proto_byte(proto), local_port, remote, remote_port),
       std::move(h));
-  (void)gen;
   if (inserted) note_bound(local_port);
+  return gen;
 }
 
 void Node::unbind_connection(Protocol proto, std::uint32_t local_port,
@@ -138,6 +151,18 @@ void Node::unbind_connection(Protocol proto, std::uint32_t local_port,
   sim_.shard().assert_held();
   if (demux_.erase(DemuxKey::pack(proto_byte(proto), local_port, remote,
                                   remote_port))) {
+    ++stats_.unbinds;
+    note_unbound(local_port);
+  }
+}
+
+void Node::unbind_connection(Protocol proto, std::uint32_t local_port,
+                             NodeId remote, std::uint32_t remote_port,
+                             std::uint64_t expected_gen) {
+  sim_.shard().assert_held();
+  if (demux_.erase_if_gen(DemuxKey::pack(proto_byte(proto), local_port, remote,
+                                         remote_port),
+                          expected_gen)) {
     ++stats_.unbinds;
     note_unbound(local_port);
   }

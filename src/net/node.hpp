@@ -19,6 +19,7 @@
 #include <vector>
 
 #include "core/annotations.hpp"
+#include "core/flow_arena.hpp"
 #include "net/flat_table.hpp"
 #include "net/link.hpp"
 #include "net/packet.hpp"
@@ -55,6 +56,18 @@ class QOESIM_SHARD_PLANE Node {
     std::uint64_t unbinds = 0;
     std::uint64_t demux_rehashes = 0;  ///< flat-table growth events
 
+    // Flow-arena accounting (see core/flow_arena.hpp): counters sum across
+    // nodes; the per-flow byte sizes take the max (every node pools the
+    // same socket type, so they normally agree).
+    std::uint64_t flows_opened = 0;
+    std::uint64_t flows_closed = 0;
+    std::uint64_t flow_peak_live = 0;      ///< summed per-node peaks
+    std::uint64_t flow_hot_bytes = 0;      ///< pooled slot size (max)
+    std::uint64_t flow_cold_allocs = 0;
+    std::uint64_t flow_cold_frees = 0;
+    std::uint64_t flow_cold_peak_live = 0; ///< summed per-node peaks
+    std::uint64_t flow_cold_bytes = 0;     ///< cold block size (max)
+
     Stats& operator+=(const Stats& o) {
       delivered += o.delivered;
       undelivered += o.undelivered;
@@ -63,6 +76,17 @@ class QOESIM_SHARD_PLANE Node {
       binds += o.binds;
       unbinds += o.unbinds;
       demux_rehashes += o.demux_rehashes;
+      flows_opened += o.flows_opened;
+      flows_closed += o.flows_closed;
+      flow_peak_live += o.flow_peak_live;
+      flow_hot_bytes = flow_hot_bytes > o.flow_hot_bytes ? flow_hot_bytes
+                                                         : o.flow_hot_bytes;
+      flow_cold_allocs += o.flow_cold_allocs;
+      flow_cold_frees += o.flow_cold_frees;
+      flow_cold_peak_live += o.flow_cold_peak_live;
+      flow_cold_bytes = flow_cold_bytes > o.flow_cold_bytes
+                            ? flow_cold_bytes
+                            : o.flow_cold_bytes;
       return *this;
     }
   };
@@ -113,11 +137,20 @@ class QOESIM_SHARD_PLANE Node {
   // ---- transport demux ----------------------------------------------------
 
   /// Bind an exact connection (proto, local port, remote node, remote port).
-  /// Rebinding a key that is already bound replaces its handler.
-  void bind_connection(Protocol proto, std::uint32_t local_port, NodeId remote,
-                       std::uint32_t remote_port, Handler h);
+  /// Rebinding a key that is already bound replaces its handler. Returns
+  /// the binding's demux generation stamp -- pass it to the gen-checked
+  /// unbind_connection overload so a deferred teardown cannot erase a
+  /// newer binding on the reused 4-tuple.
+  std::uint64_t bind_connection(Protocol proto, std::uint32_t local_port,
+                                NodeId remote, std::uint32_t remote_port,
+                                Handler h);
   void unbind_connection(Protocol proto, std::uint32_t local_port,
                          NodeId remote, std::uint32_t remote_port);
+  /// Gen-checked unbind: a no-op when the binding was already replaced
+  /// (its generation moved past `expected_gen`).
+  void unbind_connection(Protocol proto, std::uint32_t local_port,
+                         NodeId remote, std::uint32_t remote_port,
+                         std::uint64_t expected_gen);
 
   /// Bind a wildcard listener on (proto, local port).
   void bind_listener(Protocol proto, std::uint32_t local_port, Handler h);
@@ -140,6 +173,21 @@ class QOESIM_SHARD_PLANE Node {
   /// node plane's steady state performs no allocation.
   std::size_t bound_count() const { return demux_.size(); }
   std::uint64_t demux_rehashes() const { return demux_.rehashes(); }
+  /// Probe-length distribution of the live demux table (bench_megaflows
+  /// proves lookups stay near-flat to 1M entries with it).
+  FlatTable<Handler>::ProbeStats demux_probe_stats() const {
+    return demux_.probe_stats();
+  }
+  /// Wall-clock {probes, total ns} of one find per live demux entry
+  /// (stderr-only figure; see FlatTable::timed_find_walk).
+  std::pair<std::uint64_t, std::uint64_t> demux_timed_find_walk() const {
+    return demux_.timed_find_walk();
+  }
+
+  /// The pooled per-flow state arena every TcpSocket this node originates
+  /// or accepts lives in (see core/flow_arena.hpp and the README "flow
+  /// lifecycle & memory contract" section).
+  core::FlowArena& flow_arena() { return flows_; }
 
   /// This node's lifetime counters.
   Stats stats() const;
@@ -176,6 +224,12 @@ class QOESIM_SHARD_PLANE Node {
   /// listeners), sized lazily on first use; lets allocate_port() skip
   /// still-bound ports after wrapping around.
   std::vector<std::uint16_t> ephemeral_use_;
+
+  /// Pooled flow-state arena (slots + cold blocks). Declared after the
+  /// demux so handlers (which capture only a Core ref + handle) are freed
+  /// first on destruction; ~Node drops the arena's socket refs before
+  /// folding stats so flows_closed counts teardown.
+  core::FlowArena flows_;
 
   Stats stats_;
   StatsFold* stats_fold_ = nullptr;

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <limits>
+#include <new>
 #include <stdexcept>
 
 #include "tcp/bbr.hpp"
@@ -63,6 +64,38 @@ std::unique_ptr<CongestionControl> make_congestion_control(
       return std::make_unique<BbrCc>(mss_bytes, initial_cwnd_bytes);
   }
   throw std::invalid_argument("make_congestion_control: unknown kind");
+}
+
+// Every variant must fit the socket's inline controller box (and respect
+// its alignment); growing a controller past the budget is a conscious
+// memory-contract change, not an accident.
+static_assert(sizeof(RenoCc) <= kCcBoxBytes);
+static_assert(sizeof(BicCc) <= kCcBoxBytes);
+static_assert(sizeof(CubicCc) <= kCcBoxBytes);
+static_assert(sizeof(VegasCc) <= kCcBoxBytes);
+static_assert(sizeof(BbrCc) <= kCcBoxBytes);
+static_assert(alignof(RenoCc) <= alignof(std::max_align_t));
+static_assert(alignof(BicCc) <= alignof(std::max_align_t));
+static_assert(alignof(CubicCc) <= alignof(std::max_align_t));
+static_assert(alignof(VegasCc) <= alignof(std::max_align_t));
+static_assert(alignof(BbrCc) <= alignof(std::max_align_t));
+
+CongestionControl* make_congestion_control_in(void* storage, CcKind kind,
+                                              double mss_bytes,
+                                              double initial_cwnd_bytes) {
+  switch (kind) {
+    case CcKind::kReno:
+      return new (storage) RenoCc(mss_bytes, initial_cwnd_bytes);
+    case CcKind::kBic:
+      return new (storage) BicCc(mss_bytes, initial_cwnd_bytes);
+    case CcKind::kCubic:
+      return new (storage) CubicCc(mss_bytes, initial_cwnd_bytes);
+    case CcKind::kVegas:
+      return new (storage) VegasCc(mss_bytes, initial_cwnd_bytes);
+    case CcKind::kBbr:
+      return new (storage) BbrCc(mss_bytes, initial_cwnd_bytes);
+  }
+  throw std::invalid_argument("make_congestion_control_in: unknown kind");
 }
 
 }  // namespace qoesim::tcp

@@ -1,61 +1,79 @@
 // qoesim -- sender-side SACK scoreboard (RFC 2018/6675).
 //
 // Tracks selectively acknowledged intervals above the cumulative ACK point
-// as a sorted interval map. Split out of TcpSocket so the merge and pruning
+// as a sorted interval set. Split out of TcpSocket so the merge and pruning
 // edge cases the conformance scripts exercise (overlapping/adjacent blocks,
 // duplicate reports, cumulative ACKs landing inside a block) are directly
 // unit-testable against a reference model. D-SACK filtering (blocks at or
 // below the packet's own cumulative ACK, RFC 2883) is the caller's job:
 // such blocks report duplicate receipt, not new delivery, and must never
 // reach add().
+//
+// The interval machinery itself lives in IntervalSet (interval_set.hpp),
+// shared with the receiver's out-of-order buffer and the sender's
+// retransmit-marked set; this class adds the RFC clamping and the
+// high-water semantics the pipe algorithm needs. Storage is a small
+// vector (four intervals inline), so a typical loss episode allocates
+// nothing -- part of the pooled-flow memory contract (README "flow
+// lifecycle & memory contract").
 #pragma once
 
 #include <cstdint>
-#include <map>
 #include <utility>
+
+#include "tcp/interval_set.hpp"
 
 namespace qoesim::tcp {
 
 class SackScoreboard {
  public:
-  /// Sorted disjoint intervals [start -> end), never touching: adjacent
+  /// Sorted disjoint intervals [start, end), never touching: adjacent
   /// blocks coalesce on insert.
-  using Blocks = std::map<std::uint64_t, std::uint64_t>;
+  using Blocks = IntervalSet;
 
   /// Merge [start, end) clamped to [una, limit). Overlapping and adjacent
   /// blocks coalesce into one interval. Returns the number of newly
   /// covered bytes (0 for duplicates and fully clamped-away blocks).
-  std::uint64_t add_block(std::uint64_t start, std::uint64_t end, std::uint64_t una,
-                    std::uint64_t limit);
+  std::uint64_t add_block(std::uint64_t start, std::uint64_t end,
+                          std::uint64_t una, std::uint64_t limit) {
+    if (start < una) start = una;
+    if (end > limit) end = limit;
+    if (end <= start) return 0;
+    return blocks_.add(start, end);
+  }
 
   /// Drop state at/below the new cumulative ACK. A block the ACK lands
   /// inside is trimmed, so bytes() never counts cumulatively acked bytes
   /// (the pipe estimate would otherwise leak them).
-  void prune(std::uint64_t una);
+  void prune(std::uint64_t una) { blocks_.prune_below(una); }
 
-  void clear();
+  void clear() { blocks_.clear(); }
+  /// clear() plus release any heap spill (flow back in steady state).
+  void release() { blocks_.release(); }
 
   bool empty() const { return blocks_.empty(); }
   /// Total selectively acked bytes above the cumulative ACK point.
-  std::uint64_t bytes() const { return bytes_; }
+  std::uint64_t bytes() const { return blocks_.bytes(); }
   /// Highest SACKed sequence + 1 (0 when the scoreboard is empty).
-  std::uint64_t high() const { return high_; }
+  std::uint64_t high() const { return blocks_.high(); }
   const Blocks& blocks() const { return blocks_; }
 
   /// Bytes of [lo, hi) covered by SACKed intervals.
-  std::uint64_t covered(std::uint64_t lo, std::uint64_t hi) const;
+  std::uint64_t covered(std::uint64_t lo, std::uint64_t hi) const {
+    return blocks_.covered(lo, hi);
+  }
 
   /// First un-SACKed hole at/above `pos`: advances pos past any block
   /// containing it and returns {hole_start, hole_end} where hole_end is
   /// the start of the next block above (or high()). When no hole remains
   /// below high(), hole_start >= high().
   std::pair<std::uint64_t, std::uint64_t> hole_at_or_above(
-      std::uint64_t pos) const;
+      std::uint64_t pos) const {
+    return blocks_.hole_at_or_above(pos);
+  }
 
  private:
   Blocks blocks_;
-  std::uint64_t bytes_ = 0;
-  std::uint64_t high_ = 0;
 };
 
 }  // namespace qoesim::tcp

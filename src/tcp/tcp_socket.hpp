@@ -12,15 +12,16 @@
 
 #include <cstdint>
 #include <functional>
-#include <map>
 #include <memory>
 #include <string>
 
 #include "core/annotations.hpp"
+#include "core/flow_arena.hpp"
 #include "net/node.hpp"
 #include "net/packet.hpp"
 #include "sim/simulation.hpp"
 #include "tcp/congestion_control.hpp"
+#include "tcp/interval_set.hpp"
 #include "tcp/rtt_estimator.hpp"
 #include "tcp/sack_scoreboard.hpp"
 
@@ -64,6 +65,13 @@ struct TcpStats {
   std::uint64_t dup_acks_seen = 0;
   std::uint64_t ecn_ce_received = 0;   ///< CE-marked packets seen (receiver)
   std::uint64_t ecn_responses = 0;     ///< ECE-triggered cwnd reductions
+  /// Per-flow resident memory (the "flow lifecycle & memory contract"
+  /// README section): hot is the pooled arena slot (control block +
+  /// socket, constant per node), cold the lazily attached loss/reorder
+  /// block (0 while detached -- the steady-state figure).
+  std::uint64_t hot_bytes = 0;
+  std::uint64_t cold_bytes = 0;
+  std::uint64_t cold_attaches = 0;  ///< times the cold block was (re)attached
   Time connect_time = Time::zero();     ///< SYN -> established
   Time established_at = Time::zero();
   Time closed_at = Time::zero();
@@ -75,10 +83,24 @@ struct TcpStats {
 /// Shard-plane: a socket is driven entirely by its node's shard (timers
 /// fire inside the owning epoch, segments arrive through Node's demux,
 /// whose entry points carry the dynamic thread check). Marked so
-/// qoesim_lint's shard-state check patrols new members for unannotated
-/// shared-ownership state.
-class QOESIM_SHARD_PLANE TcpSocket
-    : public std::enable_shared_from_this<TcpSocket> {
+/// qoesim_lint's shard-state and cold-state checks patrol new members for
+/// unannotated shared-ownership or node-per-entry container state.
+///
+/// Memory contract (README "flow lifecycle & memory contract"): a socket
+/// lives in one pooled slot of its node's FlowArena -- control block and
+/// object in a single fixed-size allocation (std::allocate_shared), the
+/// congestion controller placement-constructed in an inline box, and the
+/// loss/reorder machinery in a lazily attached cold block that returns to
+/// the arena when the flow is back in steady state. Demux handlers and
+/// timers capture a generation-stamped FlowHandle (stale resolves to
+/// null), not a shared/weak_ptr.
+class QOESIM_SHARD_PLANE TcpSocket {
+  /// Passkey: the constructor must be public for std::allocate_shared but
+  /// is only callable through connect()/accept().
+  struct Passkey {
+    explicit Passkey() = default;
+  };
+
  public:
   /// Callbacks an application can hook. All optional.
   struct Callbacks {
@@ -101,6 +123,69 @@ class QOESIM_SHARD_PLANE TcpSocket
                                            TcpConfig config,
                                            Callbacks callbacks);
 
+  /// Cache-packed hot sequencing state: the fields every per-ACK /
+  /// per-segment decision reads, gathered into two cache lines. The rest
+  /// of the socket (timers, RTT estimator, pacing clock, controller box,
+  /// config, callbacks) sits warm in the same pooled slot; the cold
+  /// loss/reorder block lives behind cold_.
+  struct TcpHot {
+    // ---- send side (sequence space: SYN=0, data starts at 1) ----
+    std::uint64_t snd_una = 0;       ///< oldest unacknowledged seq
+    std::uint64_t snd_nxt_data = 1;  ///< next new data seq to send
+    std::uint64_t snd_max = 1;       ///< highest data seq ever sent (+1)
+    std::uint64_t rcv_nxt = 0;  ///< next expected peer seq (0 until SYN seen)
+    std::uint64_t recover = 0;  ///< NewReno recovery point
+    std::uint64_t rtx_next = 0;  ///< next hole candidate this episode
+    /// snd_nxt at the moment the last probe fired (RFC 8985's TLPHighRxt):
+    /// the episode stays closed until the cumulative ACK reaches it, so an
+    /// ACK for pre-probe data cannot re-arm a second probe of the same tail.
+    std::uint64_t tlp_high_seq = 0;
+    /// Highest data seq outstanding when the last ECE response was taken;
+    /// further echoes are ignored until the ack passes it (once per RTT).
+    std::uint64_t ecn_response_end = 0;
+    std::uint64_t fin_seq = 0;       ///< sequence number consumed by our FIN
+    std::uint64_t peer_fin_seq = 0;
+    std::uint32_t dupack_count = 0;
+    std::uint32_t consecutive_timeouts = 0;
+    std::uint32_t pending_ack_segments = 0;
+    bool fin_pending = false;  ///< close() called
+    bool fin_sent = false;
+    bool in_recovery = false;
+    bool tlp_allowed = true;  ///< one probe per ACK-progress epoch
+    bool ecn_ok = false;            ///< negotiated on the handshake
+    bool ecn_echo_pending = false;  ///< receiver: echo ECE until CWR seen
+    bool cwr_pending = false;       ///< sender: set CWR on the next data seg
+    bool peer_fin_received = false;
+    bool our_fin_acked = false;
+    bool bound = false;            ///< demux binding live
+    bool rtt_probe_armed = false;  ///< one RTT probe at a time (Karn)
+  };
+  static_assert(sizeof(TcpHot) <= 128, "hot flow state must stay two cache lines");
+
+  /// Cold per-flow state: loss/reorder machinery a steady-state flow never
+  /// touches. Attached from the node's FlowArena cold pool on first use
+  /// and handed back once every set drains, so an idle established flow
+  /// costs exactly its hot slot.
+  struct TcpCold {
+    /// SACK scoreboard (RFC 2018/6675): selectively acked intervals above
+    /// snd_una for the pipe algorithm.
+    SackScoreboard sacked;
+    /// Receiver out-of-order [start, end) runs, per-segment granularity
+    /// (fill_sack reports them on the wire; see IntervalSet::note_segment).
+    IntervalSet ooo;
+    /// Hole bytes retransmitted and presumed back in flight; counted into
+    /// the pipe until cumulatively acked, SACKed, or given up. Marks
+    /// within one pass are disjoint ascending, so the merging set
+    /// reproduces the old std::map bookkeeping exactly (reads clamp to
+    /// [snd_una, high_sack)).
+    IntervalSet rtx_marked;
+  };
+
+  /// std::allocate_shared plumbing; use connect()/accept().
+  TcpSocket(Passkey, net::Node& node, net::NodeId remote,
+            std::uint32_t local_port, std::uint32_t remote_port,
+            TcpConfig config, Callbacks callbacks);
+
   ~TcpSocket();
   TcpSocket(const TcpSocket&) = delete;
   TcpSocket& operator=(const TcpSocket&) = delete;
@@ -117,7 +202,7 @@ class QOESIM_SHARD_PLANE TcpSocket
   bool established() const { return state_ == State::kEstablished; }
   bool fully_closed() const { return state_ == State::kClosed && stats_.closed; }
   /// True once both ends agreed to ECN on the handshake.
-  bool ecn_negotiated() const { return ecn_ok_; }
+  bool ecn_negotiated() const { return hot_.ecn_ok; }
 
   const TcpStats& stats() const { return stats_; }
   const RttEstimator& rtt() const { return rtt_; }
@@ -133,7 +218,9 @@ class QOESIM_SHARD_PLANE TcpSocket
   /// Bytes in flight (sent, not cumulatively acked). snd_una can overtake
   /// snd_nxt_data by one when our FIN's sequence number is acknowledged.
   std::uint64_t flight_bytes() const {
-    return snd_una_ < snd_nxt_data_ ? snd_nxt_data_ - snd_una_ : 0;
+    return hot_.snd_una < hot_.snd_nxt_data
+               ? hot_.snd_nxt_data - hot_.snd_una
+               : 0;
   }
 
  private:
@@ -146,8 +233,12 @@ class QOESIM_SHARD_PLANE TcpSocket
     kTimeWait,
   };
 
-  TcpSocket(net::Node& node, net::NodeId remote, std::uint32_t local_port,
-            std::uint32_t remote_port, TcpConfig config, Callbacks callbacks);
+  static std::shared_ptr<TcpSocket> make_pooled(net::Node& node,
+                                                net::NodeId remote,
+                                                std::uint32_t local_port,
+                                                std::uint32_t remote_port,
+                                                TcpConfig config,
+                                                Callbacks callbacks);
 
   void start_connect();
   void start_accept(const net::Packet& syn);
@@ -178,8 +269,28 @@ class QOESIM_SHARD_PLANE TcpSocket
   void finish_close();
   void deliver_in_order();
 
+  /// Lazily attach the cold block (first loss/reorder event).
+  TcpCold& cold();
+  /// Destroy and return the cold block to the arena pool.
+  void release_cold();
+  /// Hand the cold block back once every set drained (steady state again).
+  void maybe_release_cold();
+  // Null-safe cold reads for the hot paths (detached == empty).
+  bool sack_empty() const { return cold_ == nullptr || cold_->sacked.empty(); }
+  std::uint64_t sack_high() const { return cold_ ? cold_->sacked.high() : 0; }
+  std::uint64_t sack_bytes() const {
+    return cold_ ? cold_->sacked.bytes() : 0;
+  }
+
   net::Node& node_;
   Simulation& sim_;
+  /// Arena token (shares slab ownership) + our generation-stamped slot.
+  /// Demux handlers and timers capture copies of these two instead of a
+  /// shared/weak_ptr; finish_close releases the handle, making every
+  /// outstanding capture resolve to null.
+  core::FlowArena::Ref arena_;
+  core::FlowHandle handle_;
+  std::uint64_t bind_gen_ = 0;  ///< demux generation of our binding
   net::NodeId remote_;
   std::uint32_t local_port_;
   std::uint32_t remote_port_;
@@ -188,64 +299,30 @@ class QOESIM_SHARD_PLANE TcpSocket
   net::FlowId flow_id_;
 
   State state_ = State::kClosed;
-  std::unique_ptr<CongestionControl> cc_;
   RttEstimator rtt_;
 
-  // ---- send side (sequence space: SYN=0, data starts at 1) ----
-  std::uint64_t snd_una_ = 0;       ///< oldest unacknowledged seq
-  std::uint64_t snd_nxt_data_ = 1;  ///< next new data seq to send
-  std::uint64_t snd_max_ = 1;       ///< highest data seq ever sent (+1)
-  std::uint64_t app_bytes_queued_ = 0;  ///< total app bytes submitted
-  bool fin_pending_ = false;  ///< close() called
-  bool fin_sent_ = false;
-  std::uint64_t fin_seq_ = 0;  ///< sequence number consumed by our FIN
+  /// Cache-packed sequencing core (see TcpHot).
+  TcpHot hot_;
 
-  // Loss recovery (NewReno, RFC 6582).
-  std::uint32_t dupack_count_ = 0;
-  std::uint32_t consecutive_timeouts_ = 0;
-  bool in_recovery_ = false;
-  std::uint64_t recover_ = 0;  ///< NewReno recovery point
+  // ---- warm state: touched per event, but not by every decision ----
+  std::uint64_t app_bytes_queued_ = 0;  ///< total app bytes submitted
   /// RFC 5681 window inflation during fast recovery: each duplicate ACK
   /// signals a departed packet, permitting new data to keep the pipe full.
   /// Only used when the peer supplies no SACK information.
   double recovery_inflation_ = 0.0;
-
-  // SACK scoreboard (RFC 2018/6675): selectively acked intervals above
-  // snd_una plus per-episode retransmission progress for the pipe
-  // algorithm. The interval bookkeeping lives in SackScoreboard so its
-  // merge/prune edge cases are unit-testable in isolation.
-  SackScoreboard sacked_;
-  std::uint64_t rtx_next_ = 0;           ///< next hole candidate this episode
-  /// Hole bytes retransmitted and presumed back in flight ([start -> end)).
-  /// Counted into the pipe until cumulatively acked, SACKed, or given up.
-  std::map<std::uint64_t, std::uint64_t> rtx_marked_;
   /// Bytes delivered by the most recent ACK (cumulative advance + newly
   /// SACKed); entitles the conservation fallback to an equal amount of
   /// retransmission even when the pipe estimate is jammed by dead bytes.
   double conservation_credit_ = 0.0;
-  Time rtx_pass_started_;                ///< start of the current hole pass
+  Time rtx_pass_started_;  ///< start of the current hole pass
 
-  // RTT probe (one at a time; Karn's rule).
-  bool rtt_probe_armed_ = false;
+  // RTT probe (one at a time; Karn's rule -- armed flag lives in hot_).
   std::uint64_t rtt_probe_seq_ = 0;
   Time rtt_probe_sent_;
 
   EventHandle rto_timer_;
   EventHandle delack_timer_;
   EventHandle tlp_timer_;
-  bool tlp_allowed_ = true;  ///< one probe per ACK-progress epoch
-  /// snd_nxt at the moment the last probe fired (RFC 8985's TLPHighRxt):
-  /// the episode stays closed until the cumulative ACK reaches it, so an
-  /// ACK for pre-probe data cannot re-arm a second probe of the same tail.
-  std::uint64_t tlp_high_seq_ = 0;
-
-  // ---- ECN (RFC 3168) ----
-  bool ecn_ok_ = false;           ///< negotiated on the handshake
-  bool ecn_echo_pending_ = false; ///< receiver: echo ECE until CWR seen
-  bool cwr_pending_ = false;      ///< sender: set CWR on the next data seg
-  /// Highest data seq outstanding when the last ECE response was taken;
-  /// further echoes are ignored until the ack passes it (once per RTT).
-  std::uint64_t ecn_response_end_ = 0;
 
   // ---- pacing (BBR) ----
   /// Earliest time the next paced segment may leave; advanced by each
@@ -253,17 +330,15 @@ class QOESIM_SHARD_PLANE TcpSocket
   Time pacing_release_;
   EventHandle pacing_timer_;
 
-  // ---- receive side ----
-  std::uint64_t rcv_nxt_ = 0;  ///< next expected peer seq (0 until SYN seen)
-  std::map<std::uint64_t, std::uint64_t> ooo_;  ///< out-of-order [start,end)
-  std::uint32_t pending_ack_segments_ = 0;
-  bool peer_fin_received_ = false;
-  std::uint64_t peer_fin_seq_ = 0;
-  bool our_fin_acked_ = false;
-
   TcpStats stats_;
   Time syn_sent_at_;
-  bool bound_ = false;
+
+  /// Lazily attached loss/reorder block; null in steady state.
+  TcpCold* cold_ = nullptr;
+  /// Congestion controller, placement-constructed in the inline box (no
+  /// satellite heap object; the variant still dispatches virtually).
+  alignas(std::max_align_t) unsigned char cc_box_[kCcBoxBytes];
+  CongestionControl* cc_;
 };
 
 }  // namespace qoesim::tcp

@@ -16,6 +16,8 @@
 #include "net/node.hpp"
 #include "net/topology.hpp"
 #include "sim/simulation.hpp"
+#include "tcp/tcp_socket.hpp"
+#include "tcp_test_util.hpp"
 
 namespace qoesim::net {
 namespace {
@@ -227,6 +229,49 @@ TEST_F(NodeDemuxTest, EphemeralExhaustionThrows) {
   EXPECT_THROW(node.allocate_port(), std::runtime_error);
   node.unbind_listener(Protocol::kUdp, 60000);
   EXPECT_EQ(node.allocate_port(), 60000u);
+}
+
+TEST_F(NodeDemuxTest, GenCheckedUnbindSkipsReplacedBinding) {
+  int old_hits = 0, new_hits = 0;
+  const std::uint64_t old_gen = node.bind_connection(
+      Protocol::kTcp, 7, 9, 1234, [&](Packet&&) { ++old_hits; });
+  // A new flow reuses the exact 4-tuple before the old flow's deferred
+  // teardown ran (same-instant churn under high flow arrival) ...
+  const std::uint64_t new_gen = node.bind_connection(
+      Protocol::kTcp, 7, 9, 1234, [&](Packet&&) { ++new_hits; });
+  ASSERT_NE(old_gen, new_gen);
+  // ... so the stale unbind must be a no-op and leave the newcomer bound.
+  node.unbind_connection(Protocol::kTcp, 7, 9, 1234, old_gen);
+  ASSERT_EQ(node.bound_count(), 1u);
+  deliver(tcp_packet(9, 0, 1234, 7, /*syn=*/false, /*has_ack=*/true));
+  EXPECT_EQ(old_hits, 0);
+  EXPECT_EQ(new_hits, 1);
+  // The live generation does take the binding down.
+  node.unbind_connection(Protocol::kTcp, 7, 9, 1234, new_gen);
+  EXPECT_EQ(node.bound_count(), 0u);
+}
+
+// ---- ephemeral release on abort -------------------------------------------
+
+TEST(NodeEphemeralChurn, AbortedConnectsReleaseEphemeralPorts) {
+  // Regression: an aborted connect must still release its ephemeral port
+  // via the deferred (gen-checked) unbind. Churning through more than the
+  // full 16384-port dynamic range would otherwise exhaust the allocator
+  // and allocate_port() would throw.
+  testutil::PairNet net;
+  for (int i = 0; i < 16384 + 64; ++i) {
+    auto sock = tcp::TcpSocket::connect(*net.a, net.b->id(), 80);
+    sock->abort();
+    sock.reset();
+    // Drain the zero-delay deferred unbind plus the in-flight SYN (the
+    // peer has no listener on 80; the stray segment is just absorbed).
+    net.sim.run();
+  }
+  EXPECT_EQ(net.a->bound_count(), 0u);
+  const Node::Stats s = net.a->stats();
+  EXPECT_EQ(s.binds, s.unbinds);
+  EXPECT_EQ(s.flows_opened, 16384u + 64u);
+  EXPECT_EQ(s.flows_closed, 16384u + 64u);
 }
 
 // ---- dense route table ----------------------------------------------------

@@ -4,10 +4,12 @@
 // pruning) checked against a byte-set reference model.
 #include <gtest/gtest.h>
 
+#include <map>
 #include <random>
 #include <set>
 
 #include "net/drop_tail.hpp"
+#include "tcp/interval_set.hpp"
 #include "tcp/sack_scoreboard.hpp"
 #include "tcp_test_util.hpp"
 
@@ -52,7 +54,7 @@ TEST(SackScoreboard, ClampsToUnaAndLimit) {
   EXPECT_TRUE(sb.empty());
   // Straddling blocks are trimmed at both boundaries.
   EXPECT_EQ(sb.add_block(500, 1500, 1000, 10000), 500u);
-  EXPECT_EQ(sb.blocks().begin()->first, 1000u);
+  EXPECT_EQ(sb.blocks().begin()->start, 1000u);
   EXPECT_EQ(sb.add_block(9500, 20000, 1000, 10000), 500u);
   EXPECT_EQ(sb.high(), 10000u);
 }
@@ -63,7 +65,7 @@ TEST(SackScoreboard, PruneTrimsStraddlingBlock) {
   sb.add_block(3000, 4000, 0, 10000);
   sb.prune(3500);
   EXPECT_EQ(sb.bytes(), 500u);
-  EXPECT_EQ(sb.blocks().begin()->first, 3500u);
+  EXPECT_EQ(sb.blocks().begin()->start, 3500u);
   EXPECT_EQ(sb.high(), 4000u);
   sb.prune(4000);
   EXPECT_TRUE(sb.empty());
@@ -122,6 +124,99 @@ TEST(SackScoreboard, FuzzAgainstByteSetReference) {
         static_cast<std::uint64_t>(std::distance(model.lower_bound(lo),
                                                  model.lower_bound(hi)));
     ASSERT_EQ(sb.covered(lo, hi), want) << "step " << step;
+  }
+}
+
+// The same 2000-step fuzz over the extracted IntervalSet directly: the
+// merging add() against the byte-set model (including hole_at_or_above
+// every step), proving the scoreboard wrapper adds clamping and nothing
+// else on top of the shared merge machinery.
+TEST(IntervalSet, FuzzMergeAgainstByteSetReference) {
+  constexpr std::uint64_t kLimit = 20000;
+  std::mt19937 rng(20140815);  // fixed seed: deterministic test
+  tcp::IntervalSet set;
+  std::set<std::uint64_t> model;
+
+  for (int step = 0; step < 2000; ++step) {
+    if (rng() % 5 == 0) {
+      const std::uint64_t lo = rng() % kLimit;
+      set.prune_below(lo);
+      model.erase(model.begin(), model.lower_bound(lo));
+    } else {
+      const std::uint64_t s = rng() % kLimit;
+      const std::uint64_t e = s + 1 + rng() % 1500;
+      std::uint64_t newly = 0;
+      for (std::uint64_t b = s; b < e; ++b) {
+        newly += model.insert(b).second ? 1 : 0;
+      }
+      ASSERT_EQ(set.add(s, e), newly) << "step " << step;
+    }
+    ASSERT_EQ(set.bytes(), model.size()) << "step " << step;
+    ASSERT_EQ(set.high(), model.empty() ? 0 : *model.rbegin() + 1)
+        << "step " << step;
+    // Interval count must match the model's run count (merge correctness).
+    std::uint32_t runs = 0;
+    std::uint64_t prev = 0;
+    bool in_run = false;
+    for (std::uint64_t b : model) {
+      if (!in_run || b != prev + 1) ++runs;
+      in_run = true;
+      prev = b;
+    }
+    ASSERT_EQ(set.size(), runs) << "step " << step;
+    const std::uint64_t pos = rng() % kLimit;
+    const auto [hole, hole_end] = set.hole_at_or_above(pos);
+    if (!model.empty()) {
+      ASSERT_FALSE(model.count(hole) && hole < set.high()) << "step " << step;
+      ASSERT_GE(hole, pos) << "step " << step;
+      // hole_end is meaningful only for holes below the high-water mark;
+      // callers check hole >= high() first (retransmit_next_hole).
+      if (hole < set.high()) ASSERT_LE(hole, hole_end) << "step " << step;
+    }
+  }
+}
+
+// Segment-granular mode (the receiver's out-of-order buffer) against the
+// exact std::map try_emplace/max bookkeeping it replaced: iteration order,
+// per-entry extents, and the in-order delivery merge must be identical --
+// fill_sack()'s wire format depends on it.
+TEST(IntervalSet, FuzzSegmentModeAgainstMapReference) {
+  std::mt19937 rng(20140816);
+  for (int round = 0; round < 50; ++round) {
+    tcp::IntervalSet set;
+    std::map<std::uint64_t, std::uint64_t> model;
+    for (int step = 0; step < 40; ++step) {
+      const std::uint64_t seq = 1 + (rng() % 30) * 1460;
+      const std::uint64_t len = (rng() % 3 == 0) ? 730 : 1460;
+      set.note_segment(seq, seq + len);
+      auto [it, inserted] = model.try_emplace(seq, seq + len);
+      if (!inserted) it->second = std::max(it->second, seq + len);
+
+      ASSERT_EQ(set.size(), model.size());
+      std::uint32_t i = 0;
+      for (const auto& [s, e] : model) {
+        ASSERT_EQ(set[i].start, s);
+        ASSERT_EQ(set[i].end, e);
+        ++i;
+      }
+    }
+    // Replay the deliver_in_order merge both ways from a random cursor.
+    std::uint64_t rcv_a = 1 + (rng() % 30) * 1460;
+    std::uint64_t rcv_b = rcv_a;
+    while (!set.empty() && set.front().start <= rcv_a) {
+      rcv_a = std::max(rcv_a, set.front().end);
+      set.pop_front();
+    }
+    for (auto it = model.begin(); it != model.end();) {
+      if (it->first <= rcv_b) {
+        rcv_b = std::max(rcv_b, it->second);
+        it = model.erase(it);
+      } else {
+        break;
+      }
+    }
+    ASSERT_EQ(rcv_a, rcv_b);
+    ASSERT_EQ(set.size(), model.size());
   }
 }
 

@@ -1,0 +1,44 @@
+// Known-negative cases for `cold-state`: justified heavy members, a
+// member merely *named* map, heavy members outside the transport
+// namespace, and function declarations returning shared_ptr -- none may
+// be reported.
+#include <cstdint>
+#include <map>
+#include <memory>
+
+#define QOESIM_SHARD_PLANE
+#define QOESIM_PT_GUARDED_BY(x)
+
+namespace qoesim::tcp {
+
+struct Segment {
+  int bytes = 0;
+};
+
+class QOESIM_SHARD_PLANE LeanSocket {
+ public:
+  // Factory declarations returning shared_ptr are not members.
+  static std::shared_ptr<LeanSocket> connect(int port);
+  std::shared_ptr<Segment> detach_segment();
+
+ private:
+  // cold: reassembly map is attached lazily and freed at steady state
+  std::map<std::uint64_t, std::uint64_t> ooo_;
+  std::shared_ptr<Segment> peer_  // cold: pinned only during handshake
+      QOESIM_PT_GUARDED_BY(shard_plane);
+  int map = 0;  // a member *named* map is not a std::map
+  int cwnd_ = 0;
+};
+
+}  // namespace qoesim::tcp
+
+namespace qoesim::net {
+
+// Outside the transport namespace the per-flow budget does not apply
+// (the shard-state check still governs ownership annotations).
+class QOESIM_SHARD_PLANE RouteCache {
+ private:
+  std::map<int, int> next_hop_;
+};
+
+}  // namespace qoesim::net

@@ -1,0 +1,30 @@
+// Known-positive cases for `cold-state`: heap-per-flow members
+// (shared_ptr owners, std::map bookkeeping) of a QOESIM_SHARD_PLANE class
+// in the transport (`tcp`) namespace without a `// cold:` justification.
+// The shared_ptr member also trips the shard-state ownership check --
+// both findings are expected; the std::map members isolate cold-state.
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <unordered_map>
+
+#define QOESIM_SHARD_PLANE
+
+namespace qoesim::tcp {
+
+struct Segment {
+  int bytes = 0;
+};
+
+class QOESIM_SHARD_PLANE FatSocket {
+ public:
+  int bytes() const { return 0; }
+
+ private:
+  std::map<std::uint64_t, std::uint64_t> ooo_;   // LINT-EXPECT: cold-state
+  std::unordered_map<int, int> rtx_marked_;      // LINT-EXPECT: cold-state
+  std::shared_ptr<Segment> peer_;  // LINT-EXPECT: cold-state shard-state
+  int cwnd_ = 0;  // plain value member: lives in the hot slot, fine
+};
+
+}  // namespace qoesim::tcp

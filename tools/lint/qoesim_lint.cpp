@@ -1,6 +1,6 @@
-// qoesim_lint v3 -- project-specific static analysis for the qoesim engine.
+// qoesim_lint v4 -- project-specific static analysis for the qoesim engine.
 //
-// Eight checks, all enforcing the determinism & shared-state contract and
+// Nine checks, all enforcing the determinism & shared-state contract and
 // the shard-ownership contract documented in README.md:
 //
 //   global-state   No new process-wide mutable state: namespace-scope
@@ -58,6 +58,17 @@
 //                  must carry QOESIM_GUARDED_BY / QOESIM_PT_GUARDED_BY
 //                  stating who guards them. Per-shard classes otherwise
 //                  accrete quietly-shared state that blocks PDES.
+//
+//   cold-state     The transport plane's per-flow memory contract (see
+//                  README "flow lifecycle & memory contract"): members of
+//                  a QOESIM_SHARD_PLANE class in a `tcp` namespace that
+//                  cost heap per flow -- shared_ptr/weak_ptr owners and
+//                  std::map / std::unordered_map -- must carry a
+//                  `// cold: <reason>` comment (same or previous line)
+//                  stating why the state may not live in the pooled hot
+//                  slot or the lazily-attached cold block. At 1M
+//                  concurrent flows an unjustified map member is the
+//                  difference between ~1 KB and ~100 B per flow.
 //
 //   mailbox        Classes marked QOESIM_CROSS_SHARD_CHANNEL (the SPSC
 //                  mailbox family in net/mailbox.hpp -- the ONE
@@ -127,6 +138,10 @@ struct LintDirectives {
   std::map<int, std::set<std::string>> suppress;
   // (line, check) pairs a fixture expects the tool to report.
   std::set<std::pair<int, std::string>> expect;
+  // Lines whose comment starts with `cold:` -- the cold-state check's
+  // justification marker (covers its own line and the next, like a
+  // suppression).
+  std::set<int> cold;
 };
 
 struct LexedFile {
@@ -153,6 +168,16 @@ void parse_comment_directives(const std::string& comment, int line,
         }
       }
     }
+  }
+  // cold: <reason> -- the comment must *start* with the marker (after
+  // whitespace) so prose that merely mentions cold state does not count
+  // as a justification.
+  {
+    std::size_t p = 0;
+    while (p < comment.size() &&
+           std::isspace(static_cast<unsigned char>(comment[p])))
+      ++p;
+    if (comment.compare(p, 5, "cold:") == 0) out->cold.insert(line);
   }
   // LINT-EXPECT: check-name
   if (const auto pos = comment.find("LINT-EXPECT:"); pos != std::string::npos) {
@@ -510,6 +535,10 @@ class Analyzer {
     // For kClass scopes: the class head carried
     // QOESIM_CROSS_SHARD_CHANNEL, so the mailbox member checks apply.
     bool cross_channel = false;
+    // The scope sits inside (or is) a namespace named `tcp` -- the
+    // transport plane, where the cold-state per-flow memory check
+    // applies. Propagated down through every nested scope.
+    bool transport = false;
   };
 
   void report(const LexedFile& f, int line, const std::string& check,
@@ -589,6 +618,30 @@ class Analyzer {
                      : "shared-ownership member of a QOESIM_SHARD_PLANE "
                        "class without QOESIM_PT_GUARDED_BY (shared_ptr "
                        "crosses shard lifetimes; state who guards it)");
+        }
+      }
+      if (scopes.back().shard_plane && scopes.back().transport &&
+          !has_static && !is_declaration_function_like(stmt)) {
+        // Per-flow memory contract: heap-per-flow members in a transport
+        // class need a `// cold:` justification. shared_ptr/weak_ptr by
+        // bare name; map/unordered_map only when std::-qualified so a
+        // member *named* `map` does not match.
+        bool heavy = stmt_has_ident(stmt, "shared_ptr") ||
+                     stmt_has_ident(stmt, "weak_ptr");
+        for (std::size_t k = 0; !heavy && k + 2 < stmt.size(); ++k) {
+          heavy = stmt[k].text == "std" && stmt[k + 1].text == "::" &&
+                  (stmt[k + 2].text == "map" ||
+                   stmt[k + 2].text == "unordered_map");
+        }
+        const bool justified = f.directives.cold.count(line) > 0 ||
+                               f.directives.cold.count(line - 1) > 0;
+        if (heavy && !justified) {
+          report(f, line, "cold-state", decl_name(stmt),
+                 "heap-per-flow member (shared_ptr/map) of a transport "
+                 "QOESIM_SHARD_PLANE class without a `// cold:` "
+                 "justification (at 1M flows this dominates bytes/flow; "
+                 "pool it in the hot slot or the lazy cold block, or "
+                 "state why it cannot be)");
         }
       }
       if (scopes.back().cross_channel && !has_static &&
@@ -750,6 +803,9 @@ class Analyzer {
           continue;
         }
         Scope sc{kind, {}};
+        sc.transport = (!scopes.empty() && scopes.back().transport) ||
+                       (kind == ScopeKind::kNamespace &&
+                        stmt_has_ident(stmt, "tcp"));
         if (kind == ScopeKind::kClass) {
           sc.shard_plane = stmt_has_ident(stmt, "QOESIM_SHARD_PLANE");
           sc.cross_channel =
@@ -1321,7 +1377,8 @@ const std::set<std::string>& known_checks() {
   static const std::set<std::string> checks = {
       "global-state",  "determinism",         "hot-alloc",
       "hot-call-graph", "unordered-iteration", "pointer-order",
-      "shard-state",   "mailbox",             "*"};
+      "shard-state",   "mailbox",             "cold-state",
+      "*"};
   return checks;
 }
 
